@@ -1,0 +1,36 @@
+"""Ablation: the relaxed peephole optimization (paper §6.5, Fig. 10).
+
+The relaxed peephole turns a multi-controlled X with a |-> target into
+a multi-controlled Z without the ancilla, which is what simplifies
+``f.sign`` in Bernstein-Vazirani and Grover's.  This bench compiles BV
+with the optimization enabled and disabled.
+"""
+
+from conftest import write_result
+
+from repro.algorithms import bernstein_vazirani, alternating_secret
+
+
+def _ablation(n=32):
+    kernel = bernstein_vazirani(alternating_secret(n))
+    with_relaxed = kernel.compile(relaxed_peephole=True)
+    without = kernel.compile(relaxed_peephole=False)
+    rows = [
+        ("relaxed", with_relaxed.optimized_circuit.num_qubits,
+         len(with_relaxed.optimized_circuit.gates)),
+        ("disabled", without.optimized_circuit.num_qubits,
+         len(without.optimized_circuit.gates)),
+    ]
+    text = "BV n=32: relaxed peephole ablation\n" + "\n".join(
+        f"  {label:<10} qubits={q:>4}  gates={g:>6}" for label, q, g in rows
+    )
+    write_result("ablation_peephole.txt", text)
+    return rows
+
+
+def test_relaxed_peephole_removes_ancilla(benchmark):
+    rows = benchmark.pedantic(_ablation, rounds=1, iterations=1)
+    by_label = {label: (q, g) for label, q, g in rows}
+    # The |-> ancilla disappears and the circuit shrinks.
+    assert by_label["relaxed"][0] < by_label["disabled"][0]
+    assert by_label["relaxed"][1] < by_label["disabled"][1]

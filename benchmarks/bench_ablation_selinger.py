@@ -1,0 +1,47 @@
+"""Ablation: Selinger's controlled-iX decomposition (paper §6.5, §8.3).
+
+The paper credits Selinger's scheme for ASDF's (and Q#'s) Grover win.
+This bench compiles Grover's with the scheme enabled and disabled and
+compares T counts and estimated runtimes.
+"""
+
+from conftest import write_result
+
+from repro.algorithms import grover
+from repro.resources import estimate_physical_resources
+
+
+def _ablation(n=16):
+    kernel = grover(n)
+    with_selinger = kernel.compile(selinger=True)
+    without = kernel.compile(selinger=False)
+
+    def t_count(circuit):
+        return sum(
+            1 for g in circuit.gates if g.name in ("t", "tdg")
+        )
+
+    rows = []
+    for label, result in (
+        ("selinger", with_selinger),
+        ("naive", without),
+    ):
+        circuit = result.decomposed_circuit
+        estimate = estimate_physical_resources(circuit)
+        rows.append(
+            (label, t_count(circuit), estimate.runtime_microseconds,
+             estimate.physical_kiloqubits)
+        )
+    text = "Grover n=16: decomposition ablation\n" + "\n".join(
+        f"  {label:<10} T={t:>6}  runtime_us={rt:>12.1f}  kq={kq:>8.1f}"
+        for label, t, rt, kq in rows
+    )
+    write_result("ablation_selinger.txt", text)
+    return rows
+
+
+def test_selinger_reduces_t_count(benchmark):
+    rows = benchmark.pedantic(_ablation, rounds=1, iterations=1)
+    by_label = {label: (t, rt, kq) for label, t, rt, kq in rows}
+    assert by_label["selinger"][0] < by_label["naive"][0]
+    assert by_label["selinger"][1] <= by_label["naive"][1]

@@ -1,0 +1,38 @@
+"""Ablation: ancilla-free XOR oracle synthesis (paper §8.3).
+
+The paper attributes ASDF's win over Quipper's oracle synthesis to
+tweedledum intentionally avoiding ancilla qubits for XOR operations.
+This bench compares ASDF's Bennett embedding against the Quipper-style
+ancilla-per-XOR baseline on the Deutsch-Jozsa oracle.
+"""
+
+from conftest import write_result
+
+from repro.baselines import build_baseline, transpile_o3
+from repro.evaluation import compiled_circuit
+from repro.resources import estimate_physical_resources
+
+
+def _ablation(n=32):
+    asdf = compiled_circuit("dj", "asdf", n)
+    quipper = transpile_o3(build_baseline("dj", "quipper", n), "quipper")
+    rows = []
+    for label, circuit in (("asdf-xag", asdf), ("quipper-xor", quipper)):
+        estimate = estimate_physical_resources(circuit)
+        rows.append(
+            (label, circuit.num_qubits, len(circuit.gates),
+             estimate.physical_kiloqubits)
+        )
+    text = "DJ n=32: oracle synthesis ablation\n" + "\n".join(
+        f"  {label:<12} qubits={q:>4}  gates={g:>6}  kq={kq:>8.1f}"
+        for label, q, g, kq in rows
+    )
+    write_result("ablation_xor.txt", text)
+    return rows
+
+
+def test_xag_synthesis_avoids_ancillas(benchmark):
+    rows = benchmark.pedantic(_ablation, rounds=1, iterations=1)
+    by_label = {label: (q, g, kq) for label, q, g, kq in rows}
+    assert by_label["asdf-xag"][0] < by_label["quipper-xor"][0]
+    assert by_label["asdf-xag"][2] < by_label["quipper-xor"][2]

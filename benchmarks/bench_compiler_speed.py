@@ -1,0 +1,34 @@
+"""Compiler throughput: wall-clock cost of each pipeline stage.
+
+Not a paper figure, but useful engineering data: how long the ASDF
+reproduction takes to compile each benchmark at a realistic size, and
+how the polynomial-time span checker scales (paper §4.1 claims
+O(k^2 log k) instead of the naive exponential).
+"""
+
+import pytest
+
+from repro.basis import Basis
+from repro.basis.span import check_span_equivalence
+from repro.evaluation import ALGORITHMS, asdf_kernel
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_compile_speed(benchmark, algorithm):
+    kernel = asdf_kernel(algorithm, 32)
+    benchmark.pedantic(
+        lambda: kernel.compile(), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("k", [16, 64, 256])
+def test_span_check_scales_polynomially(benchmark, k):
+    # {'0','1'}[k] >> {'1','0'}[k] covers 2^k vectors; the checker must
+    # stay polynomial in the AST size k (paper §4.1).
+    b_in = Basis.literal("0", "1").broadcast(k)
+    b_out = Basis.literal("1", "0").broadcast(k)
+    benchmark.pedantic(
+        lambda: check_span_equivalence(b_in, b_out),
+        rounds=5,
+        iterations=2,
+    )

@@ -1,0 +1,29 @@
+"""Table 1: QIR callable intrinsics per compiler configuration (§8.2).
+
+Regenerates the paper's table comparing the Classic Q# QDK, ASDF with
+inlining disabled, and ASDF with inlining enabled.  The expected shape:
+Q# and ASDF-no-opt emit nonzero callable create/invoke counts; fully
+inlined ASDF emits zero for every benchmark.
+"""
+
+from conftest import write_result
+
+from repro.evaluation import format_table1, table1
+
+
+def _generate():
+    rows = table1(n=4)
+    text = format_table1(rows)
+    write_result("table1.txt", text)
+    return rows
+
+
+def test_table1_shape(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    for row in rows:
+        assert row.qsharp_create > 0, row.algorithm
+        assert row.asdf_noopt_create > 0, row.algorithm
+        assert row.asdf_noopt_invoke > 0, row.algorithm
+        # The paper's headline: inlining eliminates every callable.
+        assert row.asdf_opt_create == 0, row.algorithm
+        assert row.asdf_opt_invoke == 0, row.algorithm

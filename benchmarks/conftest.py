@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  Results
+are printed (visible with ``pytest benchmarks/ -s``) and also written
+to ``benchmarks/out/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_result(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text)
+    print(f"\n--- {name} ---\n{text}")
+
+
+def format_figure_series(series, metric_label: str) -> str:
+    """Render {algorithm: {compiler: [(n, value)...]}} as aligned rows."""
+    lines = []
+    for algorithm, by_compiler in series.items():
+        lines.append(f"[{algorithm}] {metric_label}")
+        sizes = sorted({n for pts in by_compiler.values() for n, _ in pts})
+        header = "  compiler " + "".join(f"{n:>14}" for n in sizes)
+        lines.append(header)
+        for compiler, points in by_compiler.items():
+            values = dict(points)
+            row = f"  {compiler:<9}" + "".join(
+                f"{values.get(n, float('nan')):>14.3f}" for n in sizes
+            )
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""QFT-based period finding in Qwerty (paper §8.1).
+
+The Fourier basis is a first-class Qwerty basis: the inverse QFT is
+just the basis translation ``fourier[N] >> std[N]``.  The oracle is a
+classical bitmask, so f(x) = x & mask has period 2^(n-1) when the top
+bit is masked out; samples after the IQFT are multiples of 2.
+
+Run:  python examples/period_finding.py [n-qubits]
+"""
+
+import sys
+from collections import Counter
+
+from repro import bit, cfunc, classical, qpu, N
+
+
+def make_period_finder(mask_text: str):
+    mask = bit.from_str(mask_text)
+
+    @classical[N](mask)
+    def f(mask: bit[N], x: bit[N]) -> bit[N]:
+        return x & mask
+
+    @qpu[N](f)
+    def kernel(f: cfunc[N, N]) -> bit[N]:
+        return (
+            'p'[N] + '0'[N]           # noqa: input register + workspace
+            | f.xor                    # noqa: the bitmask oracle
+            | (fourier[N] >> std[N]) + id[N]  # noqa: IQFT on the input
+            | std[N].measure + std[N].discard  # noqa
+        )
+
+    return kernel
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    mask = "0" + "1" * (n - 1)  # Top bit masked out: period 2.
+    kernel = make_period_finder(mask)
+    samples = Counter(str(kernel(seed=seed)) for seed in range(32))
+    print(f"period finding, n={n}, mask={mask}")
+    for outcome, count in sorted(samples.items()):
+        print(f"  {outcome}  x{count}")
+    for outcome in samples:
+        assert int(outcome, 2) % 2 == 0, "samples must be multiples of 2"
+    print("all samples are multiples of 2^n / period")
+
+
+if __name__ == "__main__":
+    main()

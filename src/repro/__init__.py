@@ -1,0 +1,57 @@
+"""Reproduction of ASDF, the compiler for the Qwerty basis-oriented
+quantum programming language (CGO 2025).
+
+Public API::
+
+    from repro import qpu, classical, bit, N
+
+    @classical[N](secret)
+    def f(secret: bit[N], x: bit[N]) -> bit:
+        return (secret & x).xor_reduce()
+
+    @qpu[N](f)
+    def kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+
+    print(kernel())
+"""
+
+from repro.frontend.decorators import (
+    Bits,
+    DimVar,
+    I,
+    J,
+    K,
+    M,
+    N,
+    bit,
+    cfunc,
+    classical,
+    qfunc,
+    qpu,
+    qubit,
+    rev_qfunc,
+)
+from repro.pipeline import CompileResult, compile_kernel, simulate_kernel
+
+__all__ = [
+    "Bits",
+    "CompileResult",
+    "DimVar",
+    "I",
+    "J",
+    "K",
+    "M",
+    "N",
+    "bit",
+    "cfunc",
+    "classical",
+    "compile_kernel",
+    "qfunc",
+    "qpu",
+    "qubit",
+    "rev_qfunc",
+    "simulate_kernel",
+]
+
+__version__ = "0.1.0"

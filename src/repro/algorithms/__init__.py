@@ -1,0 +1,28 @@
+"""The paper's five benchmark algorithms, written in Qwerty (§8.1).
+
+Each builder returns a ready-to-run :class:`QpuKernel`: Bernstein-
+Vazirani with an alternating secret, Deutsch-Jozsa with a balanced
+XOR oracle, Grover's search for the all-ones string (iterations capped
+at 12, as in the paper), Simon's algorithm with a nonzero secret, and
+QFT-based period finding with a bitmask oracle.
+"""
+
+from repro.algorithms.kernels import (
+    alternating_secret,
+    bernstein_vazirani,
+    deutsch_jozsa,
+    grover,
+    grover_iterations,
+    period_finding,
+    simon,
+)
+
+__all__ = [
+    "alternating_secret",
+    "bernstein_vazirani",
+    "deutsch_jozsa",
+    "grover",
+    "grover_iterations",
+    "period_finding",
+    "simon",
+]

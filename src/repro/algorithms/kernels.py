@@ -1,0 +1,129 @@
+"""Qwerty programs for the benchmark suite (paper §8.1)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontend.decorators import (
+    Bits,
+    I,
+    N,
+    QpuKernel,
+    bit,
+    cfunc,
+    classical,
+    qpu,
+)
+
+
+def alternating_secret(n: int) -> Bits:
+    """The paper's Bernstein-Vazirani secret: 1010..."""
+    return Bits((1 - (i % 2)) for i in range(n))
+
+
+def grover_iterations(n: int, cap: int = 12) -> int:
+    """Optimal Grover iterations for one marked item, capped (paper
+    caps at 12 to keep the evaluation feasible)."""
+    optimal = max(1, int(math.floor(math.pi / 4 * math.sqrt(2**n))))
+    return min(optimal, cap)
+
+
+def bernstein_vazirani(secret: Bits | str) -> QpuKernel:
+    """Bernstein-Vazirani (paper Fig. 1)."""
+    secret_bits = (
+        secret if isinstance(secret, Bits) else Bits.from_str(secret)
+    )
+
+    @classical[N](secret_bits)
+    def f(secret_str: bit[N], x: bit[N]) -> bit:
+        return (secret_str & x).xor_reduce()
+
+    @qpu[N](f)
+    def bv_kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+
+    return bv_kernel
+
+
+def deutsch_jozsa(n: int) -> QpuKernel:
+    """Deutsch-Jozsa with the balanced oracle XORing all input bits."""
+
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        return x.xor_reduce()
+
+    @qpu[N](f)
+    def dj_kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+
+    return dj_kernel[n]
+
+
+def grover(n: int, iterations: int | None = None) -> QpuKernel:
+    """Grover's search with the all-ones oracle (capped at 12 iters)."""
+    if iterations is None:
+        iterations = grover_iterations(n)
+
+    @classical[N]
+    def oracle(x: bit[N]) -> bit:
+        return x.and_reduce()
+
+    @qpu[N, I](oracle)
+    def grover_kernel(oracle: cfunc[N, 1]) -> bit[N]:
+        q = 'p'[N]
+        for _ in range(I):
+            q = q | oracle.sign | {'p'[N]} >> {-'p'[N]}
+        return q | std[N].measure
+
+    return grover_kernel[n, iterations]
+
+
+def simon(secret: Bits | str) -> QpuKernel:
+    """Simon's algorithm with a nonzero secret string.
+
+    The oracle is the standard construction f(x) = x if x_j = 0 else
+    x ^ s, where j is the index of the first set bit of s; as classical
+    logic, f(x) = x ^ (s & repeat(x_j)).
+    """
+    secret_bits = (
+        secret if isinstance(secret, Bits) else Bits.from_str(secret)
+    )
+    if not any(secret_bits):
+        raise ValueError("Simon's algorithm needs a nonzero secret")
+    pivot = next(i for i, v in enumerate(secret_bits) if v)
+    pivot_mask = Bits(
+        1 if i == pivot else 0 for i in range(len(secret_bits))
+    )
+
+    @classical[N](secret_bits, pivot_mask)
+    def f(s: bit[N], piv: bit[N], x: bit[N]) -> bit[N]:
+        return x ^ (s & (piv & x).xor_reduce().repeat(N))
+
+    @qpu[N](f)
+    def simon_kernel(f: cfunc[N, N]) -> bit[N]:
+        return 'p'[N] + '0'[N] | f.xor | pm[N].measure + std[N].discard
+
+    return simon_kernel
+
+
+def period_finding(n: int, mask: Bits | str | None = None) -> QpuKernel:
+    """QFT-based period finding with a bitmasking oracle."""
+    if mask is None:
+        mask_bits = Bits(0 if i == 0 else 1 for i in range(n))
+    else:
+        mask_bits = mask if isinstance(mask, Bits) else Bits.from_str(mask)
+
+    @classical[N](mask_bits)
+    def f(mask: bit[N], x: bit[N]) -> bit[N]:
+        return x & mask
+
+    @qpu[N](f)
+    def period_kernel(f: cfunc[N, N]) -> bit[N]:
+        return (
+            'p'[N] + '0'[N]
+            | f.xor
+            | (fourier[N] >> std[N]) + id[N]
+            | std[N].measure + std[N].discard
+        )
+
+    return period_kernel

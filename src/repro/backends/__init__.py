@@ -1,0 +1,6 @@
+"""Output backends: OpenQASM 3 and QIR (paper §7)."""
+
+from repro.backends.qasm3 import emit_qasm3
+from repro.backends.qir import count_callable_intrinsics, emit_qir
+
+__all__ = ["count_callable_intrinsics", "emit_qasm3", "emit_qir"]

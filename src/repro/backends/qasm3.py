@@ -1,0 +1,168 @@
+"""OpenQASM 3 emission (paper §7).
+
+Produced from the flat circuit (the reg2mem form): SSA values have
+already become quantum register accesses.  OpenQASM 3 does not support
+function pointers or qubit allocation inside subroutines, so this
+backend requires inlining to have succeeded — which the flat circuit
+guarantees by construction.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.errors import BackendError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+
+#: Gate spellings in the OpenQASM 3 standard library ("stdgates.inc").
+_QASM_NAMES = {
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "p": "p",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "swap": "swap",
+}
+
+
+def _gate_call(gate: CircuitGate) -> str:
+    name = _QASM_NAMES.get(gate.name)
+    if name is None:
+        if gate.name == "sxdg":
+            # Not in stdgates: spell as inv-modified sx.
+            name = "inv @ sx"
+        else:
+            raise BackendError(f"no OpenQASM spelling for gate {gate.name!r}")
+
+    prefix = ""
+    if gate.controls:
+        neg = sum(1 for s in gate.ctrl_states if s == 0)
+        pos = len(gate.controls) - neg
+        mods = []
+        if pos:
+            mods.append(f"ctrl({pos}) @" if pos > 1 else "ctrl @")
+        if neg:
+            mods.append(f"negctrl({neg}) @" if neg > 1 else "negctrl @")
+        prefix = " ".join(mods) + " "
+
+    params = ""
+    if gate.params:
+        params = "(" + ", ".join(f"{p:.12g}" for p in gate.params) + ")"
+
+    # Operand order: positive controls, negative controls, targets.
+    positives = [q for q, s in zip(gate.controls, gate.ctrl_states) if s == 1]
+    negatives = [q for q, s in zip(gate.controls, gate.ctrl_states) if s == 0]
+    operands = ", ".join(
+        f"q[{q}]" for q in positives + negatives + list(gate.targets)
+    )
+    return f"{prefix}{name}{params} {operands};"
+
+
+def emit_qasm3(circuit: Circuit, name: str = "kernel") -> str:
+    """Render the circuit as an OpenQASM 3 program."""
+    out = StringIO()
+    out.write("OPENQASM 3.0;\n")
+    out.write('include "stdgates.inc";\n')
+    out.write(f"// kernel: {name}\n")
+    if circuit.num_qubits:
+        out.write(f"qubit[{circuit.num_qubits}] q;\n")
+    if circuit.num_bits:
+        out.write(f"bit[{circuit.num_bits}] c;\n")
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate):
+            line = _gate_call(inst)
+            if inst.condition is not None:
+                bit, value = inst.condition
+                line = f"if (c[{bit}] == {value}) {{ {line} }}"
+            out.write(line + "\n")
+        elif isinstance(inst, Measurement):
+            out.write(f"c[{inst.bit}] = measure q[{inst.qubit}];\n")
+        elif isinstance(inst, Reset):
+            out.write(f"reset q[{inst.qubit}];\n")
+        else:
+            raise BackendError(f"unknown instruction {inst!r}")
+    return out.getvalue()
+
+
+def parse_qasm3(text: str) -> Circuit:
+    """Parse the subset of OpenQASM 3 this backend emits (round-trip
+    support, used by tests and the baseline pipeline)."""
+    import re
+
+    num_qubits = 0
+    num_bits = 0
+    circuit = Circuit(0, 0)
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("//") or line.startswith("OPENQASM"):
+            continue
+        if line.startswith("include"):
+            continue
+        match = re.match(r"qubit\[(\d+)\] q;", line)
+        if match:
+            num_qubits = int(match.group(1))
+            continue
+        match = re.match(r"bit\[(\d+)\] c;", line)
+        if match:
+            num_bits = int(match.group(1))
+            continue
+        condition = None
+        cond_match = re.match(r"if \(c\[(\d+)\] == (\d)\) \{ (.*) \}", line)
+        if cond_match:
+            condition = (int(cond_match.group(1)), int(cond_match.group(2)))
+            line = cond_match.group(3)
+        match = re.match(r"c\[(\d+)\] = measure q\[(\d+)\];", line)
+        if match:
+            circuit.add(Measurement(int(match.group(2)), int(match.group(1))))
+            continue
+        match = re.match(r"reset q\[(\d+)\];", line)
+        if match:
+            circuit.add(Reset(int(match.group(1))))
+            continue
+        circuit.add(_parse_gate_line(line, condition))
+    circuit.num_qubits = num_qubits
+    circuit.num_bits = num_bits
+    return circuit
+
+
+def _parse_gate_line(line: str, condition):
+    import re
+
+    pos_controls = 0
+    neg_controls = 0
+    rest = line
+    while True:
+        match = re.match(r"ctrl(\((\d+)\))? @ (.*)", rest)
+        if match:
+            pos_controls += int(match.group(2) or 1)
+            rest = match.group(3)
+            continue
+        match = re.match(r"negctrl(\((\d+)\))? @ (.*)", rest)
+        if match:
+            neg_controls += int(match.group(2) or 1)
+            rest = match.group(3)
+            continue
+        break
+    match = re.match(r"([a-z]+)(\(([^)]*)\))? (.*);", rest)
+    if not match:
+        raise BackendError(f"cannot parse gate line: {line!r}")
+    name = match.group(1)
+    params = tuple(
+        float(p) for p in match.group(3).split(",")
+    ) if match.group(3) else ()
+    qubits = [
+        int(q) for q in re.findall(r"q\[(\d+)\]", match.group(4))
+    ]
+    total_controls = pos_controls + neg_controls
+    controls = tuple(qubits[:total_controls])
+    states = (1,) * pos_controls + (0,) * neg_controls
+    targets = tuple(qubits[total_controls:])
+    return CircuitGate(name, targets, controls, params, states, condition)

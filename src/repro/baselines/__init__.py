@@ -1,0 +1,29 @@
+"""Baseline circuit-oriented compilers (paper §8).
+
+Handwritten gate-level implementations of the benchmark suite in three
+styles, reproducing the characteristic differences the paper attributes
+to each toolchain:
+
+* **Qiskit style** — textbook circuits; multi-controlled gates
+  decomposed with the costlier full-Toffoli ladder.
+* **Quipper style** — oracles synthesized from classical logic with one
+  ancilla per XOR (the paper credits tweedledum's avoidance of this
+  for ASDF's win, §8.3), and a renaming-based IQFT with no SWAP gates.
+* **Q# style** — Selinger's multi-control decomposition (like ASDF),
+  plus a Classic-QDK-like QIR callables lowering for Table 1.
+
+All baselines run through the same shared transpiler substitute
+(:mod:`repro.baselines.transpile`), mirroring the paper's methodology
+of optimizing every compiler's output with Qiskit -O3.
+"""
+
+from repro.baselines.circuits import BASELINE_STYLES, build_baseline
+from repro.baselines.transpile import transpile_o3
+from repro.baselines.qsharp_qir import qsharp_callable_counts
+
+__all__ = [
+    "BASELINE_STYLES",
+    "build_baseline",
+    "qsharp_callable_counts",
+    "transpile_o3",
+]

@@ -1,0 +1,214 @@
+"""Gate-level baseline implementations of the benchmark suite (§8)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algorithms.kernels import grover_iterations
+from repro.errors import SynthesisError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+
+BASELINE_STYLES = ("qiskit", "quipper", "qsharp")
+
+
+@dataclass
+class _CircuitBuilder:
+    """Imperative circuit construction helper for the baselines."""
+
+    style: str
+    circuit: Circuit = field(default_factory=lambda: Circuit(0, 0))
+
+    def qubits(self, count: int) -> list[int]:
+        start = self.circuit.num_qubits
+        self.circuit.num_qubits += count
+        return list(range(start, start + count))
+
+    def gate(self, name, targets, controls=(), params=(), ctrl_states=()):
+        self.circuit.add(
+            CircuitGate(
+                name,
+                tuple(targets),
+                tuple(controls),
+                tuple(params),
+                tuple(ctrl_states),
+            )
+        )
+
+    def h_layer(self, qubits) -> None:
+        for q in qubits:
+            self.gate("h", [q])
+
+    def minus_ancilla(self) -> int:
+        (q,) = self.qubits(1)
+        self.gate("x", [q])
+        self.gate("h", [q])
+        return q
+
+    def unminus_ancilla(self, q: int) -> None:
+        self.gate("h", [q])
+        self.gate("x", [q])
+
+    def measure_all(self, qubits) -> None:
+        for q in qubits:
+            bit = self.circuit.num_bits
+            self.circuit.num_bits += 1
+            self.circuit.add(Measurement(q, bit))
+            self.circuit.output_bits.append(bit)
+
+    # ------------------------------------------------------------------
+    # Oracle styles.
+    # ------------------------------------------------------------------
+    def parity_oracle(self, sources: list[int], target: int) -> None:
+        """target ^= XOR of sources, in the style's idiom."""
+        if self.style == "quipper":
+            # One ancilla per XOR: a chain of freshly allocated wires
+            # (the paper's explanation for Quipper's qubit counts).
+            if not sources:
+                return
+            previous = sources[0]
+            chain: list[int] = []
+            for source in sources[1:]:
+                (ancilla,) = self.qubits(1)
+                self.gate("x", [ancilla], [previous])
+                self.gate("x", [ancilla], [source])
+                chain.append(ancilla)
+                previous = ancilla
+            self.gate("x", [target], [previous])
+            # Uncompute the chain in reverse: each ancilla's
+            # predecessor must still hold its parity when undone.
+            predecessors = [sources[0]] + chain[:-1]
+            for source, ancilla, predecessor in reversed(
+                list(zip(sources[1:], chain, predecessors))
+            ):
+                self.gate("x", [ancilla], [predecessor])
+                self.gate("x", [ancilla], [source])
+        else:
+            for source in sources:
+                self.gate("x", [target], [source])
+
+    def and_oracle(self, sources: list[int], target: int) -> None:
+        """target ^= AND of sources (one big multi-controlled X)."""
+        self.gate("x", [target], sources)
+
+    def iqft(self, qubits: list[int]) -> list[int]:
+        """Inverse QFT; returns the (possibly renamed) output order.
+
+        Quipper uses renaming-based swaps (paper §8.3): no SWAP gates,
+        the caller reads the qubits in reversed order instead.
+        """
+        n = len(qubits)
+        if self.style == "quipper":
+            # Renaming form: the cascade conjugated by the bit-reversal
+            # relabeling, read out in reversed order — algebraically
+            # IQFT = swaps . (swaps . cascade_dagger . swaps).
+            wires = list(reversed(qubits))
+            order = list(reversed(qubits))
+        else:
+            for i in range(n // 2):
+                self.gate("swap", [qubits[i], qubits[n - 1 - i]])
+            wires = list(qubits)
+            order = list(qubits)
+        # Inverse-cascade body (adjoint of the QFT used in synthesis).
+        for i in reversed(range(n)):
+            for j in reversed(range(i + 1, n)):
+                angle = -math.pi / (2 ** (j - i))
+                self.gate("p", [wires[i]], [wires[j]], [angle])
+            self.gate("h", [wires[i]])
+        return order
+
+
+def build_baseline(algorithm: str, style: str, n: int) -> Circuit:
+    """Build one benchmark in one baseline style at input size ``n``."""
+    if style not in BASELINE_STYLES:
+        raise SynthesisError(f"unknown baseline style {style!r}")
+    builder = _CircuitBuilder(style)
+    if algorithm == "bv":
+        _bernstein_vazirani(builder, n)
+    elif algorithm == "dj":
+        _deutsch_jozsa(builder, n)
+    elif algorithm == "grover":
+        _grover(builder, n)
+    elif algorithm == "simon":
+        _simon(builder, n)
+    elif algorithm == "period":
+        _period(builder, n)
+    else:
+        raise SynthesisError(f"unknown algorithm {algorithm!r}")
+    return builder.circuit
+
+
+def _bernstein_vazirani(builder: _CircuitBuilder, n: int) -> None:
+    secret = [1 - (i % 2) for i in range(n)]  # Alternating 1010...
+    data = builder.qubits(n)
+    target = builder.minus_ancilla()
+    builder.h_layer(data)
+    builder.parity_oracle(
+        [q for q, s in zip(data, secret) if s], target
+    )
+    builder.h_layer(data)
+    builder.unminus_ancilla(target)
+    builder.measure_all(data)
+
+
+def _deutsch_jozsa(builder: _CircuitBuilder, n: int) -> None:
+    data = builder.qubits(n)
+    target = builder.minus_ancilla()
+    builder.h_layer(data)
+    builder.parity_oracle(data, target)  # Balanced: XOR of all bits.
+    builder.h_layer(data)
+    builder.unminus_ancilla(target)
+    builder.measure_all(data)
+
+
+def _grover(builder: _CircuitBuilder, n: int) -> None:
+    data = builder.qubits(n)
+    target = builder.minus_ancilla()
+    builder.h_layer(data)
+    for _ in range(grover_iterations(n)):
+        builder.and_oracle(data, target)  # All-ones oracle.
+        # Textbook diffuser: H X (n-1)-controlled Z X H.
+        builder.h_layer(data)
+        for q in data:
+            builder.gate("x", [q])
+        builder.gate("h", [data[-1]])
+        builder.gate("x", [data[-1]], data[:-1])
+        builder.gate("h", [data[-1]])
+        for q in data:
+            builder.gate("x", [q])
+        builder.h_layer(data)
+    builder.unminus_ancilla(target)
+    builder.measure_all(data)
+
+
+def _simon(builder: _CircuitBuilder, n: int) -> None:
+    secret = [1 - (i % 2) for i in range(n)]  # Alternating 1010...
+    pivot = 0
+    data = builder.qubits(n)
+    output = builder.qubits(n)
+    builder.h_layer(data)
+    # f(x) = x ^ (s & x_pivot): each output bit is a parity of one or
+    # two inputs, synthesized in the style's oracle idiom.
+    for index, (x_qubit, y_qubit) in enumerate(zip(data, output)):
+        # f_i = x_i ^ (s_i & x_pivot); x_pivot ^ x_pivot cancels.
+        sources = [x_qubit]
+        if secret[index]:
+            if index == pivot:
+                sources = []
+            else:
+                sources.append(data[pivot])
+        builder.parity_oracle(sources, y_qubit)
+    builder.h_layer(data)
+    builder.measure_all(data)
+
+
+def _period(builder: _CircuitBuilder, n: int) -> None:
+    mask = [0 if i == 0 else 1 for i in range(n)]
+    data = builder.qubits(n)
+    output = builder.qubits(n)
+    builder.h_layer(data)
+    for x_qubit, y_qubit, m_bit in zip(data, output, mask):
+        if m_bit:
+            builder.parity_oracle([x_qubit], y_qubit)
+    order = builder.iqft(data)
+    builder.measure_all(order)

@@ -1,0 +1,33 @@
+"""The shared transpiler substitute (paper §8.3, methodology step 2).
+
+The paper optimizes every compiler's assembly with the Qiskit -O3
+transpiler before resource estimation.  The equivalent here: decompose
+multi-controlled gates with the style's decomposition (Selinger for
+ASDF/Q#, the full-Toffoli ladder for Qiskit/Quipper), then run the
+shared gate-cancellation peephole (without ASDF's relaxed peephole,
+which is a compiler feature rather than a transpiler one).
+"""
+
+from __future__ import annotations
+
+from repro.qcircuit import (
+    Circuit,
+    decompose_multi_controlled,
+    run_peephole,
+)
+
+#: Which decomposition each toolchain uses (paper §8.3 credits
+#: Selinger's scheme for ASDF's and Q#'s Grover win).
+STYLE_USES_SELINGER = {
+    "asdf": True,
+    "qsharp": True,
+    "qiskit": False,
+    "quipper": False,
+}
+
+
+def transpile_o3(circuit: Circuit, style: str = "asdf") -> Circuit:
+    """Decompose and optimize one compiler's output circuit."""
+    use_selinger = STYLE_USES_SELINGER.get(style, True)
+    decomposed = decompose_multi_controlled(circuit, use_selinger=use_selinger)
+    return run_peephole(decomposed, relaxed=False)

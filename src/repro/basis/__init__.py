@@ -1,0 +1,26 @@
+"""Bases, basis vectors and basis literals (paper §2.2) plus span checking.
+
+This package implements the data model behind Qwerty's basis-oriented
+primitives: the four primitive bases (``std``, ``pm``, ``ij``,
+``fourier``), basis vectors with eigenbits and phases, basis literals,
+canon-form bases, the factoring machinery of Appendix B, and the
+polynomial-time span equivalence checker of §4.1.
+"""
+
+from repro.basis.primitive import PrimitiveBasis
+from repro.basis.vector import BasisVector
+from repro.basis.literal import BasisLiteral
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.basis import Basis, BasisElement
+from repro.basis.span import check_span_equivalence, spans_equal
+
+__all__ = [
+    "PrimitiveBasis",
+    "BasisVector",
+    "BasisLiteral",
+    "BuiltinBasis",
+    "Basis",
+    "BasisElement",
+    "check_span_equivalence",
+    "spans_equal",
+]

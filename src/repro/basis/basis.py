@@ -1,0 +1,115 @@
+"""Canon-form bases (paper §2.2).
+
+A canon form of a basis is a sequence (tensor product) of *basis
+elements*, each either a :class:`BasisLiteral` or a
+:class:`BuiltinBasis`.  Any Qwerty basis can be written in canon form,
+and :class:`Basis` is exactly that form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.literal import BasisLiteral
+from repro.basis.primitive import PrimitiveBasis
+from repro.basis.vector import BasisVector
+from repro.errors import BasisError
+
+BasisElement = Union[BasisLiteral, BuiltinBasis]
+
+
+@dataclass(frozen=True)
+class Basis:
+    """A basis in canon form: a tensor product of basis elements."""
+
+    elements: tuple[BasisElement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise BasisError("a basis must contain at least one element")
+
+    @classmethod
+    def of(cls, *elements: BasisElement) -> "Basis":
+        return cls(tuple(elements))
+
+    @classmethod
+    def builtin(cls, prim: PrimitiveBasis, dim: int) -> "Basis":
+        return cls((BuiltinBasis(prim, dim),))
+
+    @classmethod
+    def literal(cls, *vectors: BasisVector | str) -> "Basis":
+        return cls((BasisLiteral.of(*vectors),))
+
+    @property
+    def dim(self) -> int:
+        """Total number of qubits the basis spans."""
+        return sum(element.dim for element in self.elements)
+
+    @property
+    def fully_spans(self) -> bool:
+        return all(element.fully_spans for element in self.elements)
+
+    @property
+    def has_phases(self) -> bool:
+        return any(element.has_phases for element in self.elements)
+
+    def tensor(self, other: "Basis") -> "Basis":
+        """Tensor product ``b1 + b2``: concatenation of canon elements."""
+        return Basis(self.elements + other.elements)
+
+    def broadcast(self, n: int) -> "Basis":
+        """N-fold tensor power ``b[N]``."""
+        if n < 1:
+            raise BasisError("broadcast count must be >= 1")
+        return Basis(self.elements * n)
+
+    def normalized_elements(self) -> list[BasisElement]:
+        """Each element normalized: phases stripped, vectors sorted."""
+        return [element.normalized() for element in self.elements]
+
+    def without_phases(self) -> "Basis":
+        return Basis(
+            tuple(
+                element.without_phases()
+                if isinstance(element, BasisLiteral)
+                else element
+                for element in self.elements
+            )
+        )
+
+    def element_ranges(self) -> list[tuple[BasisElement, int, int]]:
+        """Each element with its (start, stop) qubit offsets."""
+        ranges = []
+        offset = 0
+        for element in self.elements:
+            ranges.append((element, offset, offset + element.dim))
+            offset += element.dim
+        return ranges
+
+    def __str__(self) -> str:
+        return " + ".join(str(element) for element in self.elements)
+
+    def __iter__(self) -> Iterable[BasisElement]:
+        return iter(self.elements)
+
+
+def std(dim: int = 1) -> Basis:
+    """The standard (Z eigen-) basis on ``dim`` qubits."""
+    return Basis.builtin(PrimitiveBasis.STD, dim)
+
+
+def pm(dim: int = 1) -> Basis:
+    """The X eigenbasis (|+>/|->) on ``dim`` qubits."""
+    return Basis.builtin(PrimitiveBasis.PM, dim)
+
+
+def ij(dim: int = 1) -> Basis:
+    """The Y eigenbasis (|i>/|j>) on ``dim`` qubits."""
+    return Basis.builtin(PrimitiveBasis.IJ, dim)
+
+
+def fourier(dim: int) -> Basis:
+    """The N-qubit Fourier basis."""
+    return Basis.builtin(PrimitiveBasis.FOURIER, dim)

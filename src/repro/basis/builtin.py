@@ -1,0 +1,37 @@
+"""Built-in bases: N-qubit primitive bases such as ``pm[4]`` (paper §2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basis.primitive import PrimitiveBasis
+from repro.errors import BasisError
+
+
+@dataclass(frozen=True)
+class BuiltinBasis:
+    """An N-qubit primitive basis, e.g. ``std[3]`` or ``fourier[2]``."""
+
+    prim: PrimitiveBasis
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise BasisError("built-in bases must have dimension >= 1")
+
+    @property
+    def fully_spans(self) -> bool:
+        """Built-in bases always span the full space."""
+        return True
+
+    @property
+    def has_phases(self) -> bool:
+        return False
+
+    def normalized(self) -> "BuiltinBasis":
+        return self
+
+    def __str__(self) -> str:
+        if self.dim == 1:
+            return str(self.prim)
+        return f"{self.prim}[{self.dim}]"

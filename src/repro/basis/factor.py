@@ -1,0 +1,145 @@
+"""Factoring of basis elements (paper Appendix B, Algorithms B3 and B4).
+
+Factoring is the opposite of taking Cartesian products of vector lists:
+given a basis literal ``bl`` it recovers a prefix/suffix tensor
+decomposition when one exists.  It is the key to polynomial-time span
+equivalence checking (§4.1) and to basis alignment (Appendix F).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.basis.literal import BasisLiteral
+from repro.basis.vector import BasisVector
+
+
+def factor_fully_spanning(
+    literal: BasisLiteral, n: int
+) -> Optional[BasisLiteral]:
+    """Algorithm B3: factor ``std[n]``/``pm[n]``/``ij[n]`` from ``literal``.
+
+    Checks whether the span of ``literal`` equals the full ``n``-qubit
+    space tensored with the span of some remainder, and returns that
+    remainder (the distinct suffixes) on success or ``None`` on failure.
+    Bit operations are on eigenbits; the primitive basis of a fully
+    spanning factor is irrelevant to spans (Lemma B.2).
+    """
+    m = len(literal.vectors)
+    if n <= 0 or n >= literal.dim:
+        return None
+    # Corollary B.4 short-circuit: 2^n must divide m.
+    if m % (2**n) != 0:
+        return None
+    prefixes = {vec.eigenbits[:n] for vec in literal.vectors}
+    if len(prefixes) < 2**n:
+        return None
+    suffix_counts = Counter(vec.eigenbits[n:] for vec in literal.vectors)
+    if any(count < 2**n for count in suffix_counts.values()):
+        return None
+    remainder = tuple(
+        sorted(BasisVector(bits, literal.prim) for bits in suffix_counts)
+    )
+    return BasisLiteral(remainder)
+
+
+def factor_literal(
+    literal: BasisLiteral, small: BasisLiteral
+) -> Optional[BasisLiteral]:
+    """Algorithm B4: factor the basis literal ``small`` from ``literal``.
+
+    Both literals must be normalized (phases stripped).  Returns the
+    remainder literal (the distinct suffixes) on success or ``None``.
+    """
+    if literal.prim is not small.prim:
+        return None
+    m = len(literal.vectors)
+    m_small = len(small.vectors)
+    if m % m_small != 0:
+        return None
+    n = small.dim
+    if n >= literal.dim:
+        return None
+    small_bits = {vec.eigenbits for vec in small.vectors}
+    prefixes = {vec.eigenbits[:n] for vec in literal.vectors}
+    if len(prefixes) < m_small or any(pre not in small_bits for pre in prefixes):
+        return None
+    suffix_counts = Counter(vec.eigenbits[n:] for vec in literal.vectors)
+    if any(count < m_small for count in suffix_counts.values()):
+        return None
+    remainder = tuple(
+        sorted(BasisVector(bits, literal.prim) for bits in suffix_counts)
+    )
+    return BasisLiteral(remainder)
+
+
+def factor_prefix_ordered(
+    literal: BasisLiteral, n: int
+) -> Optional[tuple[BasisLiteral, BasisLiteral]]:
+    """Factor ``literal`` into prefix (x) suffix *preserving vector order*.
+
+    Basis alignment (Appendix F) needs factorizations that are equal to
+    the original literal as an *ordered* list, because the i-th vector
+    of each side of a translation corresponds to the i-th vector of the
+    other.  Succeeds only when ``literal`` is exactly the row-major
+    Cartesian product of its distinct prefixes (in first-appearance
+    order) and the suffixes of the first prefix block (in order).
+    """
+    if n <= 0 or n >= literal.dim:
+        return None
+    m = len(literal.vectors)
+    prefixes: list[tuple[int, ...]] = []
+    for vec in literal.vectors:
+        pre = vec.eigenbits[:n]
+        if pre not in prefixes:
+            prefixes.append(pre)
+    if m % len(prefixes) != 0:
+        return None
+    block = m // len(prefixes)
+    suffixes = [vec.eigenbits[n:] for vec in literal.vectors[:block]]
+    if len(set(suffixes)) != block:
+        return None
+    expected = [
+        pre + suf for pre in prefixes for suf in suffixes
+    ]
+    if [vec.eigenbits for vec in literal.vectors] != expected:
+        return None
+    prefix = BasisLiteral(
+        tuple(BasisVector(bits, literal.prim) for bits in prefixes)
+    )
+    remainder = BasisLiteral(
+        tuple(BasisVector(bits, literal.prim) for bits in suffixes)
+    )
+    return prefix, remainder
+
+
+def factor_prefix(
+    literal: BasisLiteral, n: int
+) -> Optional[tuple[BasisLiteral, BasisLiteral]]:
+    """Factor ``literal`` into an ``n``-qubit prefix literal and a remainder.
+
+    Used by basis alignment (Algorithm E7, line 25): succeeds only when
+    ``literal`` is exactly the Cartesian product of its distinct
+    prefixes and distinct suffixes.  Returns ``(prefix, remainder)`` or
+    ``None``.
+    """
+    if n <= 0 or n >= literal.dim:
+        return None
+    prefix_counts = Counter(vec.eigenbits[:n] for vec in literal.vectors)
+    suffix_counts = Counter(vec.eigenbits[n:] for vec in literal.vectors)
+    m = len(literal.vectors)
+    if len(prefix_counts) * len(suffix_counts) != m:
+        return None
+    pairs = {(vec.eigenbits[:n], vec.eigenbits[n:]) for vec in literal.vectors}
+    for pre in prefix_counts:
+        for suf in suffix_counts:
+            if (pre, suf) not in pairs:
+                return None
+    prefix = BasisLiteral(
+        tuple(sorted(BasisVector(bits, literal.prim) for bits in prefix_counts))
+    )
+    remainder = BasisLiteral(
+        tuple(sorted(BasisVector(bits, literal.prim) for bits in suffix_counts))
+    )
+    return prefix, remainder

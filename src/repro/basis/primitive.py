@@ -1,0 +1,67 @@
+"""The four primitive bases of Qwerty (paper §2.2).
+
+``std`` is the Z eigenbasis |0>/|1>, ``pm`` the X eigenbasis |+>/|->,
+``ij`` the Y eigenbasis |i>/|j>, and ``fourier`` the N-qubit Fourier
+basis.  The first vector of each single-qubit pair is the *plus
+eigenstate* and the second the *minus eigenstate*; the *eigenbit* of a
+position is 1 exactly when the position is a minus eigenstate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PrimitiveBasis(enum.Enum):
+    """One of Qwerty's four primitive bases."""
+
+    STD = "std"
+    PM = "pm"
+    IJ = "ij"
+    FOURIER = "fourier"
+
+    @property
+    def is_separable(self) -> bool:
+        """Whether an N-qubit built-in basis of this primitive basis can be
+        written as a tensor product of single-qubit bases.
+
+        The Fourier basis is the only inseparable primitive basis
+        (paper Appendix E).
+        """
+        return self is not PrimitiveBasis.FOURIER
+
+    @property
+    def plus_char(self) -> str:
+        """The qubit-literal character of the plus eigenstate."""
+        return {
+            PrimitiveBasis.STD: "0",
+            PrimitiveBasis.PM: "p",
+            PrimitiveBasis.IJ: "i",
+        }[self]
+
+    @property
+    def minus_char(self) -> str:
+        """The qubit-literal character of the minus eigenstate."""
+        return {
+            PrimitiveBasis.STD: "1",
+            PrimitiveBasis.PM: "m",
+            PrimitiveBasis.IJ: "j",
+        }[self]
+
+    def char_for_eigenbit(self, eigenbit: int) -> str:
+        """Return the qubit-literal character for the given eigenbit."""
+        return self.minus_char if eigenbit else self.plus_char
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Map from qubit-literal character to ``(primitive basis, eigenbit)``.
+CHAR_TO_PRIM_EIGENBIT: dict[str, tuple[PrimitiveBasis, int]] = {
+    "0": (PrimitiveBasis.STD, 0),
+    "1": (PrimitiveBasis.STD, 1),
+    "p": (PrimitiveBasis.PM, 0),
+    "m": (PrimitiveBasis.PM, 1),
+    "i": (PrimitiveBasis.IJ, 0),
+    "j": (PrimitiveBasis.IJ, 1),
+}

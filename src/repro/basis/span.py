@@ -1,0 +1,106 @@
+"""Span equivalence checking (paper §4.1 and Appendix B, Algorithm B1).
+
+A basis translation ``b_in >> b_out`` type checks only if
+``span(b_in) = span(b_out)``.  Even simple bases may represent
+exponentially many vectors (e.g. ``{'0','1'}[64]``), so this module
+checks span equivalence in O(k^2 log k) time for k AST nodes by
+*factoring* basis elements (Appendix B) instead of enumerating vectors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.basis.basis import Basis, BasisElement
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.factor import factor_fully_spanning, factor_literal
+from repro.basis.literal import BasisLiteral
+from repro.errors import SpanCheckError
+
+
+def _elements_equal(left: BasisElement, right: BasisElement) -> bool:
+    """Equality of normalized basis elements.
+
+    Normalization has already stripped phases and sorted vectors, so
+    structural equality suffices.  A built-in basis never compares
+    equal to a literal here; both-fully-span handles that case.
+    """
+    return left == right
+
+
+def _factor(
+    big: BasisElement, small: BasisElement
+) -> Optional[BasisElement]:
+    """Algorithm B2: factor ``small`` from ``big``; return the remainder.
+
+    Returns the basis element to push back onto ``big``'s deque, or
+    ``None`` if factoring fails.
+    """
+    delta = big.dim - small.dim
+    if big.fully_spans and small.fully_spans:
+        # Lemmas B.1/B.2: remainder is a fully spanning basis of the
+        # big element's primitive basis.
+        if isinstance(big, BuiltinBasis):
+            return BuiltinBasis(big.prim, delta)
+        return BuiltinBasis(big.prim, delta)
+    if small.fully_spans and isinstance(big, BasisLiteral):
+        return factor_fully_spanning(big, small.dim)
+    if isinstance(big, BasisLiteral) and isinstance(small, BasisLiteral):
+        return factor_literal(big, small)
+    return None  # Fallthrough failure.
+
+
+def spans_equal(b_in: Basis, b_out: Basis) -> bool:
+    """Whether ``span(b_in) == span(b_out)`` (Algorithm B1)."""
+    try:
+        check_span_equivalence(b_in, b_out)
+    except SpanCheckError:
+        return False
+    return True
+
+
+def check_span_equivalence(b_in: Basis, b_out: Basis) -> None:
+    """Raise :class:`SpanCheckError` unless ``span(b_in) == span(b_out)``.
+
+    This is Algorithm B1: both sides are normalized into deques of
+    basis elements; at each step the front elements either match
+    directly (equal, or both fully spanning) or the larger is factored
+    by the smaller.
+    """
+    ldeque: deque[BasisElement] = deque(b_in.normalized_elements())
+    rdeque: deque[BasisElement] = deque(b_out.normalized_elements())
+
+    while ldeque and rdeque:
+        left = ldeque.popleft()
+        right = rdeque.popleft()
+        if left.dim == right.dim:
+            if _elements_equal(left, right) or (
+                left.fully_spans and right.fully_spans
+            ):
+                continue
+            raise SpanCheckError(
+                f"basis elements {left} and {right} have equal dimension but "
+                f"are neither identical nor both fully spanning"
+            )
+        if left.dim > right.dim:
+            big, small, bigdeque = left, right, ldeque
+        else:
+            big, small, bigdeque = right, left, rdeque
+        if not small.fully_spans and not _could_factor_literals(big, small):
+            raise SpanCheckError(
+                f"cannot factor {small} from {big}: spans differ"
+            )
+        remainder = _factor(big, small)
+        if remainder is None:
+            raise SpanCheckError(f"cannot factor {small} from {big}: spans differ")
+        bigdeque.appendleft(remainder)
+
+    if ldeque or rdeque:
+        leftover = " + ".join(str(e) for e in (ldeque or rdeque))
+        raise SpanCheckError(f"dimension mismatch: leftover basis {leftover}")
+
+
+def _could_factor_literals(big: BasisElement, small: BasisElement) -> bool:
+    """Whether the both-literals factoring case could apply."""
+    return isinstance(big, BasisLiteral) and isinstance(small, BasisLiteral)

@@ -1,0 +1,126 @@
+"""Basis vectors (paper §2.2).
+
+A basis vector is a qubit literal with an optional unit scalar phase
+factor, written ``bv@theta`` in Qwerty (theta in degrees) or ``-bv``
+for a 180-degree phase.  Inside a well-typed basis literal all
+positions of all vectors share one primitive basis, so a
+:class:`BasisVector` stores a single primitive basis together with its
+eigenbits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basis.primitive import CHAR_TO_PRIM_EIGENBIT, PrimitiveBasis
+from repro.errors import BasisError
+
+
+def _normalize_phase(phase_degrees: float) -> float:
+    """Map a phase in degrees into [0, 360)."""
+    phase = phase_degrees % 360.0
+    # Avoid -0.0 so equality and hashing behave.
+    return phase + 0.0
+
+
+@dataclass(frozen=True, order=True)
+class BasisVector:
+    """One vector of a basis literal.
+
+    Attributes:
+        eigenbits: tuple of 0/1 ints, one per qubit position, 1 exactly
+            when the position is the minus eigenstate of ``prim``.
+        prim: the primitive basis shared by every position.
+        phase: optional phase factor in degrees (``bv@theta``).
+    """
+
+    eigenbits: tuple[int, ...]
+    prim: PrimitiveBasis
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prim is PrimitiveBasis.FOURIER:
+            raise BasisError("basis vectors cannot use the fourier basis")
+        if not self.eigenbits:
+            raise BasisError("basis vectors must have dimension >= 1")
+        if any(bit not in (0, 1) for bit in self.eigenbits):
+            raise BasisError("eigenbits must be 0 or 1")
+        object.__setattr__(self, "phase", _normalize_phase(self.phase))
+
+    @classmethod
+    def from_chars(cls, chars: str, phase: float = 0.0) -> "BasisVector":
+        """Build a vector from qubit-literal characters such as ``'10'``.
+
+        All characters must belong to the same primitive basis; mixed
+        literals like ``'p0'`` are valid *qubit literals* (state
+        preparation) but not valid basis-literal vectors.
+        """
+        if not chars:
+            raise BasisError("empty qubit literal")
+        prims = set()
+        eigenbits = []
+        for ch in chars:
+            if ch not in CHAR_TO_PRIM_EIGENBIT:
+                raise BasisError(f"invalid qubit literal character {ch!r}")
+            prim, eigenbit = CHAR_TO_PRIM_EIGENBIT[ch]
+            prims.add(prim)
+            eigenbits.append(eigenbit)
+        if len(prims) != 1:
+            raise BasisError(
+                f"basis vector {chars!r} mixes primitive bases "
+                f"({', '.join(sorted(p.value for p in prims))})"
+            )
+        return cls(tuple(eigenbits), prims.pop(), phase)
+
+    @property
+    def dim(self) -> int:
+        """Number of qubits this vector spans."""
+        return len(self.eigenbits)
+
+    @property
+    def has_phase(self) -> bool:
+        return self.phase != 0.0
+
+    @property
+    def eigenbits_int(self) -> int:
+        """Eigenbits as an integer, leftmost position most significant."""
+        value = 0
+        for bit in self.eigenbits:
+            value = (value << 1) | bit
+        return value
+
+    def without_phase(self) -> "BasisVector":
+        """The same vector with its phase stripped (normalization)."""
+        if not self.has_phase:
+            return self
+        return BasisVector(self.eigenbits, self.prim)
+
+    def prefix(self, n: int) -> "BasisVector":
+        """The first ``n`` positions of this vector (phase dropped)."""
+        return BasisVector(self.eigenbits[:n], self.prim)
+
+    def suffix_from(self, n: int) -> "BasisVector":
+        """Positions ``n`` onward of this vector (phase dropped)."""
+        return BasisVector(self.eigenbits[n:], self.prim)
+
+    def concat(self, other: "BasisVector") -> "BasisVector":
+        """Tensor product of two vectors of the same primitive basis."""
+        if self.prim is not other.prim:
+            raise BasisError("cannot concatenate vectors of different bases")
+        return BasisVector(
+            self.eigenbits + other.eigenbits,
+            self.prim,
+            self.phase + other.phase,
+        )
+
+    def chars(self) -> str:
+        """The qubit-literal characters for this vector."""
+        return "".join(self.prim.char_for_eigenbit(bit) for bit in self.eigenbits)
+
+    def __str__(self) -> str:
+        text = f"'{self.chars()}'"
+        if self.phase == 180.0:
+            return f"-{text}"
+        if self.has_phase:
+            return f"{text}@{self.phase:g}"
+        return text

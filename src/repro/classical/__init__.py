@@ -1,0 +1,26 @@
+"""Classical logic networks and reversible oracle synthesis (paper §6.4).
+
+ASDF converts ``@classical`` functions to logic networks in mockturtle,
+optimizes them, and has tweedledum generate a Bennett embedding
+``U_f |x>|y> = |x>|y + f(x)>``.  This package is the from-scratch
+substitute: an XOR-AND graph (XAG) with hash-consing and constant
+folding (:mod:`repro.classical.network`), and embedding synthesis that
+implements XORs with CNOTs (no ancillas) and ANDs with multi-controlled
+X gates (:mod:`repro.classical.embed`) — the ancilla-frugal strategy
+the paper credits for beating Quipper's oracle synthesis (§8.3).
+"""
+
+from repro.classical.network import LogicNetwork, Signal
+from repro.classical.embed import (
+    EmbeddedOracle,
+    synthesize_sign_embedding,
+    synthesize_xor_embedding,
+)
+
+__all__ = [
+    "EmbeddedOracle",
+    "LogicNetwork",
+    "Signal",
+    "synthesize_sign_embedding",
+    "synthesize_xor_embedding",
+]

@@ -1,0 +1,203 @@
+"""Reversible embeddings of classical functions (paper §6.4).
+
+:func:`synthesize_xor_embedding` produces the Bennett embedding
+``U_f |x>|y> = |x>|y + f(x)>``: XOR structure becomes CNOT chains with
+no ancillas; AND trees collapse into a single multi-controlled X whose
+controls are (possibly complemented) literals; non-literal AND operands
+are computed into ancillas, used, then uncomputed (Bennett's trick,
+ref. [5]).
+
+:func:`synthesize_sign_embedding` produces
+``U'_f |x> = (-1)^{f(x)} |x>`` by pointing the Bennett embedding at a
+|-> ancilla (the form the relaxed peephole of §6.5 later rewrites into
+an ancilla-free multi-controlled Z).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classical.network import LogicNetwork, Signal
+from repro.errors import SynthesisError
+from repro.qcircuit.circuit import CircuitGate
+
+
+@dataclass
+class EmbeddedOracle:
+    """A synthesized oracle fragment.
+
+    Qubits are indexed: inputs ``0..num_inputs-1``, then outputs
+    ``num_inputs..num_inputs+num_outputs-1``, then ancillas.  Ancillas
+    start and end in |0> (|-> ancillas are prepared and unprepared by
+    explicit gates inside ``gates``).
+    """
+
+    num_inputs: int
+    num_outputs: int
+    num_ancillas: int
+    gates: list[CircuitGate] = field(default_factory=list)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_inputs + self.num_outputs + self.num_ancillas
+
+
+class _Emitter:
+    def __init__(self, network: LogicNetwork, num_outputs: int) -> None:
+        self.network = network
+        self.num_inputs = network.num_inputs
+        self.num_outputs = num_outputs
+        self.gates: list[CircuitGate] = []
+        self.num_ancillas = 0
+        self._free_ancillas: list[int] = []
+        #: Maps pi node id -> input qubit.
+        self._pi_qubits = {
+            signal.node: index
+            for index, signal in enumerate(network.inputs)
+        }
+
+    def alloc_ancilla(self) -> int:
+        if self._free_ancillas:
+            return self._free_ancillas.pop()
+        qubit = self.num_inputs + self.num_outputs + self.num_ancillas
+        self.num_ancillas += 1
+        return qubit
+
+    def free_ancilla(self, qubit: int) -> None:
+        self._free_ancillas.append(qubit)
+
+    # ------------------------------------------------------------------
+    def literal_of(self, signal: Signal) -> tuple[int, int] | None:
+        """(qubit, control state) if the signal is a PI literal."""
+        node = self.network.node(signal)
+        if node.kind == "pi":
+            return self._pi_qubits[signal.node], 0 if signal.complemented else 1
+        return None
+
+    def flatten_and(self, signal: Signal) -> list[Signal]:
+        """The operand leaves of a maximal AND tree rooted at ``signal``."""
+        node = self.network.node(signal)
+        if node.kind == "and" and not signal.complemented:
+            leaves: list[Signal] = []
+            for operand in node.operands:
+                leaves.extend(self.flatten_and(operand))
+            return leaves
+        return [signal]
+
+    def flatten_xor(self, signal: Signal) -> tuple[list[Signal], bool]:
+        """The leaves of a maximal XOR tree, plus a parity complement."""
+        node = self.network.node(signal)
+        if node.kind == "xor":
+            leaves: list[Signal] = []
+            parity = signal.complemented
+            for operand in node.operands:
+                sub_leaves, sub_parity = self.flatten_xor(
+                    Signal(operand.node, operand.complemented)
+                )
+                leaves.extend(sub_leaves)
+                parity ^= sub_parity
+            return leaves, parity
+        return [Signal(signal.node)], signal.complemented
+
+    # ------------------------------------------------------------------
+    def emit_xor_into(self, signal: Signal, target: int) -> None:
+        """``target ^= signal`` as gates."""
+        node = self.network.node(signal)
+        if node.kind == "const":
+            if signal.complemented:
+                self.gates.append(CircuitGate("x", (target,)))
+            return
+        if node.kind == "pi":
+            self.gates.append(
+                CircuitGate("x", (target,), (self._pi_qubits[signal.node],))
+            )
+            if signal.complemented:
+                self.gates.append(CircuitGate("x", (target,)))
+            return
+        if node.kind == "xor":
+            leaves, parity = self.flatten_xor(signal)
+            for leaf in leaves:
+                self.emit_xor_into(leaf, target)
+            if parity:
+                self.gates.append(CircuitGate("x", (target,)))
+            return
+        # AND tree: gather literal controls; compute non-literal
+        # operands into ancillas (Bennett compute/uncompute).
+        if signal.complemented:
+            self.emit_xor_into(~signal, target)
+            self.gates.append(CircuitGate("x", (target,)))
+            return
+        leaves = self.flatten_and(signal)
+        controls: list[int] = []
+        states: list[int] = []
+        computed: list[tuple[Signal, int]] = []
+        for leaf in leaves:
+            literal = self.literal_of(leaf)
+            if literal is not None:
+                qubit, state = literal
+                if qubit in controls:
+                    index = controls.index(qubit)
+                    if states[index] != state:
+                        # x & ~x: constant false (normally folded away).
+                        self._uncompute(computed)
+                        return
+                    continue
+                controls.append(qubit)
+                states.append(state)
+            else:
+                ancilla = self.alloc_ancilla()
+                self.emit_xor_into(leaf, ancilla)
+                computed.append((leaf, ancilla))
+                controls.append(ancilla)
+                states.append(1)
+        self.gates.append(
+            CircuitGate("x", (target,), tuple(controls), (), tuple(states))
+        )
+        self._uncompute(computed)
+
+    def _uncompute(self, computed: list[tuple[Signal, int]]) -> None:
+        for leaf, ancilla in reversed(computed):
+            start = len(self.gates)
+            self.emit_xor_into(leaf, ancilla)
+            # Re-emitting the same computation is its own inverse here
+            # (all gates are X/MCX chains), but reverse for safety.
+            tail = self.gates[start:]
+            self.gates[start:] = list(reversed(tail))
+            self.free_ancilla(ancilla)
+
+
+def synthesize_xor_embedding(network: LogicNetwork) -> EmbeddedOracle:
+    """The Bennett embedding ``|x>|y> -> |x>|y + f(x)>``."""
+    if not network.outputs:
+        raise SynthesisError("network has no outputs")
+    emitter = _Emitter(network, len(network.outputs))
+    for index, output in enumerate(network.outputs):
+        target = emitter.num_inputs + index
+        emitter.emit_xor_into(output, target)
+    return EmbeddedOracle(
+        emitter.num_inputs,
+        emitter.num_outputs,
+        emitter.num_ancillas,
+        emitter.gates,
+    )
+
+
+def synthesize_sign_embedding(network: LogicNetwork) -> EmbeddedOracle:
+    """The sign form ``|x> -> (-1)^{f(x)} |x>`` via a |-> ancilla.
+
+    Emitted literally as prepare-|->, Bennett-embed, unprepare-|->;
+    the relaxed peephole optimization (paper §6.5, Fig. 10) rewrites
+    this into a multi-controlled Z without the ancilla.
+    """
+    if len(network.outputs) != 1:
+        raise SynthesisError("sign embedding requires a single-output function")
+    emitter = _Emitter(network, 0)
+    target = emitter.alloc_ancilla()  # The |-> ancilla.
+    emitter.gates.append(CircuitGate("x", (target,)))
+    emitter.gates.append(CircuitGate("h", (target,)))
+    emitter.emit_xor_into(network.outputs[0], target)
+    emitter.gates.append(CircuitGate("h", (target,)))
+    emitter.gates.append(CircuitGate("x", (target,)))
+    return EmbeddedOracle(
+        emitter.num_inputs, 0, emitter.num_ancillas, emitter.gates
+    )

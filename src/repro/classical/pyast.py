@@ -1,0 +1,191 @@
+"""Converting ``@classical`` Python functions to logic networks (§6.4).
+
+Supported surface syntax inside ``@classical`` functions: parameters
+annotated ``bit[N]``; bitwise ``&``, ``|``, ``^``, ``~``; indexing
+``x[i]`` and slicing ``x[i:j]``; concatenation via ``+``; the reduction
+methods ``.xor_reduce()``, ``.and_reduce()``, ``.or_reduce()``; and
+``.repeat(k)`` broadcasting one bit.  Captured values (classical bit
+strings) become constants, which the network's constant folding then
+propagates — this is how the Bernstein–Vazirani oracle
+``(secret & x).xor_reduce()`` collapses to a bare parity of the
+selected input bits.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from repro.classical.network import LogicNetwork, Signal, reduce_signals
+from repro.errors import QwertySyntaxError, QwertyTypeError
+from repro.frontend.ast_nodes import DimExpr, DimOp, DimRef, eval_dim
+
+BitVector = list
+
+
+def parse_classical_source(fn):
+    """Parse the function and return (name, [(param, dim_expr)], body)."""
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source)
+    func_def = next(
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    params = []
+    for arg in func_def.args.args:
+        params.append((arg.arg, _annotation_dim(arg.annotation)))
+    return func_def.name, params, func_def.body
+
+
+def _annotation_dim(node) -> DimExpr:
+    if node is None:
+        raise QwertySyntaxError("@classical parameters need bit[N] annotations")
+    if isinstance(node, ast.Name) and node.id == "bit":
+        return 1
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "bit"
+    ):
+        return _dim(node.slice)
+    raise QwertySyntaxError("@classical parameters must be bit[N]")
+
+
+def _dim(node) -> DimExpr:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        return DimRef(node.id)
+    if isinstance(node, ast.BinOp):
+        ops = {
+            ast.Add: "+",
+            ast.Sub: "-",
+            ast.Mult: "*",
+            ast.FloorDiv: "//",
+            ast.Pow: "**",
+        }
+        for py_op, name in ops.items():
+            if isinstance(node.op, py_op):
+                return DimOp(name, _dim(node.left), _dim(node.right))
+    raise QwertySyntaxError("unsupported dimension expression")
+
+
+def build_network(
+    body: list[ast.stmt],
+    param_widths: list[tuple[str, int]],
+    captures: dict[str, tuple[int, ...]],
+    dims: dict[str, int],
+) -> LogicNetwork:
+    """Evaluate the function body into a :class:`LogicNetwork`.
+
+    ``captures`` maps parameter names to concrete bit tuples; remaining
+    parameters become primary inputs in order.
+    """
+    net = LogicNetwork()
+    env: dict[str, BitVector] = {}
+    for name, width in param_widths:
+        if name in captures:
+            bits = captures[name]
+            if len(bits) != width:
+                raise QwertyTypeError(
+                    f"capture {name!r} has {len(bits)} bits, annotation "
+                    f"says {width}"
+                )
+            env[name] = [net.constant(bool(b)) for b in bits]
+        else:
+            env[name] = [net.add_input() for _ in range(width)]
+
+    evaluator = _Evaluator(net, env, dims)
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1 or not isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                raise QwertySyntaxError("unsupported assignment in @classical")
+            env[stmt.targets[0].id] = evaluator.expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            for signal in evaluator.expr(stmt.value):
+                net.add_output(signal)
+            return net
+        else:
+            raise QwertySyntaxError(
+                f"unsupported statement in @classical: {ast.dump(stmt)}"
+            )
+    raise QwertySyntaxError("@classical function has no return")
+
+
+class _Evaluator:
+    def __init__(self, net: LogicNetwork, env, dims) -> None:
+        self.net = net
+        self.env = env
+        self.dims = dims
+
+    def expr(self, node: ast.expr) -> BitVector:
+        if isinstance(node, ast.Name):
+            if node.id not in self.env:
+                raise QwertyTypeError(f"undefined variable {node.id!r}")
+            return list(self.env[node.id])
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            if node.value not in (0, 1):
+                raise QwertyTypeError("only single-bit integer constants")
+            return [self.net.constant(bool(node.value))]
+        if isinstance(node, ast.BinOp):
+            return self.binop(node)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+            return [~bit for bit in self.expr(node.operand)]
+        if isinstance(node, ast.Subscript):
+            return self.subscript(node)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        raise QwertySyntaxError(
+            f"unsupported @classical expression: {ast.dump(node)}"
+        )
+
+    def binop(self, node: ast.BinOp) -> BitVector:
+        if isinstance(node.op, ast.Add):
+            return self.expr(node.left) + self.expr(node.right)
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if len(left) != len(right):
+            raise QwertyTypeError("bitwise operands must have equal width")
+        if isinstance(node.op, ast.BitAnd):
+            return [self.net.and_(a, b) for a, b in zip(left, right)]
+        if isinstance(node.op, ast.BitOr):
+            return [self.net.or_(a, b) for a, b in zip(left, right)]
+        if isinstance(node.op, ast.BitXor):
+            return [self.net.xor_(a, b) for a, b in zip(left, right)]
+        raise QwertySyntaxError("unsupported @classical operator")
+
+    def subscript(self, node: ast.Subscript) -> BitVector:
+        value = self.expr(node.value)
+        index = node.slice
+        if isinstance(index, ast.Slice):
+            low = eval_dim(_dim(index.lower), self.dims) if index.lower else 0
+            high = (
+                eval_dim(_dim(index.upper), self.dims)
+                if index.upper
+                else len(value)
+            )
+            return value[low:high]
+        position = eval_dim(_dim(index), self.dims)
+        return [value[position]]
+
+    def call(self, node: ast.Call) -> BitVector:
+        if not isinstance(node.func, ast.Attribute):
+            raise QwertySyntaxError("unsupported call in @classical")
+        operand = self.expr(node.func.value)
+        method = node.func.attr
+        if method == "xor_reduce":
+            return [reduce_signals(self.net, operand, self.net.xor_)]
+        if method == "and_reduce":
+            return [reduce_signals(self.net, operand, self.net.and_)]
+        if method == "or_reduce":
+            return [reduce_signals(self.net, operand, self.net.or_)]
+        if method == "repeat":
+            if len(operand) != 1 or len(node.args) != 1:
+                raise QwertySyntaxError(".repeat(k) applies to a single bit")
+            count = eval_dim(_dim(node.args[0]), self.dims)
+            return operand * count
+        raise QwertySyntaxError(f"unknown @classical method .{method}")

@@ -1,0 +1,2 @@
+"""IR dialects: ``arith``/``scf`` (MLIR built-ins), ``qwerty`` (paper §5),
+and ``qcirc`` (the QCircuit dataflow dialect, paper §6)."""

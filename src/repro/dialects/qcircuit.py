@@ -1,0 +1,187 @@
+"""The QCircuit dataflow IR dialect (paper §6).
+
+A gate-level dataflow-semantics dialect similar to QIRO/QSSA: qubits
+flow through ``gate`` ops, measurements yield the post-measurement
+qubit plus an ``i1`` result, and ``qalloc``/``qfree`` bracket qubit
+lifetimes.  Callable ops correspond to QIR callable intrinsics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.core import Operation, Value
+from repro.ir.module import Builder
+from repro.ir.types import ArrayType, CallableType, I1, QubitType, Type
+from repro.errors import LoweringError
+
+QALLOC = "qcirc.qalloc"
+QFREE = "qcirc.qfree"
+QFREEZ = "qcirc.qfreez"
+MEASURE = "qcirc.measure"
+GATE = "qcirc.gate"
+ARRPACK = "qcirc.arrpack"
+ARRUNPACK = "qcirc.arrunpack"
+CALL = "qcirc.call"
+CALLABLE_CREATE = "qcirc.callable_create"
+CALLABLE_ADJOINT = "qcirc.callable_adjoint"
+CALLABLE_CONTROL = "qcirc.callable_control"
+CALLABLE_INVOKE = "qcirc.callable_invoke"
+
+_QUBIT = QubitType()
+_CALLABLE = CallableType()
+
+#: Gates the dialect understands, with parameter counts.
+GATE_PARAM_COUNTS = {
+    "x": 0,
+    "y": 0,
+    "z": 0,
+    "h": 0,
+    "s": 0,
+    "sdg": 0,
+    "t": 0,
+    "tdg": 0,
+    "sx": 0,
+    "sxdg": 0,
+    "p": 1,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "swap": 0,
+}
+
+#: Gates that are their own adjoint.
+HERMITIAN_GATES = {"x", "y", "z", "h", "swap"}
+
+#: Adjoint pairs for non-Hermitian parameterless gates.
+ADJOINT_PAIRS = {
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "sx": "sxdg",
+    "sxdg": "sx",
+}
+
+#: Number of target qubits per gate (all others take one target).
+GATE_NUM_TARGETS = {"swap": 2}
+
+
+def qalloc(builder: Builder) -> Value:
+    """Allocate a qubit in state |0>."""
+    return builder.create(QALLOC, [], [_QUBIT]).result
+
+
+def qfree(builder: Builder, qubit: Value) -> Operation:
+    """Reset and free a qubit."""
+    return builder.create(QFREE, [qubit], [])
+
+
+def qfreez(builder: Builder, qubit: Value) -> Operation:
+    """Free a qubit assumed to be |0> (skips the reset)."""
+    return builder.create(QFREEZ, [qubit], [])
+
+
+def measure(builder: Builder, qubit: Value) -> tuple[Value, Value]:
+    """Measure in the standard basis: yields (new qubit state, i1)."""
+    op = builder.create(MEASURE, [qubit], [_QUBIT, I1])
+    return op.results[0], op.results[1]
+
+
+def gate(
+    builder: Builder,
+    name: str,
+    controls: Sequence[Value],
+    targets: Sequence[Value],
+    params: Sequence[float] = (),
+    ctrl_states: Optional[Sequence[int]] = None,
+) -> list[Value]:
+    """``gate G [%c1,...,%cM] %q1,...,%qN``: a (multi-)controlled gate.
+
+    ``ctrl_states`` selects the control polarity per control qubit
+    (1 = control on |1>, the default; 0 = control on |0>).  Returns the
+    new SSA values for all M+N qubits, controls first.
+    """
+    if name not in GATE_PARAM_COUNTS:
+        raise LoweringError(f"unknown gate {name!r}")
+    if GATE_PARAM_COUNTS[name] != len(params):
+        raise LoweringError(
+            f"gate {name!r} takes {GATE_PARAM_COUNTS[name]} params, "
+            f"got {len(params)}"
+        )
+    expected_targets = GATE_NUM_TARGETS.get(name, 1)
+    if len(targets) != expected_targets:
+        raise LoweringError(
+            f"gate {name!r} takes {expected_targets} targets, got {len(targets)}"
+        )
+    states = tuple(ctrl_states) if ctrl_states is not None else (1,) * len(controls)
+    if len(states) != len(controls):
+        raise LoweringError("ctrl_states length must match controls")
+    operands = [*controls, *targets]
+    op = builder.create(
+        GATE,
+        operands,
+        [_QUBIT] * len(operands),
+        {
+            "gate": name,
+            "num_controls": len(controls),
+            "params": tuple(float(p) for p in params),
+            "ctrl_states": states,
+        },
+    )
+    return list(op.results)
+
+
+def gate_controls(op: Operation) -> tuple[Value, ...]:
+    return op.operands[: op.attrs["num_controls"]]
+
+def gate_targets(op: Operation) -> tuple[Value, ...]:
+    return op.operands[op.attrs["num_controls"]:]
+
+
+def arrpack(builder: Builder, values: Sequence[Value], element: Type) -> Value:
+    return builder.create(
+        ARRPACK, list(values), [ArrayType(element, len(values))]
+    ).result
+
+
+def arrunpack(builder: Builder, array: Value) -> list[Value]:
+    array_type = array.type
+    op = builder.create(
+        ARRUNPACK, [array], [array_type.element] * array_type.n
+    )
+    return list(op.results)
+
+
+def call(
+    builder: Builder,
+    callee: str,
+    args: Sequence[Value],
+    result_types: Sequence[Type],
+) -> Operation:
+    return builder.create(CALL, list(args), list(result_types), {"callee": callee})
+
+
+def callable_create(builder: Builder, callee: str) -> Value:
+    """Create a callable value backed by a function's specialization
+    table (lowered to ``__quantum__rt__callable_create``)."""
+    return builder.create(
+        CALLABLE_CREATE, [], [_CALLABLE], {"callee": callee}
+    ).result
+
+
+def callable_adjoint(builder: Builder, fn: Value) -> Value:
+    """Mark a callable to run its adjoint specialization."""
+    return builder.create(CALLABLE_ADJOINT, [fn], [_CALLABLE]).result
+
+
+def callable_control(builder: Builder, fn: Value) -> Value:
+    """Mark a callable to run its controlled specialization."""
+    return builder.create(CALLABLE_CONTROL, [fn], [_CALLABLE]).result
+
+
+def callable_invoke(
+    builder: Builder, fn: Value, args: Sequence[Value], result_types: Sequence[Type]
+) -> Operation:
+    """Invoke a callable (lowered to ``__quantum__rt__callable_invoke``)."""
+    return builder.create(CALLABLE_INVOKE, [fn, *args], list(result_types))

@@ -1,0 +1,43 @@
+"""A sliver of MLIR's ``scf`` dialect: structured ``if`` with yields.
+
+``scf.if`` appears when Qwerty code branches on a measurement result,
+e.g. ``(pm.flip if m_std else id)`` in quantum teleportation
+(paper Appendix C).  Each branch is a single-block region terminated by
+``scf.yield``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import Block, Operation, Region, Value
+from repro.ir.module import Builder
+from repro.ir.types import Type
+
+IF = "scf.if"
+YIELD = "scf.yield"
+
+
+def if_op(
+    builder: Builder,
+    cond: Value,
+    result_types: Sequence[Type],
+) -> Operation:
+    """Create an ``scf.if`` with two empty single-block regions."""
+    then_region = Region([Block()])
+    else_region = Region([Block()])
+    return builder.create(
+        IF, [cond], list(result_types), regions=[then_region, else_region]
+    )
+
+
+def yield_op(builder: Builder, values: Sequence[Value]) -> Operation:
+    return builder.create(YIELD, list(values), [])
+
+
+def then_block(op: Operation) -> Block:
+    return op.regions[0].entry
+
+
+def else_block(op: Operation) -> Block:
+    return op.regions[1].entry

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Qwerty/ASDF reproduction.
+
+Every user-facing failure raised by the compiler derives from
+:class:`QwertyError` so that callers can catch compiler diagnostics
+separately from programming errors in the compiler itself.
+"""
+
+from __future__ import annotations
+
+
+class QwertyError(Exception):
+    """Base class for all compiler diagnostics."""
+
+
+class QwertySyntaxError(QwertyError):
+    """The Python AST did not match any recognized Qwerty construct."""
+
+
+class QwertyTypeError(QwertyError):
+    """A Qwerty type rule was violated (including linearity)."""
+
+
+class SpanCheckError(QwertyTypeError):
+    """A basis translation failed span equivalence checking (paper §4.1)."""
+
+
+class BasisError(QwertyTypeError):
+    """A basis literal or basis expression is malformed (paper §2.2)."""
+
+
+class DimVarError(QwertyError):
+    """A dimension variable could not be inferred or was inconsistent."""
+
+
+class ReversibilityError(QwertyTypeError):
+    """An irreversible construct appeared where a reversible one is required."""
+
+
+class LinearityError(QwertyTypeError):
+    """A qubit value was duplicated or discarded without ``discard``."""
+
+
+class SynthesisError(QwertyError):
+    """Circuit synthesis for a basis translation or oracle failed."""
+
+
+class LoweringError(QwertyError):
+    """An IR-to-IR lowering step encountered unsupported input."""
+
+
+class IRVerificationError(QwertyError):
+    """An IR invariant (SSA dominance, linear qubit use, types) was violated."""
+
+
+class BackendError(QwertyError):
+    """Code generation for OpenQASM 3 or QIR failed."""
+
+
+class SimulationError(QwertyError):
+    """The statevector simulator was given an invalid circuit."""

@@ -1,0 +1,35 @@
+"""The Qwerty frontend: a Python-embedded DSL (paper §4).
+
+``@qpu`` kernels and ``@classical`` functions are written as ordinary
+Python functions; the decorators retrieve their Python AST with the
+standard ``ast`` module (no interpreter changes), convert it to a typed
+Qwerty AST, infer and expand dimension variables, type check (including
+linear qubit types and span equivalence), canonicalize, and lower to
+Qwerty IR.
+"""
+
+from repro.frontend.decorators import (
+    Bits,
+    DimVar,
+    I,
+    J,
+    K,
+    M,
+    N,
+    bit,
+    classical,
+    qpu,
+)
+
+__all__ = [
+    "Bits",
+    "DimVar",
+    "I",
+    "J",
+    "K",
+    "M",
+    "N",
+    "bit",
+    "classical",
+    "qpu",
+]

@@ -1,0 +1,235 @@
+"""The typed Qwerty AST (paper §4).
+
+Dimension expressions (:class:`DimExpr`) stay symbolic until expansion
+substitutes concrete values.  After expansion and type checking, every
+expression node carries its inferred :class:`QwertyType` in ``type``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import DimVarError
+from repro.frontend.types import QwertyType
+
+# ----------------------------------------------------------------------
+# Dimension expressions.
+# ----------------------------------------------------------------------
+DimExpr = Union[int, "DimRef", "DimOp"]
+
+
+@dataclass(frozen=True)
+class DimRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class DimOp:
+    op: str  # '+', '-', '*', '//', '**'
+    left: DimExpr
+    right: DimExpr
+
+
+def eval_dim(dim: DimExpr, env: dict[str, int]) -> int:
+    if isinstance(dim, int):
+        return dim
+    if isinstance(dim, DimRef):
+        if dim.name not in env:
+            raise DimVarError(f"dimension variable {dim.name} is unbound")
+        return env[dim.name]
+    left = eval_dim(dim.left, env)
+    right = eval_dim(dim.right, env)
+    ops = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "//": lambda a, b: a // b,
+        "**": lambda a, b: a**b,
+    }
+    return ops[dim.op](left, right)
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    type: Optional[QwertyType] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class QubitLiteralExpr(Expr):
+    """A qubit literal such as ``'p0'`` (mixed primitive bases allowed)."""
+
+    chars: str
+    phase: float = 0.0  # Degrees; global for the literal.
+
+
+@dataclass
+class VectorExpr:
+    """A basis-literal vector: chars, an optional phase in degrees, and
+    an optional symbolic repeat count (``'p'[N]`` inside a literal)."""
+
+    chars: str
+    phase: float = 0.0
+    repeat: DimExpr = 1
+
+
+@dataclass
+class BasisLiteralExpr(Expr):
+    vectors: list[VectorExpr] = field(default_factory=list)
+
+
+@dataclass
+class BuiltinBasisExpr(Expr):
+    prim: str  # 'std' | 'pm' | 'ij' | 'fourier'
+    dim: DimExpr = 1
+
+
+@dataclass
+class TensorExpr(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BroadcastExpr(Expr):
+    """``expr[N]``: the N-fold tensor product of ``expr``."""
+
+    operand: Expr = None
+    count: DimExpr = 1
+
+
+@dataclass
+class TranslationExpr(Expr):
+    """A basis translation ``b_in >> b_out``."""
+
+    b_in: Expr = None
+    b_out: Expr = None
+
+
+@dataclass
+class PipeExpr(Expr):
+    """``value | fn``."""
+
+    value: Expr = None
+    fn: Expr = None
+
+
+@dataclass
+class AdjointExpr(Expr):
+    """``~f``."""
+
+    fn: Expr = None
+
+
+@dataclass
+class PredExpr(Expr):
+    """``b & f``."""
+
+    basis: Expr = None
+    fn: Expr = None
+
+
+@dataclass
+class MeasureExpr(Expr):
+    """``b.measure``."""
+
+    basis: Expr = None
+
+
+@dataclass
+class FlipExpr(Expr):
+    """``b.flip``: sugar for ``b >> reversed-b`` on one-qubit bases."""
+
+    basis: Expr = None
+
+
+@dataclass
+class EmbedExpr(Expr):
+    """``f.xor`` or ``f.sign`` for a @classical capture ``f``."""
+
+    capture_name: str = ""
+    kind: str = "xor"  # 'xor' | 'sign'
+
+
+@dataclass
+class IdExpr(Expr):
+    """``id``: the identity function on qubits."""
+
+    dim: DimExpr = 1
+
+
+@dataclass
+class DiscardExpr(Expr):
+    """``discard`` / ``b.discard``: consumes qubits (irreversible)."""
+
+    dim: DimExpr = 1
+    basis: Optional["Expr"] = None
+
+
+@dataclass
+class VariableExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class CondExpr(Expr):
+    """``f if cond else g`` on classical ``cond``."""
+
+    then_fn: Expr = None
+    else_fn: Expr = None
+    cond: Expr = None
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class AssignStmt(Stmt):
+    targets: list[str]
+    value: Expr
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for var in range(count)``, fully unrolled during expansion."""
+
+    var: str
+    count: DimExpr
+    body: list[Stmt]
+
+
+@dataclass
+class KernelParam:
+    name: str
+    annotation: "ParamAnnotation"
+
+
+@dataclass
+class ParamAnnotation:
+    """A parsed parameter annotation: kind plus dimension expressions."""
+
+    kind: str  # 'qubit' | 'bit' | 'cfunc' | 'qfunc' | 'rev_qfunc'
+    dims: list[DimExpr] = field(default_factory=list)
+
+
+@dataclass
+class KernelAST:
+    """A parsed @qpu kernel before expansion."""
+
+    name: str
+    params: list[KernelParam]
+    return_annotation: Optional[ParamAnnotation]
+    body: list[Stmt]
+    dimvars: list[str]

@@ -1,0 +1,126 @@
+"""AST expansion (paper §4): dimension variable substitution, loop
+unrolling, and broadcast expansion (``expr[N]`` into ``expr + ... +
+expr``)."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import DimVarError
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BasisLiteralExpr,
+    BroadcastExpr,
+    BuiltinBasisExpr,
+    CondExpr,
+    DiscardExpr,
+    EmbedExpr,
+    Expr,
+    FlipExpr,
+    ForStmt,
+    IdExpr,
+    KernelAST,
+    MeasureExpr,
+    PipeExpr,
+    PredExpr,
+    AdjointExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    Stmt,
+    TensorExpr,
+    TranslationExpr,
+    VariableExpr,
+    eval_dim,
+)
+
+
+def expand_kernel(kernel: KernelAST, dims: dict[str, int]) -> KernelAST:
+    """Substitute dimension values and unroll loops and broadcasts."""
+    for name in kernel.dimvars:
+        if name not in dims:
+            raise DimVarError(
+                f"dimension variable {name} of @{kernel.name} is unbound"
+            )
+    expander = _Expander(dims)
+    body = expander.stmts(kernel.body)
+    expanded = KernelAST(
+        kernel.name,
+        kernel.params,
+        kernel.return_annotation,
+        body,
+        kernel.dimvars,
+    )
+    return expanded
+
+
+class _Expander:
+    def __init__(self, dims: dict[str, int]) -> None:
+        self.dims = dict(dims)
+
+    def stmts(self, body: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in body:
+            if isinstance(stmt, ForStmt):
+                count = eval_dim(stmt.count, self.dims)
+                for iteration in range(count):
+                    self.dims[stmt.var] = iteration
+                    out.extend(self.stmts(copy.deepcopy(stmt.body)))
+                self.dims.pop(stmt.var, None)
+            elif isinstance(stmt, AssignStmt):
+                out.append(AssignStmt(stmt.targets, self.expr(stmt.value)))
+            elif isinstance(stmt, ReturnStmt):
+                out.append(ReturnStmt(self.expr(stmt.value)))
+            else:
+                out.append(stmt)
+        return out
+
+    def expr(self, node: Expr) -> Expr:
+        if isinstance(node, BroadcastExpr):
+            operand = self.expr(node.operand)
+            count = eval_dim(node.count, self.dims)
+            if count < 1:
+                raise DimVarError("broadcast count must be >= 1")
+            if isinstance(operand, QubitLiteralExpr):
+                return QubitLiteralExpr(
+                    operand.chars * count, operand.phase * count
+                )
+            parts = [copy.deepcopy(operand) for _ in range(count)]
+            return TensorExpr(parts)
+        if isinstance(node, BuiltinBasisExpr):
+            return BuiltinBasisExpr(node.prim, eval_dim(node.dim, self.dims))
+        if isinstance(node, IdExpr):
+            return IdExpr(eval_dim(node.dim, self.dims))
+        if isinstance(node, DiscardExpr):
+            basis = self.expr(node.basis) if node.basis is not None else None
+            return DiscardExpr(eval_dim(node.dim, self.dims), basis)
+        if isinstance(node, TensorExpr):
+            return TensorExpr([self.expr(part) for part in node.parts])
+        if isinstance(node, TranslationExpr):
+            return TranslationExpr(self.expr(node.b_in), self.expr(node.b_out))
+        if isinstance(node, PipeExpr):
+            return PipeExpr(self.expr(node.value), self.expr(node.fn))
+        if isinstance(node, AdjointExpr):
+            return AdjointExpr(self.expr(node.fn))
+        if isinstance(node, PredExpr):
+            return PredExpr(self.expr(node.basis), self.expr(node.fn))
+        if isinstance(node, MeasureExpr):
+            return MeasureExpr(self.expr(node.basis))
+        if isinstance(node, FlipExpr):
+            return FlipExpr(self.expr(node.basis))
+        if isinstance(node, CondExpr):
+            return CondExpr(
+                self.expr(node.then_fn),
+                self.expr(node.else_fn),
+                self.expr(node.cond),
+            )
+        if isinstance(node, BasisLiteralExpr):
+            from repro.frontend.ast_nodes import VectorExpr
+
+            vectors = []
+            for vec in node.vectors:
+                count = eval_dim(vec.repeat, self.dims)
+                vectors.append(VectorExpr(vec.chars * count, vec.phase, 1))
+            return BasisLiteralExpr(vectors)
+        if isinstance(node, (QubitLiteralExpr, EmbedExpr, VariableExpr)):
+            return node
+        raise DimVarError(f"cannot expand node {node!r}")

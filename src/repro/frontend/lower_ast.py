@@ -1,0 +1,361 @@
+"""Lowering a type-checked Qwerty AST to Qwerty IR (paper §5.1).
+
+Function-typed Qwerty expressions (translations, ``.measure``,
+``.flip``, embeddings, ``id``, tensor products of functions) lower to
+*function values*: lambdas wrapping the corresponding op.  The pipe
+operator calls function values, so the initial IR contains only
+``call_indirect`` ops — never direct calls — exactly as the paper
+describes; lambda lifting, canonicalization and inlining then linearize
+everything (§5.4).
+"""
+
+from __future__ import annotations
+
+from repro.basis import Basis
+from repro.basis.primitive import CHAR_TO_PRIM_EIGENBIT
+from repro.dialects import qwerty, scf
+from repro.errors import LoweringError
+from repro.frontend.ast_nodes import (
+    AdjointExpr,
+    AssignStmt,
+    CondExpr,
+    DiscardExpr,
+    EmbedExpr,
+    Expr,
+    FlipExpr,
+    IdExpr,
+    KernelAST,
+    MeasureExpr,
+    PipeExpr,
+    PredExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    TensorExpr,
+    TranslationExpr,
+    VariableExpr,
+)
+from repro.frontend.types import (
+    BitType,
+    FuncType,
+    QubitType,
+    QwertyType,
+    TupleType,
+    UNIT,
+)
+from repro.ir.core import Value
+from repro.ir.module import Builder, FuncOp, ModuleOp
+from repro.ir.types import (
+    BitBundleType,
+    FunctionType,
+    QBundleType,
+    Type,
+)
+
+
+def ir_type(qtype: QwertyType) -> tuple[Type, ...]:
+    """The IR types for one Qwerty type (unit vanishes)."""
+    if isinstance(qtype, QubitType):
+        return (QBundleType(qtype.n),)
+    if isinstance(qtype, BitType):
+        return (BitBundleType(qtype.n),)
+    if isinstance(qtype, TupleType):
+        out: list[Type] = []
+        for part in qtype.parts:
+            out.extend(ir_type(part))
+        return tuple(out)
+    if isinstance(qtype, FuncType):
+        return (
+            FunctionType(
+                ir_type(qtype.input), ir_type(qtype.output), qtype.reversible
+            ),
+        )
+    raise LoweringError(f"no IR type for {qtype}")
+
+
+class AstLowering:
+    """Lowers one kernel into a module, given resolved captures.
+
+    ``networks`` maps @classical capture names to LogicNetwork builders
+    (callables returning a network), consumed by ``f.xor`` / ``f.sign``.
+    """
+
+    def __init__(self, module: ModuleOp, networks: dict[str, object]) -> None:
+        self.module = module
+        self.networks = networks
+
+    def lower_kernel(self, kernel: KernelAST, return_type: QwertyType) -> FuncOp:
+        func_type = FunctionType((), ir_type(return_type), reversible=False)
+        func = FuncOp(kernel.name, func_type)
+        self.module.add(func)
+        builder = Builder(func.entry)
+        env: dict[str, Value] = {}
+
+        for stmt in kernel.body:
+            if isinstance(stmt, AssignStmt):
+                if isinstance(stmt.value.type, FuncType):
+                    # A function value bound to a name.
+                    if len(stmt.targets) != 1:
+                        raise LoweringError(
+                            "cannot unpack a function value"
+                        )
+                    env[stmt.targets[0]] = self.function_of(
+                        stmt.value, builder, env
+                    )
+                    continue
+                values = self.values_of(stmt.value, builder, env)
+                self._bind(stmt.targets, stmt.value.type, values, builder, env)
+            elif isinstance(stmt, ReturnStmt):
+                values = self.values_of(stmt.value, builder, env)
+                qwerty.return_op(builder, values)
+            else:
+                raise LoweringError(f"cannot lower statement {stmt!r}")
+        return func
+
+    # ------------------------------------------------------------------
+    def _bind(
+        self,
+        targets: list[str],
+        value_type: QwertyType,
+        values: list[Value],
+        builder: Builder,
+        env: dict[str, Value],
+    ) -> None:
+        if len(targets) == 1:
+            if len(values) != 1:
+                raise LoweringError("cannot bind multiple values to one name")
+            env[targets[0]] = values[0]
+            return
+        if len(values) == len(targets):
+            for name, value in zip(targets, values):
+                env[name] = value
+            return
+        if len(values) == 1 and isinstance(value_type, (QubitType, BitType)):
+            each = value_type.n // len(targets)
+            if isinstance(value_type, QubitType):
+                qubits = qwerty.qbunpack(builder, values[0])
+                for index, name in enumerate(targets):
+                    env[name] = qwerty.qbpack(
+                        builder, qubits[index * each : (index + 1) * each]
+                    )
+            else:
+                bits = qwerty.bitunpack(builder, values[0])
+                for index, name in enumerate(targets):
+                    env[name] = qwerty.bitpack(
+                        builder, bits[index * each : (index + 1) * each]
+                    )
+            return
+        raise LoweringError("unsupported unpacking pattern")
+
+    # ------------------------------------------------------------------
+    # Value-typed expressions (qubits / bits / tuples).
+    # ------------------------------------------------------------------
+    def values_of(
+        self, node: Expr, builder: Builder, env: dict[str, Value]
+    ) -> list[Value]:
+        if isinstance(node, QubitLiteralExpr):
+            return [self._prep_literal(node, builder)]
+        if isinstance(node, VariableExpr):
+            if node.name not in env:
+                raise LoweringError(f"unbound variable {node.name!r}")
+            return [env[node.name]]
+        if isinstance(node, PipeExpr):
+            args = self.values_of(node.value, builder, env)
+            fn = self.function_of(node.fn, builder, env)
+            call = qwerty.call_indirect(builder, fn, args)
+            return list(call.results)
+        if isinstance(node, TensorExpr) and isinstance(node.type, QubitType):
+            qubits: list[Value] = []
+            for part in node.parts:
+                (bundle,) = self.values_of(part, builder, env)
+                qubits.extend(qwerty.qbunpack(builder, bundle))
+            return [qwerty.qbpack(builder, qubits)]
+        raise LoweringError(
+            f"cannot lower value expression {type(node).__name__}"
+        )
+
+    def _prep_literal(self, node: QubitLiteralExpr, builder: Builder) -> Value:
+        """Prepare a (possibly mixed-basis) qubit literal.
+
+        Runs of equal primitive basis become one qbprep each; mixed
+        literals are prepared piecewise and repacked.  The literal's
+        global phase is unobservable and dropped.
+        """
+        runs: list[tuple[object, list[int]]] = []
+        for ch in node.chars:
+            prim, eigenbit = CHAR_TO_PRIM_EIGENBIT[ch]
+            if runs and runs[-1][0] is prim:
+                runs[-1][1].append(eigenbit)
+            else:
+                runs.append((prim, [eigenbit]))
+        bundles = [
+            qwerty.qbprep(builder, prim, eigenbits) for prim, eigenbits in runs
+        ]
+        if len(bundles) == 1:
+            return bundles[0]
+        qubits: list[Value] = []
+        for bundle in bundles:
+            qubits.extend(qwerty.qbunpack(builder, bundle))
+        return qwerty.qbpack(builder, qubits)
+
+    # ------------------------------------------------------------------
+    # Function-typed expressions become function values (paper §5.1).
+    # ------------------------------------------------------------------
+    def function_of(
+        self, node: Expr, builder: Builder, env: dict[str, Value]
+    ) -> Value:
+        if isinstance(node, TranslationExpr):
+            return self._lambda_wrapping(
+                node.type,
+                builder,
+                lambda b, args: [
+                    qwerty.qbtrans(
+                        b, args[0], node.resolved_in, node.resolved_out
+                    )
+                ],
+            )
+        if isinstance(node, FlipExpr):
+            return self._lambda_wrapping(
+                node.type,
+                builder,
+                lambda b, args: [
+                    qwerty.qbtrans(
+                        b, args[0], node.resolved_in, node.resolved_out
+                    )
+                ],
+            )
+        if isinstance(node, MeasureExpr):
+            basis = node.resolved_basis
+            return self._lambda_wrapping(
+                node.type,
+                builder,
+                lambda b, args: [qwerty.qbmeas(b, args[0], basis)],
+            )
+        if isinstance(node, IdExpr):
+            return self._lambda_wrapping(
+                node.type, builder, lambda b, args: [args[0]]
+            )
+        if isinstance(node, DiscardExpr):
+            def build_discard(b, args):
+                qwerty.qbdiscard(b, args[0])
+                return []
+
+            return self._lambda_wrapping(node.type, builder, build_discard)
+        if isinstance(node, EmbedExpr):
+            network_builder = self.networks.get(node.capture_name)
+            if network_builder is None:
+                raise LoweringError(
+                    f"no @classical capture named {node.capture_name!r}"
+                )
+            network = network_builder()
+            return self._lambda_wrapping(
+                node.type,
+                builder,
+                lambda b, args: [
+                    qwerty.embed(b, args[0], network, node.kind)
+                ],
+            )
+        if isinstance(node, AdjointExpr):
+            inner = self.function_of(node.fn, builder, env)
+            return qwerty.func_adj(builder, inner)
+        if isinstance(node, PredExpr):
+            inner = self.function_of(node.fn, builder, env)
+            return qwerty.func_pred(builder, inner, node.resolved_basis)
+        if isinstance(node, CondExpr):
+            return self._lower_cond(node, builder, env)
+        if isinstance(node, TensorExpr):
+            return self._tensor_functions(node, builder, env)
+        if isinstance(node, VariableExpr):
+            if node.name in env:
+                return env[node.name]
+            raise LoweringError(f"unbound function variable {node.name!r}")
+        raise LoweringError(
+            f"cannot lower function expression {type(node).__name__}"
+        )
+
+    def _lambda_wrapping(
+        self, fn_type: FuncType, builder: Builder, build_body
+    ) -> Value:
+        (lambda_type,) = ir_type(fn_type)
+        lam = qwerty.lambda_op(builder, lambda_type)
+        body = Builder(lam.regions[0].entry)
+        results = build_body(body, list(lam.regions[0].entry.args))
+        qwerty.return_op(body, results)
+        return lam.result
+
+    def _tensor_functions(
+        self, node: TensorExpr, builder: Builder, env: dict[str, Value]
+    ) -> Value:
+        """Tensor of functions: a lambda that unpacks the input bundle,
+        calls each part with its slice, and repacks results (§5.1)."""
+        part_values = [
+            self.function_of(part, builder, env) for part in node.parts
+        ]
+        (lambda_type,) = ir_type(node.type)
+        lam = qwerty.lambda_op(builder, lambda_type)
+        body = Builder(lam.regions[0].entry)
+        (arg,) = lam.regions[0].entry.args
+        qubits = qwerty.qbunpack(body, arg)
+
+        qubit_results: list[Value] = []
+        bit_results: list[Value] = []
+        other_results: list[Value] = []
+        offset = 0
+        for part, fn_value in zip(node.parts, part_values):
+            part_type: FuncType = part.type
+            width = part_type.input.n
+            chunk = qwerty.qbpack(body, qubits[offset : offset + width])
+            offset += width
+            call = qwerty.call_indirect(body, fn_value, [chunk])
+            for result in call.results:
+                if isinstance(result.type, QBundleType):
+                    qubit_results.extend(qwerty.qbunpack(body, result))
+                elif isinstance(result.type, BitBundleType):
+                    bit_results.extend(qwerty.bitunpack(body, result))
+                else:
+                    other_results.append(result)
+
+        results: list[Value] = []
+        output = node.type.output
+        if isinstance(output, QubitType):
+            results.append(qwerty.qbpack(body, qubit_results))
+        elif isinstance(output, BitType):
+            results.append(qwerty.bitpack(body, bit_results))
+        elif output == UNIT:
+            pass
+        elif isinstance(output, TupleType):
+            # Preserve part order per kind: qubits first, then bits.
+            for part_type in output.parts:
+                if isinstance(part_type, QubitType):
+                    results.append(
+                        qwerty.qbpack(body, qubit_results[: part_type.n])
+                    )
+                    qubit_results = qubit_results[part_type.n :]
+                else:
+                    results.append(
+                        qwerty.bitpack(body, bit_results[: part_type.n])
+                    )
+                    bit_results = bit_results[part_type.n :]
+        else:
+            raise LoweringError(f"unsupported tensor output {output}")
+        results.extend(other_results)
+        qwerty.return_op(body, results)
+        return lam.result
+
+    def _lower_cond(
+        self, node: CondExpr, builder: Builder, env: dict[str, Value]
+    ) -> Value:
+        """``f if cond else g``: an scf.if yielding a function value.
+
+        The condition is a one-bit bitbundle; unpack it to an i1.
+        """
+        (cond_bundle,) = self.values_of(node.cond, builder, env)
+        (cond_bit,) = qwerty.bitunpack(builder, cond_bundle)
+        (fn_ir_type,) = ir_type(node.type)
+        if_op = scf.if_op(builder, cond_bit, [fn_ir_type])
+        then_builder = Builder(scf.then_block(if_op))
+        then_value = self.function_of(node.then_fn, then_builder, env)
+        scf.yield_op(then_builder, [then_value])
+        else_builder = Builder(scf.else_block(if_op))
+        else_value = self.function_of(node.else_fn, else_builder, env)
+        scf.yield_op(else_builder, [else_value])
+        return if_op.results[0]

@@ -1,0 +1,304 @@
+"""Converting the Python AST of a ``@qpu`` kernel to a Qwerty AST.
+
+ASDF retrieves the Python AST with the standard library and recognizes
+the patterns formed by Qwerty syntax (paper §4): string literals are
+qubit literals, ``{...}`` sets are basis literals, ``+`` is tensor,
+``>>`` is a basis translation, ``|`` is the pipe, ``&`` is predication,
+``~`` is adjoint, subscripts broadcast, and attributes select
+``.measure`` / ``.flip`` / ``.xor`` / ``.sign``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from repro.errors import QwertySyntaxError
+from repro.frontend.ast_nodes import (
+    AdjointExpr,
+    AssignStmt,
+    BasisLiteralExpr,
+    BroadcastExpr,
+    BuiltinBasisExpr,
+    CondExpr,
+    DimExpr,
+    DimOp,
+    DimRef,
+    DiscardExpr,
+    EmbedExpr,
+    Expr,
+    FlipExpr,
+    ForStmt,
+    IdExpr,
+    KernelAST,
+    KernelParam,
+    MeasureExpr,
+    ParamAnnotation,
+    PipeExpr,
+    PredExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    Stmt,
+    TensorExpr,
+    TranslationExpr,
+    VariableExpr,
+    VectorExpr,
+)
+
+_BUILTIN_BASES = {"std", "pm", "ij", "fourier"}
+_ANNOTATION_KINDS = {"qubit", "bit", "cfunc", "qfunc", "rev_qfunc"}
+
+
+def parse_kernel(fn, dimvars: list[str]) -> KernelAST:
+    """Retrieve and convert the Python AST of a kernel function."""
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source)
+    func_def = None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func_def = node
+            break
+    if func_def is None:
+        raise QwertySyntaxError("could not find the kernel function definition")
+
+    converter = _Converter(dimvars)
+    params = [
+        KernelParam(arg.arg, converter.annotation(arg.annotation))
+        for arg in func_def.args.args
+    ]
+    return_annotation = (
+        converter.annotation(func_def.returns) if func_def.returns else None
+    )
+    body = [converter.stmt(node) for node in func_def.body]
+    return KernelAST(func_def.name, params, return_annotation, body, dimvars)
+
+
+class _Converter:
+    def __init__(self, dimvars: list[str]) -> None:
+        self.dimvars = set(dimvars)
+
+    # ------------------------------------------------------------------
+    # Dimension expressions.
+    # ------------------------------------------------------------------
+    def dim(self, node: ast.expr) -> DimExpr:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            return DimRef(node.id)
+        if isinstance(node, ast.BinOp):
+            ops = {
+                ast.Add: "+",
+                ast.Sub: "-",
+                ast.Mult: "*",
+                ast.FloorDiv: "//",
+                ast.Pow: "**",
+            }
+            for py_op, name in ops.items():
+                if isinstance(node.op, py_op):
+                    return DimOp(name, self.dim(node.left), self.dim(node.right))
+        raise QwertySyntaxError(
+            f"unsupported dimension expression: {ast.dump(node)}"
+        )
+
+    def annotation(self, node: ast.expr) -> ParamAnnotation:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations ("cfunc[N, 1]") parse as expressions.
+            node = ast.parse(node.value, mode="eval").body
+        if isinstance(node, ast.Name):
+            if node.id not in _ANNOTATION_KINDS:
+                raise QwertySyntaxError(f"unknown type annotation {node.id!r}")
+            return ParamAnnotation(node.id, [1] if node.id != "cfunc" else [])
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            kind = node.value.id
+            if kind not in _ANNOTATION_KINDS:
+                raise QwertySyntaxError(f"unknown type annotation {kind!r}")
+            index = node.slice
+            if isinstance(index, ast.Tuple):
+                dims = [self.dim(elt) for elt in index.elts]
+            else:
+                dims = [self.dim(index)]
+            return ParamAnnotation(kind, dims)
+        raise QwertySyntaxError(
+            f"unsupported type annotation: {ast.dump(node)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def stmt(self, node: ast.stmt) -> Stmt:
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                raise QwertySyntaxError("kernels must return a value")
+            return ReturnStmt(self.expr(node.value))
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise QwertySyntaxError("chained assignment is not supported")
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                names = [target.id]
+            elif isinstance(target, ast.Tuple) and all(
+                isinstance(elt, ast.Name) for elt in target.elts
+            ):
+                names = [elt.id for elt in target.elts]
+            else:
+                raise QwertySyntaxError("unsupported assignment target")
+            return AssignStmt(names, self.expr(node.value))
+        if isinstance(node, ast.For):
+            if not (
+                isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"
+                and len(node.iter.args) == 1
+            ):
+                raise QwertySyntaxError("only `for _ in range(n)` loops are supported")
+            if not isinstance(node.target, ast.Name):
+                raise QwertySyntaxError("loop target must be a name")
+            body = [self.stmt(inner) for inner in node.body]
+            return ForStmt(node.target.id, self.dim(node.iter.args[0]), body)
+        if isinstance(node, ast.Expr):
+            raise QwertySyntaxError(
+                "expression statements are not allowed (qubits are linear)"
+            )
+        raise QwertySyntaxError(f"unsupported statement: {ast.dump(node)}")
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return QubitLiteralExpr(node.value)
+        if isinstance(node, ast.Set):
+            return BasisLiteralExpr([self.vector(elt) for elt in node.elts])
+        if isinstance(node, ast.Name):
+            return self.name(node.id)
+        if isinstance(node, ast.BinOp):
+            return self.binop(node)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Invert):
+                return AdjointExpr(self.expr(node.operand))
+            if isinstance(node.op, ast.USub):
+                operand = self.expr(node.operand)
+                if isinstance(operand, QubitLiteralExpr):
+                    operand.phase += 180.0
+                    return operand
+            raise QwertySyntaxError("unsupported unary operator")
+        if isinstance(node, ast.Subscript):
+            return self.subscript(node)
+        if isinstance(node, ast.Attribute):
+            return self.attribute(node)
+        if isinstance(node, ast.IfExp):
+            return CondExpr(
+                self.expr(node.body),
+                self.expr(node.orelse),
+                self.expr(node.test),
+            )
+        raise QwertySyntaxError(f"unsupported expression: {ast.dump(node)}")
+
+    def name(self, identifier: str) -> Expr:
+        if identifier in _BUILTIN_BASES:
+            return BuiltinBasisExpr(identifier, 1)
+        if identifier == "id":
+            return IdExpr(1)
+        if identifier == "discard":
+            return DiscardExpr(1)
+        return VariableExpr(identifier)
+
+    def vector(self, node: ast.expr) -> VectorExpr:
+        phase = 0.0
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            phase += 180.0
+            node = node.operand
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            phase += self.angle(node.right)
+            node = node.left
+        chars, extra_phase, repeat = self._vector_chars(node)
+        return VectorExpr(chars, phase + extra_phase, repeat)
+
+    def _vector_chars(self, node: ast.expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, 0.0, 1
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            chars, phase, repeat = self._vector_chars(node.operand)
+            return chars, phase + 180.0, repeat
+        if isinstance(node, ast.Subscript):
+            # 'p'[N] inside a literal: a (possibly symbolic) repeat.
+            chars, phase, repeat = self._vector_chars(node.value)
+            if repeat != 1:
+                raise QwertySyntaxError("nested vector broadcasts")
+            return chars, phase, self.dim(node.slice)
+        raise QwertySyntaxError("basis literal vectors must be qubit literals")
+
+    def angle(self, node: ast.expr) -> float:
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ):
+            return float(node.value)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -self.angle(node.operand)
+        if isinstance(node, ast.BinOp):
+            ops = {
+                ast.Add: lambda a, b: a + b,
+                ast.Sub: lambda a, b: a - b,
+                ast.Mult: lambda a, b: a * b,
+                ast.Div: lambda a, b: a / b,
+            }
+            for py_op, fn in ops.items():
+                if isinstance(node.op, py_op):
+                    return fn(self.angle(node.left), self.angle(node.right))
+        raise QwertySyntaxError("phases must be numeric constants")
+
+    def binop(self, node: ast.BinOp) -> Expr:
+        if isinstance(node.op, ast.Add):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            parts = []
+            for part in (left, right):
+                if isinstance(part, TensorExpr):
+                    parts.extend(part.parts)
+                else:
+                    parts.append(part)
+            return TensorExpr(parts)
+        if isinstance(node.op, ast.RShift):
+            return TranslationExpr(self.expr(node.left), self.expr(node.right))
+        if isinstance(node.op, ast.BitOr):
+            return PipeExpr(self.expr(node.left), self.expr(node.right))
+        if isinstance(node.op, ast.BitAnd):
+            return PredExpr(self.expr(node.left), self.expr(node.right))
+        if isinstance(node.op, ast.MatMult):
+            operand = self.expr(node.left)
+            if isinstance(operand, QubitLiteralExpr):
+                operand.phase += self.angle(node.right)
+                return operand
+            raise QwertySyntaxError("@ phase applies only to qubit literals")
+        raise QwertySyntaxError(
+            f"unsupported binary operator: {ast.dump(node.op)}"
+        )
+
+    def subscript(self, node: ast.Subscript) -> Expr:
+        count = self.dim(node.slice)
+        base = self.expr(node.value)
+        if isinstance(base, BuiltinBasisExpr) and base.dim == 1:
+            # fourier[N] is one N-dimensional basis, not a broadcast,
+            # and the same representation works for separable bases.
+            return BuiltinBasisExpr(base.prim, count)
+        if isinstance(base, IdExpr):
+            return IdExpr(count)
+        if isinstance(base, DiscardExpr):
+            return DiscardExpr(count)
+        return BroadcastExpr(base, count)
+
+    def attribute(self, node: ast.Attribute) -> Expr:
+        if node.attr == "measure":
+            return MeasureExpr(self.expr(node.value))
+        if node.attr == "discard":
+            return DiscardExpr(1, self.expr(node.value))
+        if node.attr == "flip":
+            return FlipExpr(self.expr(node.value))
+        if node.attr in ("xor", "sign"):
+            if not isinstance(node.value, ast.Name):
+                raise QwertySyntaxError(
+                    ".xor/.sign apply to captured @classical functions"
+                )
+            return EmbedExpr(node.value.id, node.attr)
+        raise QwertySyntaxError(f"unknown attribute .{node.attr}")

@@ -1,0 +1,364 @@
+"""The Qwerty type checker (paper §4).
+
+Enforces linear types for qubits (every quantum value used exactly
+once), validates bases and basis literals, checks span equivalence of
+basis translations in polynomial time (§4.1), verifies reversibility
+requirements for ``~f`` and ``b & f``, and annotates every expression
+with its type.  Basis-typed expressions additionally get a resolved
+:class:`repro.basis.Basis` attached for lowering.
+"""
+
+from __future__ import annotations
+
+from repro.basis import Basis, BasisLiteral, BasisVector
+from repro.basis.primitive import PrimitiveBasis
+from repro.basis.span import check_span_equivalence
+from repro.errors import (
+    BasisError,
+    LinearityError,
+    QwertyTypeError,
+    ReversibilityError,
+)
+from repro.frontend.ast_nodes import (
+    AdjointExpr,
+    AssignStmt,
+    BasisLiteralExpr,
+    BuiltinBasisExpr,
+    CondExpr,
+    DiscardExpr,
+    EmbedExpr,
+    Expr,
+    FlipExpr,
+    IdExpr,
+    KernelAST,
+    MeasureExpr,
+    PipeExpr,
+    PredExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    TensorExpr,
+    TranslationExpr,
+    VariableExpr,
+)
+from repro.frontend.types import (
+    BasisType,
+    BitType,
+    CFuncType,
+    FuncType,
+    QubitType,
+    QwertyType,
+    TupleType,
+    UNIT,
+)
+
+_PRIMS = {
+    "std": PrimitiveBasis.STD,
+    "pm": PrimitiveBasis.PM,
+    "ij": PrimitiveBasis.IJ,
+    "fourier": PrimitiveBasis.FOURIER,
+}
+
+
+def resolve_basis(expr: Expr) -> Basis:
+    """Build a :class:`Basis` from a basis-typed expression."""
+    if isinstance(expr, BuiltinBasisExpr):
+        return Basis.builtin(_PRIMS[expr.prim], expr.dim)
+    if isinstance(expr, BasisLiteralExpr):
+        vectors = tuple(
+            BasisVector.from_chars(vec.chars, vec.phase)
+            for vec in expr.vectors
+        )
+        return Basis((BasisLiteral(vectors),))
+    if isinstance(expr, QubitLiteralExpr):
+        vector = BasisVector.from_chars(expr.chars, expr.phase)
+        return Basis((BasisLiteral((vector,)),))
+    if isinstance(expr, TensorExpr):
+        basis = resolve_basis(expr.parts[0])
+        for part in expr.parts[1:]:
+            basis = basis.tensor(resolve_basis(part))
+        return basis
+    raise QwertyTypeError(f"expected a basis, found {type(expr).__name__}")
+
+
+def _flip_basis(basis: Basis) -> Basis:
+    """The target of ``b.flip``: each 1-qubit builtin becomes the
+    swapped literal (std.flip is std >> {'1','0'})."""
+    from repro.basis.builtin import BuiltinBasis
+
+    elements = []
+    for element in basis.elements:
+        if not isinstance(element, BuiltinBasis) or element.dim != 1:
+            raise QwertyTypeError(".flip applies to one-qubit built-in bases")
+        if element.prim is PrimitiveBasis.FOURIER:
+            raise QwertyTypeError(".flip does not apply to the fourier basis")
+        prim = element.prim
+        elements.append(
+            BasisLiteral(
+                (
+                    BasisVector((1,), prim),
+                    BasisVector((0,), prim),
+                )
+            )
+        )
+    return Basis(tuple(elements))
+
+
+class _Scope:
+    """Variable typing environment with linear-use tracking."""
+
+    def __init__(self) -> None:
+        self.types: dict[str, QwertyType] = {}
+        self.used: set[str] = set()
+
+    def define(self, name: str, type: QwertyType) -> None:
+        if name in self.types and name not in self.used:
+            if self.types[name].is_linear:
+                raise LinearityError(
+                    f"rebinding {name!r} would discard a linear value"
+                )
+        self.types[name] = type
+        self.used.discard(name)
+
+    def use(self, name: str) -> QwertyType:
+        if name not in self.types:
+            raise QwertyTypeError(f"undefined variable {name!r}")
+        type = self.types[name]
+        if type.is_linear:
+            if name in self.used:
+                raise LinearityError(
+                    f"qubit variable {name!r} used more than once"
+                )
+            self.used.add(name)
+        return type
+
+    def check_all_consumed(self) -> None:
+        for name, type in self.types.items():
+            if type.is_linear and name not in self.used:
+                raise LinearityError(
+                    f"qubit variable {name!r} is never used (qubits cannot "
+                    f"be silently discarded)"
+                )
+
+
+class TypeChecker:
+    """Type checks one expanded kernel."""
+
+    def __init__(self, capture_types: dict[str, QwertyType]) -> None:
+        self.captures = dict(capture_types)
+        self.scope = _Scope()
+
+    def check_kernel(self, kernel: KernelAST) -> QwertyType:
+        for name, type in self.captures.items():
+            self.scope.define(name, type)
+        return_type: QwertyType | None = None
+        for index, stmt in enumerate(kernel.body):
+            if isinstance(stmt, ReturnStmt):
+                if index != len(kernel.body) - 1:
+                    raise QwertyTypeError("return must be the final statement")
+                return_type = self.expr(stmt.value)
+            elif isinstance(stmt, AssignStmt):
+                value_type = self.expr(stmt.value)
+                self._bind_targets(stmt.targets, value_type)
+            else:
+                raise QwertyTypeError(f"unsupported statement {stmt!r}")
+        if return_type is None:
+            raise QwertyTypeError("kernel has no return statement")
+        self.scope.check_all_consumed()
+        return return_type
+
+    def _bind_targets(self, targets: list[str], value_type: QwertyType) -> None:
+        if len(targets) == 1:
+            self.scope.define(targets[0], value_type)
+            return
+        parts: list[QwertyType]
+        if isinstance(value_type, TupleType):
+            if len(value_type.parts) != len(targets):
+                raise QwertyTypeError("tuple unpacking arity mismatch")
+            parts = list(value_type.parts)
+        elif isinstance(value_type, (QubitType, BitType)):
+            if value_type.n % len(targets) != 0:
+                raise QwertyTypeError(
+                    f"cannot unpack {value_type} into {len(targets)} names"
+                )
+            each = value_type.n // len(targets)
+            maker = QubitType if isinstance(value_type, QubitType) else BitType
+            parts = [maker(each) for _ in targets]
+        else:
+            raise QwertyTypeError(f"cannot unpack {value_type}")
+        for name, part in zip(targets, parts):
+            self.scope.define(name, part)
+
+    # ------------------------------------------------------------------
+    def expr(self, node: Expr) -> QwertyType:
+        method = getattr(self, "_check_" + type(node).__name__)
+        node.type = method(node)
+        return node.type
+
+    def _check_QubitLiteralExpr(self, node: QubitLiteralExpr) -> QwertyType:
+        if not node.chars:
+            raise QwertyTypeError("empty qubit literal")
+        for ch in node.chars:
+            if ch not in "01pmij":
+                raise BasisError(f"invalid qubit literal character {ch!r}")
+        return QubitType(len(node.chars))
+
+    def _check_BuiltinBasisExpr(self, node: BuiltinBasisExpr) -> QwertyType:
+        node.resolved_basis = resolve_basis(node)
+        return BasisType(node.resolved_basis.dim)
+
+    def _check_BasisLiteralExpr(self, node: BasisLiteralExpr) -> QwertyType:
+        node.resolved_basis = resolve_basis(node)  # Validates (§2.2).
+        return BasisType(node.resolved_basis.dim)
+
+    def _check_TensorExpr(self, node: TensorExpr) -> QwertyType:
+        part_types = [self.expr(part) for part in node.parts]
+        if all(isinstance(t, BasisType) for t in part_types):
+            node.resolved_basis = resolve_basis(node)
+            return BasisType(node.resolved_basis.dim)
+        if all(isinstance(t, (QubitType, BasisType)) for t in part_types) and any(
+            isinstance(t, QubitType) for t in part_types
+        ):
+            # Qubit literals mixed with basis elements stay qubit-like
+            # only if every part is a qubit value.
+            if all(isinstance(t, QubitType) for t in part_types):
+                return QubitType(sum(t.n for t in part_types))
+            raise QwertyTypeError("cannot tensor qubits with bases")
+        if all(isinstance(t, FuncType) for t in part_types):
+            return self._tensor_functions(part_types)
+        raise QwertyTypeError(
+            "tensor operands must be all qubits, all bases, or all functions"
+        )
+
+    def _tensor_functions(self, types: list[FuncType]) -> FuncType:
+        total_in = 0
+        for t in types:
+            if not isinstance(t.input, QubitType):
+                raise QwertyTypeError("tensored functions must take qubits")
+            total_in += t.input.n
+        outputs: list[QwertyType] = []
+        for t in types:
+            if isinstance(t.output, TupleType):
+                outputs.extend(t.output.parts)
+            else:
+                outputs.append(t.output)
+        outputs = [o for o in outputs if o != UNIT]
+        if all(isinstance(o, QubitType) for o in outputs):
+            output: QwertyType = QubitType(sum(o.n for o in outputs))
+        elif all(isinstance(o, BitType) for o in outputs) and outputs:
+            output = BitType(sum(o.n for o in outputs))
+        elif not outputs:
+            output = UNIT
+        else:
+            output = TupleType(tuple(outputs))
+        reversible = all(t.reversible for t in types)
+        return FuncType(QubitType(total_in), output, reversible)
+
+    def _check_TranslationExpr(self, node: TranslationExpr) -> QwertyType:
+        self.expr(node.b_in)
+        self.expr(node.b_out)
+        b_in = resolve_basis(node.b_in)
+        b_out = resolve_basis(node.b_out)
+        check_span_equivalence(b_in, b_out)  # §4.1.
+        node.resolved_in = b_in
+        node.resolved_out = b_out
+        return FuncType(QubitType(b_in.dim), QubitType(b_out.dim), True)
+
+    def _check_PipeExpr(self, node: PipeExpr) -> QwertyType:
+        value_type = self.expr(node.value)
+        fn_type = self.expr(node.fn)
+        if not isinstance(fn_type, FuncType):
+            raise QwertyTypeError(
+                f"right side of | must be a function, found {fn_type}"
+            )
+        if fn_type.input != value_type:
+            raise QwertyTypeError(
+                f"pipe type mismatch: value is {value_type}, function "
+                f"takes {fn_type.input}"
+            )
+        return fn_type.output
+
+    def _check_AdjointExpr(self, node: AdjointExpr) -> QwertyType:
+        fn_type = self.expr(node.fn)
+        if not isinstance(fn_type, FuncType) or not fn_type.reversible:
+            raise ReversibilityError("~ applies only to reversible functions")
+        return FuncType(fn_type.output, fn_type.input, True)
+
+    def _check_PredExpr(self, node: PredExpr) -> QwertyType:
+        self.expr(node.basis)
+        basis = resolve_basis(node.basis)
+        node.resolved_basis = basis
+        fn_type = self.expr(node.fn)
+        if not isinstance(fn_type, FuncType) or not fn_type.reversible:
+            raise ReversibilityError("& applies only to reversible functions")
+        if not isinstance(fn_type.input, QubitType) or not isinstance(
+            fn_type.output, QubitType
+        ):
+            raise QwertyTypeError("predicated functions must map qubits to qubits")
+        m = basis.dim
+        return FuncType(
+            QubitType(m + fn_type.input.n),
+            QubitType(m + fn_type.output.n),
+            True,
+        )
+
+    def _check_MeasureExpr(self, node: MeasureExpr) -> QwertyType:
+        self.expr(node.basis)
+        basis = resolve_basis(node.basis)
+        if not basis.fully_spans:
+            raise QwertyTypeError("measurement bases must fully span")
+        node.resolved_basis = basis
+        return FuncType(QubitType(basis.dim), BitType(basis.dim), False)
+
+    def _check_FlipExpr(self, node: FlipExpr) -> QwertyType:
+        self.expr(node.basis)
+        basis = resolve_basis(node.basis)
+        node.resolved_in = basis
+        node.resolved_out = _flip_basis(basis)
+        return FuncType(QubitType(basis.dim), QubitType(basis.dim), True)
+
+    def _check_EmbedExpr(self, node: EmbedExpr) -> QwertyType:
+        capture = self.captures.get(node.capture_name)
+        if not isinstance(capture, CFuncType):
+            raise QwertyTypeError(
+                f".{node.kind} applies to @classical captures; "
+                f"{node.capture_name!r} is {capture}"
+            )
+        if node.kind == "xor":
+            total = capture.n_in + capture.n_out
+            return FuncType(QubitType(total), QubitType(total), True)
+        if capture.n_out != 1:
+            raise QwertyTypeError(".sign requires a single-output function")
+        return FuncType(QubitType(capture.n_in), QubitType(capture.n_in), True)
+
+    def _check_IdExpr(self, node: IdExpr) -> QwertyType:
+        return FuncType(QubitType(node.dim), QubitType(node.dim), True)
+
+    def _check_DiscardExpr(self, node: DiscardExpr) -> QwertyType:
+        dim = node.dim
+        if node.basis is not None:
+            self.expr(node.basis)
+            dim = resolve_basis(node.basis).dim
+            node.dim = dim
+        return FuncType(QubitType(dim), UNIT, False)
+
+    def _check_VariableExpr(self, node: VariableExpr) -> QwertyType:
+        return self.scope.use(node.name)
+
+    def _check_CondExpr(self, node: CondExpr) -> QwertyType:
+        cond_type = self.expr(node.cond)
+        if cond_type != BitType(1):
+            raise QwertyTypeError("conditional tests must be a single bit")
+        then_type = self.expr(node.then_fn)
+        else_type = self.expr(node.else_fn)
+        if not isinstance(then_type, FuncType) or not isinstance(
+            else_type, FuncType
+        ):
+            raise QwertyTypeError("conditional branches must be functions")
+        if (then_type.input, then_type.output) != (
+            else_type.input,
+            else_type.output,
+        ):
+            raise QwertyTypeError("conditional branches must have equal types")
+        # Classical control makes the combined value irreversible
+        # (paper §4: reversible functions have no classical conditionals).
+        return FuncType(then_type.input, then_type.output, False)

@@ -1,0 +1,85 @@
+"""The Qwerty type system (paper §2.2 and §4).
+
+Types: ``qubit[N]`` (linear), ``bit[N]``, ``basis[N]``, function types
+(reversible or not), classical function types ``cfunc[N, M]``, and
+tuples for multi-value returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class QwertyType:
+    """Base class for Qwerty types."""
+
+    @property
+    def is_linear(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class QubitType(QwertyType):
+    n: int
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"qubit[{self.n}]"
+
+
+@dataclass(frozen=True)
+class BitType(QwertyType):
+    n: int
+
+    def __str__(self) -> str:
+        return f"bit[{self.n}]"
+
+
+@dataclass(frozen=True)
+class BasisType(QwertyType):
+    n: int
+
+    def __str__(self) -> str:
+        return f"basis[{self.n}]"
+
+
+@dataclass(frozen=True)
+class FuncType(QwertyType):
+    """``T1 -> T2``, or ``T1 rev-> T2`` when reversible."""
+
+    input: QwertyType
+    output: QwertyType
+    reversible: bool = False
+
+    def __str__(self) -> str:
+        arrow = "rev->" if self.reversible else "->"
+        return f"({self.input} {arrow} {self.output})"
+
+
+@dataclass(frozen=True)
+class CFuncType(QwertyType):
+    """A classical function from N bits to M bits (``cfunc[N, M]``)."""
+
+    n_in: int
+    n_out: int
+
+    def __str__(self) -> str:
+        return f"cfunc[{self.n_in},{self.n_out}]"
+
+
+@dataclass(frozen=True)
+class TupleType(QwertyType):
+    parts: tuple[QwertyType, ...]
+
+    @property
+    def is_linear(self) -> bool:
+        return any(part.is_linear for part in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(p) for p in self.parts) + ")"
+
+
+UNIT = TupleType(())

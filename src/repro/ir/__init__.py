@@ -1,0 +1,63 @@
+"""A small SSA IR infrastructure standing in for MLIR (paper §5).
+
+ASDF relies on generic MLIR machinery: dialect-defined ops with
+operands, results, attributes and regions; canonicalization driven by
+rewrite patterns; an inliner; and dataflow analysis.  This package
+reproduces exactly that subset.  Ops are generic
+:class:`~repro.ir.core.Operation` instances tagged with a dialect name
+(e.g. ``qwerty.qbtrans``); dialects register builders, verifiers and
+interfaces (Adjointable, Predicatable) in registries keyed by op name.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    BitBundleType,
+    CallableType,
+    F64Type,
+    FunctionType,
+    I1Type,
+    QBundleType,
+    QubitType,
+    Type,
+)
+from repro.ir.core import (
+    Block,
+    BlockArgument,
+    Operation,
+    OpResult,
+    Region,
+    Value,
+)
+from repro.ir.module import FuncOp, ModuleOp, Builder
+from repro.ir.printer import print_module, print_op
+from repro.ir.verifier import verify_module
+from repro.ir.rewrite import RewritePattern, apply_patterns_greedily
+from repro.ir.inline import inline_calls, inline_call_op
+
+__all__ = [
+    "ArrayType",
+    "BitBundleType",
+    "Block",
+    "BlockArgument",
+    "Builder",
+    "CallableType",
+    "F64Type",
+    "FuncOp",
+    "FunctionType",
+    "I1Type",
+    "ModuleOp",
+    "Operation",
+    "OpResult",
+    "QBundleType",
+    "QubitType",
+    "Region",
+    "RewritePattern",
+    "Type",
+    "Value",
+    "apply_patterns_greedily",
+    "inline_call_op",
+    "inline_calls",
+    "print_module",
+    "print_op",
+    "verify_module",
+]

@@ -1,0 +1,270 @@
+"""Core SSA structures: values, operations, blocks, regions.
+
+Mirrors MLIR's object model (paper §5): an :class:`Operation` has
+operands (SSA values), results, compile-time attributes, and nested
+regions; a :class:`Region` holds :class:`Block` objects whose arguments
+are themselves SSA values.  Quantum instructions have no side effects;
+qubits *flow through* operations, so dependencies are explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.ir.types import Type
+
+
+class Value:
+    """An SSA value: either an operation result or a block argument."""
+
+    def __init__(self, type: Type) -> None:
+        self.type = type
+        self.uses: list[tuple["Operation", int]] = []
+
+    @property
+    def owner_op(self) -> Optional["Operation"]:
+        return None
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every use of this value to use ``new`` instead."""
+        if new is self:
+            return
+        for op, index in list(self.uses):
+            op.set_operand(index, new)
+
+    @property
+    def has_one_use(self) -> bool:
+        return len(self.uses) == 1
+
+    @property
+    def unused(self) -> bool:
+        return not self.uses
+
+
+class OpResult(Value):
+    """A result of an operation."""
+
+    def __init__(self, op: "Operation", index: int, type: Type) -> None:
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner_op(self) -> Optional["Operation"]:
+        return self.op
+
+
+class BlockArgument(Value):
+    """An argument of a block (function arguments are block arguments)."""
+
+    def __init__(self, block: "Block", index: int, type: Type) -> None:
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+
+class Operation:
+    """A generic IR operation.
+
+    The op's semantics are identified by ``name`` (e.g.
+    ``qwerty.qbtrans``); dialect modules provide typed builder functions
+    and register verifiers/interfaces keyed by this name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        operands: list[Value] | tuple[Value, ...] = (),
+        result_types: list[Type] | tuple[Type, ...] = (),
+        attrs: Optional[dict[str, Any]] = None,
+        regions: Optional[list["Region"]] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.parent_block: Optional[Block] = None
+        self._operands: list[Value] = []
+        for value in operands:
+            self._append_operand(value)
+        self.results: list[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.regions: list[Region] = list(regions or [])
+        for region in self.regions:
+            region.parent_op = self
+
+    # ------------------------------------------------------------------
+    # Operand management (keeps use lists consistent).
+    # ------------------------------------------------------------------
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return tuple(self._operands)
+
+    def _append_operand(self, value: Value) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.uses.append((self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.uses.remove((self, index))
+        self._operands[index] = value
+        value.uses.append((self, index))
+
+    def set_operands(self, values: list[Value]) -> None:
+        self.drop_all_operands()
+        for value in values:
+            self._append_operand(value)
+
+    def drop_all_operands(self) -> None:
+        for index, value in enumerate(self._operands):
+            value.uses.remove((self, index))
+        self._operands = []
+
+    # ------------------------------------------------------------------
+    # Results.
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> OpResult:
+        """The sole result (asserts exactly one exists)."""
+        if len(self.results) != 1:
+            raise ValueError(f"{self.name} has {len(self.results)} results")
+        return self.results[0]
+
+    def replace_all_results_with(self, values: list[Value]) -> None:
+        if len(values) != len(self.results):
+            raise ValueError("result count mismatch")
+        for result, value in zip(self.results, values):
+            result.replace_all_uses_with(value)
+
+    # ------------------------------------------------------------------
+    # Placement.
+    # ------------------------------------------------------------------
+    def erase(self) -> None:
+        """Remove this op from its block and drop its operand uses."""
+        for result in self.results:
+            if result.uses:
+                raise ValueError(
+                    f"erasing {self.name} whose result still has uses"
+                )
+        self.drop_all_operands()
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.drop_all_operands()
+        if self.parent_block is not None:
+            self.parent_block.ops.remove(self)
+            self.parent_block = None
+
+    def remove_from_block(self) -> None:
+        """Detach from the block without touching uses (for moving ops)."""
+        if self.parent_block is not None:
+            self.parent_block.ops.remove(self)
+            self.parent_block = None
+
+    def clone(self, value_map: dict[Value, Value]) -> "Operation":
+        """Deep-copy this op, remapping operands through ``value_map``.
+
+        The clone's results are recorded in ``value_map`` so subsequent
+        clones see them.  Nested regions are cloned recursively.
+        """
+        operands = [value_map.get(operand, operand) for operand in self._operands]
+        clone = Operation(
+            self.name,
+            operands,
+            [result.type for result in self.results],
+            dict(self.attrs),
+        )
+        for region in self.regions:
+            clone.regions.append(region.clone(value_map, parent_op=clone))
+        for old, new in zip(self.results, clone.results):
+            value_map[old] = new
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name}>"
+
+
+class Block:
+    """A basic block: typed arguments followed by a list of operations."""
+
+    def __init__(self, arg_types: list[Type] | tuple[Type, ...] = ()) -> None:
+        self.args: list[BlockArgument] = [
+            BlockArgument(self, i, t) for i, t in enumerate(arg_types)
+        ]
+        self.ops: list[Operation] = []
+        self.parent_region: Optional[Region] = None
+
+    def append(self, op: Operation) -> Operation:
+        op.parent_block = self
+        self.ops.append(op)
+        return op
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        index = self.ops.index(anchor)
+        op.parent_block = self
+        self.ops.insert(index, op)
+        return op
+
+    def add_argument(self, type: Type) -> BlockArgument:
+        arg = BlockArgument(self, len(self.args), type)
+        self.args.append(arg)
+        return arg
+
+    @property
+    def terminator(self) -> Operation:
+        if not self.ops:
+            raise ValueError("empty block has no terminator")
+        return self.ops[-1]
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+
+class Region:
+    """A list of blocks nested inside an operation."""
+
+    def __init__(self, blocks: Optional[list[Block]] = None) -> None:
+        self.blocks: list[Block] = list(blocks or [])
+        for block in self.blocks:
+            block.parent_region = self
+        self.parent_op: Optional[Operation] = None
+
+    def add_block(self, block: Block) -> Block:
+        block.parent_region = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def clone(
+        self, value_map: dict[Value, Value], parent_op: Optional[Operation] = None
+    ) -> "Region":
+        region = Region()
+        region.parent_op = parent_op
+        for block in self.blocks:
+            new_block = Block([arg.type for arg in block.args])
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+            region.add_block(new_block)
+        for block, new_block in zip(self.blocks, region.blocks):
+            for op in block.ops:
+                new_block.append(op.clone(value_map))
+        return region
+
+
+def walk(op_or_block: Operation | Block) -> Iterator[Operation]:
+    """Yield every operation nested under the given op or block, pre-order."""
+    if isinstance(op_or_block, Block):
+        ops: list[Operation] = list(op_or_block.ops)
+    else:
+        yield op_or_block
+        ops = [
+            inner
+            for region in op_or_block.regions
+            for block in region.blocks
+            for inner in block.ops
+        ]
+    for op in ops:
+        yield from walk(op)

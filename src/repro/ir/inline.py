@@ -1,0 +1,88 @@
+"""Function inlining (paper §5.4).
+
+Inlining is the most important optimization in the Qwerty compiler: it
+linearizes functional code into straight-line quantum operations.  The
+inliner repeatedly inlines direct ``call`` ops whose callee body is a
+single basic block, interleaved with canonicalization by the caller
+(mirroring how the MLIR inliner re-runs the canonicalizer).
+
+Calls marked ``adj``/``pred`` are rewritten to call the corresponding
+compiler-generated specialization before inlining (see
+:mod:`repro.qwerty_ir.specialize`), so by the time this module runs, a
+``call`` op is always a plain forward call.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import Operation, Value, walk
+from repro.ir.module import FuncOp, ModuleOp
+from repro.errors import LoweringError
+
+#: Direct-call op names this inliner understands.
+CALL_OPS = ("qwerty.call", "qcirc.call")
+
+
+def inline_call_op(call: Operation, module: ModuleOp) -> bool:
+    """Inline one direct call op in place.  Returns True on success.
+
+    The callee must exist in the module, must not be a declaration, and
+    must consist of a single basic block.  Calls carrying ``adj`` or
+    ``pred`` markers are left alone (specialization handles them).
+    """
+    if call.attrs.get("adj") or call.attrs.get("pred") is not None:
+        return False
+    callee_name = call.attrs["callee"]
+    callee = module.funcs.get(callee_name)
+    if callee is None or callee.is_declaration:
+        return False
+    if len(callee.body.blocks) != 1:
+        return False
+
+    block = call.parent_block
+    value_map: dict[Value, Value] = {}
+    for arg, operand in zip(callee.entry.args, call.operands):
+        value_map[arg] = operand
+
+    insert_at = block.ops.index(call)
+    return_operands: list[Value] = []
+    for op in callee.entry.ops:
+        if op.name == "func.return":
+            return_operands = [value_map.get(v, v) for v in op.operands]
+            break
+        clone = op.clone(value_map)
+        clone.parent_block = block
+        block.ops.insert(insert_at, clone)
+        insert_at += 1
+
+    if len(return_operands) != len(call.results):
+        raise LoweringError(
+            f"callee @{callee_name} returned {len(return_operands)} values, "
+            f"call expected {len(call.results)}"
+        )
+    call.replace_all_results_with(return_operands)
+    call.erase()
+    return True
+
+
+def inline_calls(module: ModuleOp, canonicalize=None) -> bool:
+    """Inline every inlinable direct call to a fixpoint.
+
+    ``canonicalize`` is an optional callback run after each sweep so
+    newly exposed patterns (e.g. ``call_indirect(func_const)``) convert
+    into further direct calls, exactly the interleaving the paper
+    describes (§5.4).
+    """
+    changed_ever = False
+    for _ in range(64):
+        changed = False
+        for func in list(module):
+            for op in list(walk(func.entry)):
+                if op.name in CALL_OPS and op.parent_block is not None:
+                    if inline_call_op(op, module):
+                        changed = True
+        if canonicalize is not None and canonicalize(module):
+            changed = True
+        changed_ever |= changed
+        if not changed:
+            break
+    return changed_ever

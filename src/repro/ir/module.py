@@ -1,0 +1,118 @@
+"""Modules, functions, and an insertion-point builder."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.ir.core import Block, Operation, Region, Value
+from repro.ir.types import FunctionType, Type
+
+
+class FuncOp:
+    """A function: a symbol name, a function type, and a body region.
+
+    Qwerty functions are single-basic-block (paper §5.2 adjoints
+    "the single basic block making up the callee function body"),
+    though the region model permits more.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        type: FunctionType,
+        visibility: str = "public",
+    ) -> None:
+        self.name = name
+        self.type = type
+        self.visibility = visibility
+        self.body = Region([Block(list(type.inputs))])
+        #: Which specialization this function is, if compiler-generated:
+        #: None for user functions, else (base_name, is_adjoint, num_controls).
+        self.specialization_of: Optional[tuple[str, bool, int]] = None
+
+    @property
+    def entry(self) -> Block:
+        return self.body.entry
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.entry.ops
+
+    def clone(self, new_name: Optional[str] = None) -> "FuncOp":
+        clone = FuncOp(new_name or self.name, self.type, self.visibility)
+        value_map: dict[Value, Value] = {}
+        for old_arg, new_arg in zip(self.entry.args, clone.entry.args):
+            value_map[old_arg] = new_arg
+        for op in self.entry.ops:
+            clone.entry.append(op.clone(value_map))
+        clone.specialization_of = self.specialization_of
+        return clone
+
+
+class ModuleOp:
+    """A module: an ordered symbol table of functions."""
+
+    def __init__(self) -> None:
+        self.funcs: dict[str, FuncOp] = {}
+        self.entry_point: Optional[str] = None
+
+    def add(self, func: FuncOp) -> FuncOp:
+        if func.name in self.funcs:
+            raise ValueError(f"duplicate function symbol @{func.name}")
+        self.funcs[func.name] = func
+        return func
+
+    def get(self, name: str) -> FuncOp:
+        return self.funcs[name]
+
+    def remove(self, name: str) -> None:
+        del self.funcs[name]
+
+    def unique_name(self, base: str) -> str:
+        """A symbol name not yet present in the module."""
+        if base not in self.funcs:
+            return base
+        counter = 0
+        while f"{base}_{counter}" in self.funcs:
+            counter += 1
+        return f"{base}_{counter}"
+
+    def __iter__(self) -> Iterable[FuncOp]:
+        return iter(list(self.funcs.values()))
+
+
+class Builder:
+    """Appends ops at an insertion point, mirroring MLIR's OpBuilder."""
+
+    def __init__(self, block: Block) -> None:
+        self.block = block
+        self.insert_before_op: Optional[Operation] = None
+
+    @classmethod
+    def before(cls, op: Operation) -> "Builder":
+        builder = cls(op.parent_block)
+        builder.insert_before_op = op
+        return builder
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert an already-constructed op at the insertion point."""
+        if self.insert_before_op is not None:
+            self.block.insert_before(self.insert_before_op, op)
+        else:
+            self.block.append(op)
+        return op
+
+    def create(
+        self,
+        name: str,
+        operands: Iterable[Value] = (),
+        result_types: Iterable[Type] = (),
+        attrs: Optional[dict[str, Any]] = None,
+        regions: Optional[list[Region]] = None,
+    ) -> Operation:
+        op = Operation(name, list(operands), list(result_types), attrs, regions)
+        if self.insert_before_op is not None:
+            self.block.insert_before(self.insert_before_op, op)
+        else:
+            self.block.append(op)
+        return op

@@ -1,0 +1,84 @@
+"""Textual IR printing, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.ir.core import Block, Operation, Value
+from repro.ir.module import FuncOp, ModuleOp
+
+
+class _Namer:
+    """Assigns %0, %1, ... to SSA values in definition order."""
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._counter = 0
+
+    def name(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._names:
+            self._names[key] = f"%{self._counter}"
+            self._counter += 1
+        return self._names[key]
+
+
+def _format_attr(value: object) -> str:
+    return str(value)
+
+
+def _print_op(op: Operation, namer: _Namer, out: StringIO, indent: int) -> None:
+    pad = "  " * indent
+    results = ", ".join(namer.name(result) for result in op.results)
+    prefix = f"{results} = " if op.results else ""
+    operands = ", ".join(namer.name(operand) for operand in op.operands)
+    attrs = ""
+    if op.attrs:
+        rendered = ", ".join(
+            f"{key}={_format_attr(val)}" for key, val in sorted(op.attrs.items())
+        )
+        attrs = f" {{{rendered}}}"
+    types = ""
+    if op.results:
+        types = " : " + ", ".join(str(result.type) for result in op.results)
+    out.write(f"{pad}{prefix}{op.name}({operands}){attrs}{types}\n")
+    for region in op.regions:
+        for block in region.blocks:
+            _print_block(block, namer, out, indent + 1)
+
+
+def _print_block(block: Block, namer: _Namer, out: StringIO, indent: int) -> None:
+    pad = "  " * indent
+    args = ", ".join(
+        f"{namer.name(arg)}: {arg.type}" for arg in block.args
+    )
+    out.write(f"{pad}^block({args}):\n")
+    for op in block.ops:
+        _print_op(op, namer, out, indent + 1)
+
+
+def print_op(op: Operation) -> str:
+    out = StringIO()
+    _print_op(op, _Namer(), out, 0)
+    return out.getvalue()
+
+
+def print_func(func: FuncOp, namer: _Namer | None = None) -> str:
+    out = StringIO()
+    namer = namer or _Namer()
+    spec = ""
+    if func.specialization_of:
+        spec = f" // specialization of {func.specialization_of}"
+    out.write(f"func @{func.name} : {func.type}{spec}\n")
+    for block in func.body.blocks:
+        _print_block(block, namer, out, 1)
+    return out.getvalue()
+
+
+def print_module(module: ModuleOp) -> str:
+    out = StringIO()
+    namer = _Namer()
+    for func in module:
+        out.write(print_func(func, namer))
+        out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,116 @@
+"""IR types for both dialects (paper §5 and §6).
+
+Qwerty IR defines ``qbundle[N]``, ``bitbundle[N]`` and function types
+that may be reversible or irreversible.  QCircuit IR defines ``qubit``,
+``array<T>[N]`` and ``callable``.  MLIR built-ins ``i1`` and ``f64``
+round out the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for IR types.  All concrete types are frozen dataclasses."""
+
+    @property
+    def is_quantum(self) -> bool:
+        """Whether values of this type obey linear (use-once) typing."""
+        return False
+
+
+@dataclass(frozen=True)
+class QBundleType(Type):
+    """A tuple of N qubits (Qwerty dialect), written ``qbundle[N]``."""
+
+    n: int
+
+    @property
+    def is_quantum(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"qbundle[{self.n}]"
+
+
+@dataclass(frozen=True)
+class BitBundleType(Type):
+    """A tuple of N classical bits (Qwerty dialect), ``bitbundle[N]``."""
+
+    n: int
+
+    def __str__(self) -> str:
+        return f"bitbundle[{self.n}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """A function type, possibly reversible (``T1 rev-> T2``)."""
+
+    inputs: tuple[Type, ...]
+    outputs: tuple[Type, ...]
+    reversible: bool = False
+
+    def __str__(self) -> str:
+        arrow = "rev->" if self.reversible else "->"
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.outputs)
+        return f"({ins}) {arrow} ({outs})"
+
+
+@dataclass(frozen=True)
+class QubitType(Type):
+    """A single qubit (QCircuit dialect), corresponding to QIR %Qubit*."""
+
+    @property
+    def is_quantum(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "qubit"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-length array (QCircuit dialect), QIR %Array*."""
+
+    element: Type
+    n: int
+
+    @property
+    def is_quantum(self) -> bool:
+        return self.element.is_quantum
+
+    def __str__(self) -> str:
+        return f"array<{self.element}>[{self.n}]"
+
+
+@dataclass(frozen=True)
+class CallableType(Type):
+    """A callable value (QCircuit dialect), QIR %Callable*."""
+
+    def __str__(self) -> str:
+        return "callable"
+
+
+@dataclass(frozen=True)
+class I1Type(Type):
+    """A 1-bit integer (MLIR built-in ``i1``)."""
+
+    def __str__(self) -> str:
+        return "i1"
+
+
+@dataclass(frozen=True)
+class F64Type(Type):
+    """A 64-bit float (MLIR built-in ``f64``)."""
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+I1 = I1Type()
+F64 = F64Type()
+QUBIT = QubitType()
+CALLABLE = CallableType()

@@ -1,0 +1,7 @@
+"""Lowering Qwerty IR to QCircuit IR (paper §6.1) and flattening
+QCircuit IR into imperative circuits (paper §7)."""
+
+from repro.lower.qwerty_to_qcircuit import lower_module
+from repro.lower.flatten import flatten_to_circuit
+
+__all__ = ["flatten_to_circuit", "lower_module"]

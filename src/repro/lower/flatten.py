@@ -1,0 +1,185 @@
+"""Flattening QCircuit IR into an imperative circuit (paper §7).
+
+This is the reg2mem-style conversion used for OpenQASM 3 export and the
+QIR Base Profile: SSA qubit values become physical qubit indices,
+measure results become classical bits, and ``scf.if`` regions become
+classically conditioned gates.  It requires inlining to have succeeded
+(no calls or callables remain), mirroring the paper's note that
+OpenQASM 3 generation depends on inlining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dialects import arith, qcircuit, qwerty, scf
+from repro.errors import LoweringError
+from repro.ir.core import Operation, Value
+from repro.ir.module import FuncOp, ModuleOp
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+
+
+@dataclass
+class _State:
+    circuit: Circuit
+    qubit_of: dict[int, int] = field(default_factory=dict)
+    bit_of: dict[int, int] = field(default_factory=dict)
+    arrays: dict[int, tuple] = field(default_factory=dict)
+    free_qubits: list[int] = field(default_factory=list)
+
+    def alloc_qubit(self) -> int:
+        if self.free_qubits:
+            return self.free_qubits.pop()
+        index = self.circuit.num_qubits
+        self.circuit.num_qubits += 1
+        return index
+
+    def alloc_bit(self) -> int:
+        index = self.circuit.num_bits
+        self.circuit.num_bits += 1
+        return index
+
+
+def _flatten_block(
+    block_ops, state: _State, condition: tuple[int, int] | None
+) -> list:
+    """Flatten ops; returns the operands of the terminator (if any)."""
+    terminator_operands: list = []
+    for op in block_ops:
+        name = op.name
+        if name == qcircuit.QALLOC:
+            state.qubit_of[id(op.result)] = state.alloc_qubit()
+        elif name in (qcircuit.QFREE, qcircuit.QFREEZ):
+            qubit = state.qubit_of[id(op.operands[0])]
+            if name == qcircuit.QFREE:
+                state.circuit.add(Reset(qubit))
+            state.free_qubits.append(qubit)
+        elif name == qcircuit.GATE:
+            num_controls = op.attrs["num_controls"]
+            physical = [state.qubit_of[id(v)] for v in op.operands]
+            gate = CircuitGate(
+                op.attrs["gate"],
+                tuple(physical[num_controls:]),
+                tuple(physical[:num_controls]),
+                op.attrs["params"],
+                op.attrs["ctrl_states"],
+                condition,
+            )
+            state.circuit.add(gate)
+            for value, qubit in zip(op.results, physical):
+                state.qubit_of[id(value)] = qubit
+        elif name == qcircuit.MEASURE:
+            if condition is not None:
+                raise LoweringError("measurement inside a conditional block")
+            qubit = state.qubit_of[id(op.operands[0])]
+            bit = state.alloc_bit()
+            state.circuit.add(Measurement(qubit, bit))
+            state.qubit_of[id(op.results[0])] = qubit
+            state.bit_of[id(op.results[1])] = bit
+        elif name == qcircuit.ARRPACK:
+            state.arrays[id(op.result)] = tuple(op.operands)
+        elif name == qcircuit.ARRUNPACK:
+            source = state.arrays.get(id(op.operands[0]))
+            if source is None:
+                raise LoweringError("arrunpack of an unknown array value")
+            for result, origin in zip(op.results, source):
+                # Alias the unpacked values to the packed ones.
+                if id(origin) in state.qubit_of:
+                    state.qubit_of[id(result)] = state.qubit_of[id(origin)]
+                elif id(origin) in state.bit_of:
+                    state.bit_of[id(result)] = state.bit_of[id(origin)]
+                elif id(origin) in state.arrays:
+                    state.arrays[id(result)] = state.arrays[id(origin)]
+                else:
+                    raise LoweringError("array element has no physical home")
+        elif name == arith.CONSTANT:
+            pass  # Constants fold into gate attrs before flattening.
+        elif name == scf.IF:
+            _flatten_if(op, state, condition)
+        elif name in (qwerty.RETURN, scf.YIELD):
+            terminator_operands = list(op.operands)
+        elif name in arith.STATIONARY_OPS:
+            pass
+        else:
+            raise LoweringError(
+                f"cannot flatten op {name}; inlining may have failed"
+            )
+    return terminator_operands
+
+
+def _physical_signature(values, state: _State):
+    out = []
+    for value in values:
+        if id(value) in state.qubit_of:
+            out.append(("q", state.qubit_of[id(value)]))
+        elif id(value) in state.bit_of:
+            out.append(("b", state.bit_of[id(value)]))
+        elif id(value) in state.arrays:
+            out.append(
+                ("a", _physical_signature(state.arrays[id(value)], state))
+            )
+        else:
+            raise LoweringError("value has no physical home")
+    return out
+
+
+def _flatten_if(
+    op: Operation, state: _State, condition: tuple[int, int] | None
+) -> None:
+    if condition is not None:
+        raise LoweringError("nested conditionals are not supported")
+    cond_value = op.operands[0]
+    bit = state.bit_of.get(id(cond_value))
+    if bit is None:
+        raise LoweringError("scf.if condition is not a measurement result")
+
+    then_yield = _flatten_block(
+        scf.then_block(op).ops, state, condition=(bit, 1)
+    )
+    then_signature = _physical_signature(then_yield, state)
+    then_values = list(then_yield)
+
+    else_yield = _flatten_block(
+        scf.else_block(op).ops, state, condition=(bit, 0)
+    )
+    else_signature = _physical_signature(else_yield, state)
+    if then_signature != else_signature:
+        raise LoweringError(
+            "scf.if branches place results on different physical qubits"
+        )
+    for result, value in zip(op.results, then_values):
+        if id(value) in state.qubit_of:
+            state.qubit_of[id(result)] = state.qubit_of[id(value)]
+        elif id(value) in state.bit_of:
+            state.bit_of[id(result)] = state.bit_of[id(value)]
+        elif id(value) in state.arrays:
+            state.arrays[id(result)] = state.arrays[id(value)]
+
+
+def flatten_to_circuit(module: ModuleOp, entry: str | None = None) -> Circuit:
+    """Flatten the (inlined) entry function into a flat circuit.
+
+    Classical bits returned by the entry function become the circuit's
+    ``output_bits``, in return order.
+    """
+    entry = entry or module.entry_point
+    if entry is None:
+        raise LoweringError("no entry point to flatten")
+    func = module.get(entry)
+    state = _State(Circuit(0, 0))
+    if func.entry.args:
+        raise LoweringError("entry function must take no arguments")
+    returned = _flatten_block(func.entry.ops, state, None)
+
+    output_bits: list[int] = []
+
+    def collect(signature) -> None:
+        for kind, payload in signature:
+            if kind == "b":
+                output_bits.append(payload)
+            elif kind == "a":
+                collect(payload)
+
+    collect(_physical_signature(returned, state))
+    state.circuit.output_bits = output_bits
+    return state.circuit

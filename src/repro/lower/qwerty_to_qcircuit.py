@@ -1,0 +1,439 @@
+"""Dialect conversion from Qwerty IR to QCircuit IR (paper §6.1).
+
+Conversion patterns per op: ``qbprep`` becomes ``qalloc`` plus H/S/X
+gates; ``qbdiscard`` becomes ``qfree`` per qubit; ``qbtrans`` invokes
+basis translation synthesis (§6.3) and splices the resulting gates in
+dataflow form; ``qbmeas`` becomes a translation to std followed by
+per-qubit measures; function-value ops become QIR-style callable ops.
+Bundle types become arrays, with ``qbpack``/``qbunpack`` turning into
+``arrpack``/``arrunpack`` whose redundant compositions canonicalize
+away.
+"""
+
+from __future__ import annotations
+
+from repro.basis import Basis
+from repro.basis.basis import std as std_basis
+from repro.basis.literal import BasisLiteral
+from repro.basis.primitive import PrimitiveBasis
+from repro.basis.vector import BasisVector
+from repro.dialects import arith, qcircuit, qwerty, scf
+from repro.errors import LoweringError
+from repro.ir.core import Operation, Value, walk
+from repro.ir.module import Builder, FuncOp, ModuleOp
+from repro.ir.rewrite import RewritePattern, apply_patterns_greedily
+from repro.ir.types import (
+    ArrayType,
+    BitBundleType,
+    FunctionType,
+    I1,
+    QBundleType,
+    QubitType,
+    Type,
+)
+from repro.qcircuit.circuit import CircuitGate
+
+_QUBIT = QubitType()
+
+#: Gate sequences preparing each single-qubit literal from |0>.
+_PREP_GATES: dict[tuple[PrimitiveBasis, int], tuple[str, ...]] = {
+    (PrimitiveBasis.STD, 0): (),
+    (PrimitiveBasis.STD, 1): ("x",),
+    (PrimitiveBasis.PM, 0): ("h",),
+    (PrimitiveBasis.PM, 1): ("x", "h"),
+    (PrimitiveBasis.IJ, 0): ("h", "s"),
+    (PrimitiveBasis.IJ, 1): ("x", "h", "s"),
+}
+
+
+def convert_type(type: Type) -> Type:
+    if isinstance(type, QBundleType):
+        return ArrayType(_QUBIT, type.n)
+    if isinstance(type, BitBundleType):
+        return ArrayType(I1, type.n)
+    if isinstance(type, FunctionType):
+        return FunctionType(
+            tuple(convert_type(t) for t in type.inputs),
+            tuple(convert_type(t) for t in type.outputs),
+            type.reversible,
+        )
+    return type
+
+
+def _emit_gates(
+    builder: Builder, gates: list[CircuitGate], qubits: list[Value]
+) -> list[Value]:
+    """Thread SSA qubit values through a synthesized gate list."""
+    for gate in gates:
+        controls = [qubits[q] for q in gate.controls]
+        targets = [qubits[q] for q in gate.targets]
+        results = qcircuit.gate(
+            builder,
+            gate.name,
+            controls,
+            targets,
+            gate.params,
+            gate.ctrl_states,
+        )
+        for index, qubit_index in enumerate(gate.controls + gate.targets):
+            qubits[qubit_index] = results[index]
+    return qubits
+
+
+def _resolve_phases(op: Operation) -> tuple[Basis, Basis]:
+    """Merge dynamic phase operands (degrees) into the basis attrs."""
+    b_in: Basis = op.attrs["bin"]
+    b_out: Basis = op.attrs["bout"]
+    slots = op.attrs["phase_slots"]
+    if not slots:
+        return b_in, b_out
+    overrides: dict[tuple[str, int], float] = {}
+    for value, slot in zip(op.operands[1:], slots):
+        phase = arith.const_value(value)
+        if phase is None:
+            raise LoweringError(
+                "dynamic basis-translation phase did not fold to a constant"
+            )
+        overrides[slot] = phase
+
+    def apply(basis: Basis, side: str) -> Basis:
+        elements = []
+        counter = 0
+        for element in basis.elements:
+            if not isinstance(element, BasisLiteral):
+                elements.append(element)
+                continue
+            vectors = []
+            for vector in element.vectors:
+                key = (side, counter)
+                if key in overrides:
+                    vectors.append(
+                        BasisVector(
+                            vector.eigenbits, vector.prim, overrides[key]
+                        )
+                    )
+                else:
+                    vectors.append(vector)
+                counter += 1
+            elements.append(BasisLiteral(tuple(vectors)))
+        return Basis(tuple(elements))
+
+    return apply(b_in, "in"), apply(b_out, "out")
+
+
+def _lower_qbprep(op: Operation, builder: Builder) -> Value:
+    prim = op.attrs["prim"]
+    qubits = []
+    for eigenbit in op.attrs["eigenbits"]:
+        qubit = qcircuit.qalloc(builder)
+        for gate_name in _PREP_GATES[(prim, eigenbit)]:
+            (qubit,) = qcircuit.gate(builder, gate_name, [], [qubit])
+        qubits.append(qubit)
+    return qcircuit.arrpack(builder, qubits, _QUBIT)
+
+
+def _lower_qbunprep(op: Operation, builder: Builder, operand: Value) -> None:
+    prim = op.attrs["prim"]
+    qubits = qcircuit.arrunpack(builder, operand)
+    for qubit, eigenbit in zip(qubits, op.attrs["eigenbits"]):
+        inverse = [
+            {"x": "x", "h": "h", "s": "sdg"}[name]
+            for name in reversed(_PREP_GATES[(prim, eigenbit)])
+        ]
+        for gate_name in inverse:
+            (qubit,) = qcircuit.gate(builder, gate_name, [], [qubit])
+        qcircuit.qfreez(builder, qubit)
+
+
+class _FuncLowering:
+    """Lowers one function's ops in place (single forward walk)."""
+
+    def __init__(self, module: ModuleOp) -> None:
+        self.module = module
+        self.mapping: dict[int, Value] = {}
+
+    def value(self, original: Value) -> Value:
+        return self.mapping.get(id(original), original)
+
+    def lower_block(self, block, builder: Builder) -> None:
+        from repro.synth import synthesize_basis_translation
+
+        for op in list(block.ops):
+            handler = getattr(self, "_op_" + op.name.replace(".", "_"), None)
+            if handler is not None:
+                handler(op, builder)
+            else:
+                self._copy(op, builder)
+
+    # ------------------------------------------------------------------
+    def _copy(self, op: Operation, builder: Builder) -> None:
+        operands = [self.value(v) for v in op.operands]
+        clone = Operation(
+            op.name,
+            operands,
+            [convert_type(r.type) for r in op.results],
+            dict(op.attrs),
+        )
+        builder.insert(clone)
+        for region in op.regions:
+            new_region = type(region)()
+            clone.regions.append(new_region)
+            new_region.parent_op = clone
+            for inner in region.blocks:
+                from repro.ir.core import Block
+
+                new_block = Block([convert_type(a.type) for a in inner.args])
+                new_region.add_block(new_block)
+                for old_arg, new_arg in zip(inner.args, new_block.args):
+                    self.mapping[id(old_arg)] = new_arg
+                self.lower_block(inner, Builder(new_block))
+        for old, new in zip(op.results, clone.results):
+            self.mapping[id(old)] = new
+
+    def _op_qwerty_qbprep(self, op: Operation, builder: Builder) -> None:
+        self.mapping[id(op.result)] = _lower_qbprep(op, builder)
+
+    def _op_qwerty_qbunprep(self, op: Operation, builder: Builder) -> None:
+        _lower_qbunprep(op, builder, self.value(op.operands[0]))
+
+    def _op_qwerty_qbdiscard(self, op: Operation, builder: Builder) -> None:
+        qubits = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        for qubit in qubits:
+            qcircuit.qfree(builder, qubit)
+
+    def _op_qwerty_qbdiscardz(self, op: Operation, builder: Builder) -> None:
+        qubits = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        for qubit in qubits:
+            qcircuit.qfreez(builder, qubit)
+
+    def _op_qwerty_qbtrans(self, op: Operation, builder: Builder) -> None:
+        from repro.synth import synthesize_basis_translation
+
+        b_in, b_out = _resolve_phases(op)
+        gates = synthesize_basis_translation(b_in, b_out)
+        qubits = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        qubits = _emit_gates(builder, gates, qubits)
+        self.mapping[id(op.result)] = qcircuit.arrpack(
+            builder, qubits, _QUBIT
+        )
+
+    def _op_qwerty_qbmeas(self, op: Operation, builder: Builder) -> None:
+        from repro.synth import synthesize_basis_translation
+
+        basis: Basis = op.attrs["basis"]
+        gates = synthesize_basis_translation(basis, std_basis(basis.dim))
+        qubits = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        qubits = _emit_gates(builder, gates, qubits)
+        bits = []
+        for index, qubit in enumerate(qubits):
+            new_qubit, bit = qcircuit.measure(builder, qubit)
+            qcircuit.qfree(builder, new_qubit)
+            bits.append(bit)
+        self.mapping[id(op.result)] = qcircuit.arrpack(builder, bits, I1)
+
+    def _op_qwerty_embed(self, op: Operation, builder: Builder) -> None:
+        from repro.classical.embed import (
+            synthesize_sign_embedding,
+            synthesize_xor_embedding,
+        )
+
+        network = op.attrs["network"]
+        kind = op.attrs["kind"]
+        if kind == "xor":
+            oracle = synthesize_xor_embedding(network)
+        else:
+            oracle = synthesize_sign_embedding(network)
+
+        pred = op.attrs.get("pred")
+        pred_controls = pred.dim if pred is not None else 0
+        qubits = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        payload = qubits[pred_controls:]
+        if len(payload) != oracle.num_inputs + oracle.num_outputs:
+            raise LoweringError(
+                f"embed bundle has {len(payload)} qubits, oracle expects "
+                f"{oracle.num_inputs + oracle.num_outputs}"
+            )
+        ancillas = [qcircuit.qalloc(builder) for _ in range(oracle.num_ancillas)]
+        wires = payload + ancillas
+
+        gates = oracle.gates
+        if pred is not None:
+            gates = _predicated_oracle_gates(gates, pred, oracle)
+        # Predicate controls live at indices [payload..payload+M) in the
+        # pred-extended gate list; map wire index -> SSA value list.
+        all_wires = wires + qubits[:pred_controls]
+        all_wires = _emit_gates(builder, gates, all_wires)
+        new_payload = all_wires[: len(payload)]
+        new_ancillas = all_wires[len(payload) : len(wires)]
+        new_controls = all_wires[len(wires):]
+        for ancilla in new_ancillas:
+            qcircuit.qfreez(builder, ancilla)
+        self.mapping[id(op.result)] = qcircuit.arrpack(
+            builder, new_controls + new_payload, _QUBIT
+        )
+
+    def _op_qwerty_qbpack(self, op: Operation, builder: Builder) -> None:
+        operands = [self.value(v) for v in op.operands]
+        self.mapping[id(op.result)] = qcircuit.arrpack(
+            builder, operands, _QUBIT
+        )
+
+    def _op_qwerty_qbunpack(self, op: Operation, builder: Builder) -> None:
+        results = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        for old, new in zip(op.results, results):
+            self.mapping[id(old)] = new
+
+    def _op_qwerty_bitpack(self, op: Operation, builder: Builder) -> None:
+        operands = [self.value(v) for v in op.operands]
+        self.mapping[id(op.result)] = qcircuit.arrpack(builder, operands, I1)
+
+    def _op_qwerty_bitunpack(self, op: Operation, builder: Builder) -> None:
+        results = qcircuit.arrunpack(builder, self.value(op.operands[0]))
+        for old, new in zip(op.results, results):
+            self.mapping[id(old)] = new
+
+    def _op_qwerty_call(self, op: Operation, builder: Builder) -> None:
+        if op.attrs.get("adj") or op.attrs.get("pred") is not None:
+            raise LoweringError(
+                "call adj/pred survived to lowering; specialization "
+                "should have rewritten it"
+            )
+        operands = [self.value(v) for v in op.operands]
+        new = qcircuit.call(
+            builder,
+            op.attrs["callee"],
+            operands,
+            [convert_type(r.type) for r in op.results],
+        )
+        for old, fresh in zip(op.results, new.results):
+            self.mapping[id(old)] = fresh
+
+    def _op_qwerty_call_indirect(self, op: Operation, builder: Builder) -> None:
+        callee = self.value(op.operands[0])
+        operands = [self.value(v) for v in op.operands[1:]]
+        new = qcircuit.callable_invoke(
+            builder,
+            callee,
+            operands,
+            [convert_type(r.type) for r in op.results],
+        )
+        for old, fresh in zip(op.results, new.results):
+            self.mapping[id(old)] = fresh
+
+    def _op_qwerty_func_const(self, op: Operation, builder: Builder) -> None:
+        self.mapping[id(op.result)] = qcircuit.callable_create(
+            builder, op.attrs["callee"]
+        )
+
+    def _op_qwerty_func_adj(self, op: Operation, builder: Builder) -> None:
+        self.mapping[id(op.result)] = qcircuit.callable_adjoint(
+            builder, self.value(op.operands[0])
+        )
+
+    def _op_qwerty_func_pred(self, op: Operation, builder: Builder) -> None:
+        self.mapping[id(op.result)] = qcircuit.callable_control(
+            builder, self.value(op.operands[0])
+        )
+
+
+def _predicated_oracle_gates(gates, pred, oracle):
+    """Control every oracle gate on the predicate's pattern set.
+
+    Predicate control wires sit after the oracle's own wires (payload
+    then ancillas) in the extended gate list built by the embed
+    lowering.  Gates that only prepare/unprepare ancillas (X/H shells
+    with no interaction with inputs) are still controlled; this is
+    conservative but correct because controlled prep of an ancilla that
+    is then only touched by controlled gates stays |0> outside the
+    predicate space.
+    """
+    from repro.basis.literal import BasisLiteral
+
+    base = oracle.num_qubits
+    combos: list[tuple[list[int], list[int]]] = [([], [])]
+    offset = 0
+    for element in pred.elements:
+        if isinstance(element, BasisLiteral):
+            if element.prim is not PrimitiveBasis.STD:
+                raise LoweringError(
+                    "predicated embeds require std-basis predicates"
+                )
+            patterns = [vec.eigenbits for vec in element.vectors]
+        else:
+            patterns = [None]  # Fully spanning: no constraint.
+        new_combos = []
+        for controls, states in combos:
+            for pattern in patterns:
+                if pattern is None:
+                    new_combos.append((controls, states))
+                else:
+                    new_combos.append(
+                        (
+                            controls
+                            + [base + offset + k for k in range(len(pattern))],
+                            states + list(pattern),
+                        )
+                    )
+        combos = new_combos
+        offset += element.dim
+    out = []
+    for gate in gates:
+        for controls, states in combos:
+            out.append(gate.with_extra_controls(controls, states))
+    return out
+
+
+def _fold_arr_roundtrips(op: Operation, module: ModuleOp) -> bool:
+    """arrpack(arrunpack(x)) -> x and arrunpack(arrpack(x...)) -> x..."""
+    if op.name == qcircuit.ARRPACK:
+        sources = {operand.owner_op for operand in op.operands}
+        if len(sources) != 1:
+            return False
+        (source,) = sources
+        if source is None or source.name != qcircuit.ARRUNPACK:
+            return False
+        if tuple(op.operands) != tuple(source.results):
+            return False
+        op.result.replace_all_uses_with(source.operands[0])
+        op.erase()
+        source.erase()
+        return True
+    if op.name == qcircuit.ARRUNPACK:
+        source = op.operands[0].owner_op
+        if source is None or source.name != qcircuit.ARRPACK:
+            return False
+        if not source.result.has_one_use:
+            # The array is also consumed elsewhere (e.g. in the other
+            # fork of an scf.if); folding would un-exclusive the uses.
+            return False
+        op.replace_all_results_with(list(source.operands))
+        op.erase()
+        source.erase()
+        return True
+    return False
+
+
+QCIRCUIT_CANONICALIZATION_PATTERNS = [
+    RewritePattern(
+        "qcirc.fold-arr",
+        (qcircuit.ARRPACK, qcircuit.ARRUNPACK),
+        _fold_arr_roundtrips,
+    ),
+] + arith.CANONICALIZATION_PATTERNS
+
+
+def lower_module(module: ModuleOp) -> ModuleOp:
+    """Convert every function from the Qwerty to the QCircuit dialect."""
+    lowered = ModuleOp()
+    lowered.entry_point = module.entry_point
+    for func in module:
+        new_type = convert_type(func.type)
+        new_func = FuncOp(func.name, new_type, func.visibility)
+        new_func.specialization_of = func.specialization_of
+        lowering = _FuncLowering(module)
+        for old_arg, new_arg in zip(func.entry.args, new_func.entry.args):
+            lowering.mapping[id(old_arg)] = new_arg
+        lowering.lower_block(func.entry, Builder(new_func.entry))
+        lowered.add(new_func)
+    apply_patterns_greedily(lowered, QCIRCUIT_CANONICALIZATION_PATTERNS)
+    return lowered

@@ -1,0 +1,143 @@
+"""The end-to-end ASDF compilation pipeline (paper Fig. 2).
+
+``compile_kernel`` drives: Python AST -> Qwerty AST -> expansion ->
+type checking -> AST canonicalization -> Qwerty IR -> (lambda lifting,
+canonicalization, specialization, inlining) -> QCircuit IR -> flat
+circuit -> peephole -> Selinger decomposition.  Each stage's artifact
+is kept on the :class:`CompileResult` for inspection, testing, and the
+backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QwertyTypeError
+from repro.frontend.canon import canonicalize_kernel
+from repro.frontend.expand import expand_kernel
+from repro.frontend.lower_ast import AstLowering
+from repro.frontend.typecheck import TypeChecker
+from repro.ir.module import ModuleOp
+from repro.ir.verifier import verify_module
+from repro.lower import flatten_to_circuit, lower_module
+from repro.qcircuit import Circuit, decompose_multi_controlled, run_peephole
+from repro.qwerty_ir import run_qwerty_opt
+
+
+@dataclass
+class CompileResult:
+    """Artifacts of one kernel compilation."""
+
+    name: str
+    qwerty_module: ModuleOp
+    qcircuit_module: ModuleOp
+    circuit: Optional[Circuit] = None
+    optimized_circuit: Optional[Circuit] = None
+    decomposed_circuit: Optional[Circuit] = None
+    dims: dict = field(default_factory=dict)
+
+    def qasm3(self) -> str:
+        from repro.backends.qasm3 import emit_qasm3
+
+        if self.optimized_circuit is None:
+            raise QwertyTypeError("OpenQASM 3 export requires inlining")
+        return emit_qasm3(self.optimized_circuit, name=self.name)
+
+    def qir(self, profile: str = "unrestricted") -> str:
+        from repro.backends.qir import emit_qir
+
+        return emit_qir(self, profile=profile)
+
+
+def _build_qwerty_module(kernel) -> tuple[ModuleOp, dict]:
+    """Frontend stages: parse/expand/typecheck/canonicalize/lower."""
+    dims = kernel.infer_dims()
+    expanded = expand_kernel(kernel.kernel_ast, dims)
+
+    capture_types = kernel.capture_types(dims)
+    runtime_params = [
+        p for p in expanded.params if p.name not in kernel.captures
+    ]
+    if runtime_params:
+        raise QwertyTypeError(
+            f"@{kernel.name} has runtime parameters "
+            f"({', '.join(p.name for p in runtime_params)}); only fully "
+            f"captured kernels can be compiled standalone"
+        )
+
+    checker = TypeChecker(capture_types)
+    checker.check_kernel(expanded)
+    canonical = canonicalize_kernel(expanded)
+    checker = TypeChecker(capture_types)
+    return_type = checker.check_kernel(canonical)
+
+    module = ModuleOp()
+    networks = {}
+    from repro.frontend.decorators import ClassicalFunction
+
+    for name, capture in kernel.captures.items():
+        if isinstance(capture, ClassicalFunction):
+            merged = {**capture.infer_dims(), **dims}
+            networks[name] = (
+                lambda cap=capture, d=merged: cap.network(d)
+            )
+    lowering = AstLowering(module, networks)
+    lowering.lower_kernel(canonical, return_type)
+    module.entry_point = canonical.name
+    return module, dims
+
+
+def compile_kernel(
+    kernel,
+    inline: bool = True,
+    peephole: bool = True,
+    relaxed_peephole: bool = True,
+    selinger: bool = True,
+    to_circuit: bool = True,
+    verify: bool = True,
+) -> CompileResult:
+    """Compile a ``@qpu`` kernel through the full pipeline.
+
+    ``inline=False`` reproduces the paper's "Asdf (No Opt)" Table 1
+    configuration; the result then has no flat circuit (function values
+    survive as QIR callables).
+    """
+    module, dims = _build_qwerty_module(kernel)
+    if verify:
+        verify_module(module)
+    run_qwerty_opt(module, inline=inline)
+    if verify:
+        verify_module(module)
+
+    qcircuit_module = lower_module(module)
+    result = CompileResult(
+        kernel.name, module, qcircuit_module, dims=dims
+    )
+    if not (inline and to_circuit):
+        return result
+
+    circuit = flatten_to_circuit(qcircuit_module)
+    result.circuit = circuit
+    optimized = (
+        run_peephole(circuit, relaxed=relaxed_peephole)
+        if peephole
+        else circuit
+    )
+    result.optimized_circuit = optimized
+    result.decomposed_circuit = run_peephole(
+        decompose_multi_controlled(optimized, use_selinger=selinger),
+        relaxed=False,
+    )
+    return result
+
+
+def simulate_kernel(kernel, shots: int = 1, seed: int = 0):
+    """Compile and simulate a kernel, returning measured Bits per shot."""
+    from repro.frontend.decorators import Bits
+    from repro.sim import run_circuit
+
+    result = compile_kernel(kernel)
+    circuit = result.optimized_circuit
+    outcomes = run_circuit(circuit, shots=shots, seed=seed)
+    return [Bits(outcome) for outcome in outcomes]

@@ -1,0 +1,12 @@
+"""Flat quantum circuits plus QCircuit-level optimizations (paper §6, §6.5)."""
+
+from repro.qcircuit.circuit import Circuit, CircuitGate
+from repro.qcircuit.peephole import run_peephole
+from repro.qcircuit.selinger import decompose_multi_controlled
+
+__all__ = [
+    "Circuit",
+    "CircuitGate",
+    "decompose_multi_controlled",
+    "run_peephole",
+]

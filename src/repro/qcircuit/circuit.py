@@ -1,0 +1,215 @@
+"""A flat, imperative quantum circuit representation.
+
+This is the post-IR form used by the backends (OpenQASM 3, QIR), the
+statevector simulator, and the resource estimator — the result of the
+reg2mem-style conversion from QCircuit-dialect SSA (paper §7).  It is
+also the common currency of circuit synthesis: basis translation
+synthesis and oracle synthesis produce gate lists in this form before
+they are spliced into the IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Gate names understood by the circuit layer.
+KNOWN_GATES = {
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "sxdg",
+    "p",
+    "rx",
+    "ry",
+    "rz",
+    "swap",
+}
+
+SELF_ADJOINT = {"x", "y", "z", "h", "swap"}
+
+_NUM_TARGETS = {"swap": 2}
+
+
+@dataclass(frozen=True)
+class CircuitGate:
+    """One gate application: ``name`` on ``targets`` with ``controls``.
+
+    ``ctrl_states`` holds the control polarity (1 = control on |1>).
+    ``params`` holds rotation/phase angles in radians.
+    ``condition`` is an optional ``(classical bit, required value)``
+    pair; the gate only runs when the bit holds that value (used for
+    measurement-dependent circuits such as teleportation).
+    """
+
+    name: str
+    targets: tuple[int, ...]
+    controls: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+    ctrl_states: tuple[int, ...] = ()
+    condition: Optional[tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_GATES:
+            raise SimulationError(f"unknown gate {self.name!r}")
+        if len(self.targets) != _NUM_TARGETS.get(self.name, 1):
+            raise SimulationError(
+                f"gate {self.name!r} takes {_NUM_TARGETS.get(self.name, 1)} "
+                f"targets, got {len(self.targets)}"
+            )
+        if self.ctrl_states and len(self.ctrl_states) != len(self.controls):
+            raise SimulationError("ctrl_states must match controls")
+        if not self.ctrl_states:
+            object.__setattr__(self, "ctrl_states", (1,) * len(self.controls))
+        touched = self.targets + self.controls
+        if len(set(touched)) != len(touched):
+            raise SimulationError(f"gate {self.name!r} touches a qubit twice")
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return self.controls + self.targets
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls)
+
+    @property
+    def is_clifford(self) -> bool:
+        """Whether this is a Clifford gate (T-free), ignoring controls."""
+        import math
+
+        if self.name in {"x", "y", "z", "h", "s", "sdg", "sx", "sxdg", "swap"}:
+            return True
+        if self.name in {"t", "tdg"}:
+            return False
+        if self.name in {"p", "rz", "rx", "ry"}:
+            theta = self.params[0] % (2 * math.pi)
+            quarter = math.pi / 2
+            return min(theta % quarter, quarter - theta % quarter) < 1e-12
+        return False
+
+    def shifted(self, offset: int) -> "CircuitGate":
+        """The same gate with every qubit index shifted by ``offset``."""
+        return replace(
+            self,
+            targets=tuple(q + offset for q in self.targets),
+            controls=tuple(q + offset for q in self.controls),
+        )
+
+    def remapped(self, mapping: dict[int, int]) -> "CircuitGate":
+        """The same gate with qubits renumbered through ``mapping``."""
+        return replace(
+            self,
+            targets=tuple(mapping[q] for q in self.targets),
+            controls=tuple(mapping[q] for q in self.controls),
+        )
+
+    def with_extra_controls(
+        self, controls: Iterable[int], states: Iterable[int]
+    ) -> "CircuitGate":
+        """The same gate with additional (possibly negative) controls."""
+        extra = tuple(controls)
+        extra_states = tuple(states)
+        return replace(
+            self,
+            controls=self.controls + extra,
+            ctrl_states=self.ctrl_states + extra_states,
+        )
+
+    def dagger(self) -> "CircuitGate":
+        """The adjoint gate."""
+        if self.name in SELF_ADJOINT:
+            return self
+        pairs = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+                 "sx": "sxdg", "sxdg": "sx"}
+        if self.name in pairs:
+            return replace(self, name=pairs[self.name])
+        if self.name in {"p", "rx", "ry", "rz"}:
+            return replace(self, params=tuple(-p for p in self.params))
+        raise SimulationError(f"cannot take adjoint of {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Measure ``qubit`` in the standard basis into classical ``bit``."""
+
+    qubit: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class Reset:
+    """Reset ``qubit`` to |0> (emitted by ``qfree``)."""
+
+    qubit: int
+
+
+@dataclass
+class Circuit:
+    """A flat circuit: qubits, classical bits, and an instruction list.
+
+    Instructions are :class:`CircuitGate`, :class:`Measurement` or
+    :class:`Reset` objects in program order.
+    """
+
+    num_qubits: int
+    num_bits: int = 0
+    instructions: list = field(default_factory=list)
+    #: Classical bit indices, in order, that form the program output.
+    output_bits: list[int] = field(default_factory=list)
+
+    def add(self, instruction) -> None:
+        self.instructions.append(instruction)
+
+    @property
+    def gates(self) -> list[CircuitGate]:
+        return [
+            inst for inst in self.instructions if isinstance(inst, CircuitGate)
+        ]
+
+    @property
+    def measurements(self) -> list[Measurement]:
+        return [
+            inst for inst in self.instructions if isinstance(inst, Measurement)
+        ]
+
+    def gate_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            key = gate.name if not gate.controls else f"c{gate.num_controls}{gate.name}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """ASAP circuit depth over gates and measurements."""
+        levels: dict[int, int] = {}
+        depth = 0
+        for inst in self.instructions:
+            if isinstance(inst, CircuitGate):
+                qubits = inst.qubits
+            elif isinstance(inst, Measurement):
+                qubits = (inst.qubit,)
+            else:
+                qubits = (inst.qubit,)
+            level = 1 + max((levels.get(q, 0) for q in qubits), default=0)
+            for q in qubits:
+                levels[q] = level
+            depth = max(depth, level)
+        return depth
+
+    def t_count(self) -> int:
+        """Number of T/Tdg gates plus non-Clifford rotations (each
+        counted once; see resources layer for rotation T-costs)."""
+        return sum(
+            1
+            for gate in self.gates
+            if not gate.is_clifford and not gate.controls
+        ) + sum(1 for gate in self.gates if gate.controls and not gate.is_clifford)

@@ -1,0 +1,427 @@
+"""Gate-level peephole optimizations (paper §6.5).
+
+Implements the common gate-level optimizations of QIRO/QSSA-style
+compilers — cancelling adjacent Hermitian pairs, cancelling
+adjoint pairs, merging adjacent phase rotations, and rewriting
+``H X H -> Z`` / ``H Z H -> X`` — plus the *relaxed* peephole
+optimization of Liu, Bello and Zhou [27] shown in paper Fig. 10:
+a multi-controlled X targeting a freshly-prepared |-> ancilla becomes a
+multi-controlled Z without the ancilla, which is what simplifies
+``f.sign`` in Bernstein-Vazirani and Grover's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.qcircuit.circuit import (
+    Circuit,
+    CircuitGate,
+    Measurement,
+    Reset,
+)
+
+_ADJOINT_PAIRS = {
+    ("s", "sdg"),
+    ("sdg", "s"),
+    ("t", "tdg"),
+    ("tdg", "t"),
+    ("sx", "sxdg"),
+    ("sxdg", "sx"),
+}
+
+_TWO_PI = 2 * math.pi
+
+
+def _same_wires(a: CircuitGate, b: CircuitGate) -> bool:
+    return (
+        a.targets == b.targets
+        and a.controls == b.controls
+        and a.ctrl_states == b.ctrl_states
+        and a.condition == b.condition
+    )
+
+
+def _cancels(a: CircuitGate, b: CircuitGate) -> bool:
+    if not _same_wires(a, b):
+        return False
+    if a.name == b.name and a.name in {"x", "y", "z", "h", "swap"}:
+        return True
+    if (a.name, b.name) in _ADJOINT_PAIRS:
+        return True
+    if a.name == b.name and a.name in {"p", "rx", "ry", "rz"}:
+        return abs((a.params[0] + b.params[0]) % _TWO_PI) < 1e-12 or (
+            abs(((a.params[0] + b.params[0]) % _TWO_PI) - _TWO_PI) < 1e-12
+        )
+    return False
+
+
+def _merge(a: CircuitGate, b: CircuitGate) -> CircuitGate | None:
+    """Merge two adjacent rotations on the same wires, if possible."""
+    if not _same_wires(a, b):
+        return None
+    if a.name == b.name and a.name in {"p", "rx", "ry", "rz"}:
+        angle = (a.params[0] + b.params[0]) % _TWO_PI
+        return CircuitGate(
+            a.name, a.targets, a.controls, (angle,), a.ctrl_states, a.condition
+        )
+    return None
+
+
+def _is_identity(gate: CircuitGate) -> bool:
+    if gate.name in {"p", "rx", "ry", "rz"}:
+        angle = gate.params[0] % _TWO_PI
+        return abs(angle) < 1e-12 or abs(angle - _TWO_PI) < 1e-12
+    return False
+
+
+class _Window:
+    """Streaming peephole: tracks the last live gate per qubit."""
+
+    def __init__(self) -> None:
+        self.out: list = []
+        self.alive: list[bool] = []
+        self.last: dict[int, int] = {}
+
+    def _prev_index(self, gate: CircuitGate) -> int | None:
+        indices = {self.last.get(q) for q in gate.qubits}
+        if len(indices) != 1 or None in indices:
+            return None
+        (index,) = indices
+        if not self.alive[index]:
+            return None
+        prev = self.out[index]
+        if not isinstance(prev, CircuitGate):
+            return None
+        if set(prev.qubits) != set(gate.qubits):
+            return None
+        return index
+
+    def _prev_on_qubit(self, qubit: int, before: int) -> int | None:
+        """The last live gate index touching ``qubit`` before ``before``."""
+        for index in range(before - 1, -1, -1):
+            if not self.alive[index]:
+                continue
+            inst = self.out[index]
+            if isinstance(inst, CircuitGate) and qubit in inst.qubits:
+                return index
+            if isinstance(inst, (Measurement, Reset)) and inst.qubit == qubit:
+                return index
+        return None
+
+    def push(self, inst) -> None:
+        if isinstance(inst, (Measurement, Reset)):
+            index = len(self.out)
+            self.out.append(inst)
+            self.alive.append(True)
+            self.last[inst.qubit] = index
+            return
+        gate: CircuitGate = inst
+        if _is_identity(gate):
+            return
+        prev_index = self._prev_index(gate)
+        if prev_index is not None:
+            prev = self.out[prev_index]
+            if _cancels(prev, gate):
+                self.alive[prev_index] = False
+                self._refresh_last(prev.qubits)
+                return
+            merged = _merge(prev, gate)
+            if merged is not None:
+                self.alive[prev_index] = False
+                self._refresh_last(prev.qubits)
+                self.push(merged)
+                return
+        if self._try_hxh(gate):
+            return
+        index = len(self.out)
+        self.out.append(gate)
+        self.alive.append(True)
+        for qubit in gate.qubits:
+            self.last[qubit] = index
+
+    def _try_hxh(self, gate: CircuitGate) -> bool:
+        """H (X|Z) H on one target -> swap X and Z, dropping both H.
+
+        The sandwiched gate may carry controls (H CX H = CZ); only the
+        *target* wire must be exactly H-then-gate with no interleaving.
+        """
+        if (
+            gate.name != "h"
+            or gate.controls
+            or gate.condition is not None
+        ):
+            return False
+        target = gate.targets[0]
+        prev_index = self.last.get(target)
+        if prev_index is None or not self.alive[prev_index]:
+            return False
+        prev = self.out[prev_index]
+        if not (
+            isinstance(prev, CircuitGate)
+            and prev.name in {"x", "z"}
+            and prev.targets == gate.targets
+            and prev.condition is None
+            and target not in prev.controls
+        ):
+            return False
+        before_index = self._prev_on_qubit(target, prev_index)
+        if before_index is None:
+            return False
+        before = self.out[before_index]
+        if not (
+            isinstance(before, CircuitGate)
+            and before.name == "h"
+            and before.targets == gate.targets
+            and not before.controls
+            and before.condition is None
+        ):
+            return False
+        # The controls of the sandwiched gate must not be touched
+        # between the two H gates (only `prev` sits between them on the
+        # target wire; check control wires saw nothing since `before`).
+        for control in prev.controls:
+            last_on_control = self.last.get(control)
+            if last_on_control is not None and last_on_control > prev_index:
+                return False
+        self.alive[prev_index] = False
+        self.alive[before_index] = False
+        self._refresh_last(prev.qubits)
+        self.push(
+            CircuitGate(
+                "z" if prev.name == "x" else "x",
+                prev.targets,
+                prev.controls,
+                (),
+                prev.ctrl_states,
+            )
+        )
+        return True
+
+    def _refresh_last(self, qubits) -> None:
+        for qubit in qubits:
+            self.last[qubit] = None  # type: ignore[assignment]
+            for index in range(len(self.out) - 1, -1, -1):
+                if not self.alive[index]:
+                    continue
+                inst = self.out[index]
+                touched = (
+                    inst.qubits
+                    if isinstance(inst, CircuitGate)
+                    else (inst.qubit,)
+                )
+                if qubit in touched:
+                    self.last[qubit] = index
+                    break
+            else:
+                self.last.pop(qubit, None)
+            if self.last.get(qubit) is None:
+                self.last.pop(qubit, None)
+
+    def result(self) -> list:
+        return [inst for inst, alive in zip(self.out, self.alive) if alive]
+
+
+def _cancellation_pass(instructions: list) -> list:
+    window = _Window()
+    for inst in instructions:
+        window.push(inst)
+    return window.result()
+
+
+def _mcz_from_mcx(mcx: CircuitGate) -> list[CircuitGate]:
+    """An MCX whose target is |-> equals an MCZ on its controls."""
+    positive = [
+        (c, s) for c, s in zip(mcx.controls, mcx.ctrl_states) if s == 1
+    ]
+    if positive:
+        target = positive[0][0]
+        rest = [
+            (c, s) for c, s in zip(mcx.controls, mcx.ctrl_states) if c != target
+        ]
+        return [
+            CircuitGate(
+                "z",
+                (target,),
+                tuple(c for c, _ in rest),
+                (),
+                tuple(s for _, s in rest),
+            )
+        ]
+    # All negative controls: X-conjugate one of them.
+    target = mcx.controls[0]
+    rest = list(zip(mcx.controls, mcx.ctrl_states))[1:]
+    return [
+        CircuitGate("x", (target,)),
+        CircuitGate(
+            "z",
+            (target,),
+            tuple(c for c, _ in rest),
+            (),
+            tuple(s for _, s in rest),
+        ),
+        CircuitGate("x", (target,)),
+    ]
+
+
+def _relaxed_peephole_pass(circuit_num_qubits: int, instructions: list) -> list:
+    """Paper Fig. 10: MCX onto a |-> ancilla becomes MCZ, ancilla freed.
+
+    Per qubit q, scans its op sequence for segments [X, H, MCX(target
+    q)..., H, X] starting where q is known to be |0> (the first op on
+    the wire, right after a Reset, or right after a previous matched
+    segment), and rewrites each MCX into an MCZ on its controls.
+    """
+    ops_by_qubit: dict[int, list[int]] = {}
+    for index, inst in enumerate(instructions):
+        qubits = (
+            inst.qubits if isinstance(inst, CircuitGate) else (inst.qubit,)
+        )
+        for qubit in qubits:
+            ops_by_qubit.setdefault(qubit, []).append(index)
+
+    to_drop: set[int] = set()
+    to_replace: dict[int, list[CircuitGate]] = {}
+
+    for qubit, indices in ops_by_qubit.items():
+
+        def is_plain(index, name):
+            inst = instructions[index]
+            return (
+                isinstance(inst, CircuitGate)
+                and inst.name == name
+                and inst.targets == (qubit,)
+                and not inst.controls
+                and inst.condition is None
+            )
+
+        def is_mcx_target(index):
+            inst = instructions[index]
+            return (
+                isinstance(inst, CircuitGate)
+                and inst.name == "x"
+                and inst.targets == (qubit,)
+                and inst.controls
+                and qubit not in inst.controls
+                and inst.condition is None
+            )
+
+        position = 0
+        known_zero = True  # All qubits start in |0>.
+        while position < len(indices):
+            if not known_zero:
+                inst = instructions[indices[position]]
+                if isinstance(inst, Reset):
+                    known_zero = True
+                position += 1
+                continue
+            # Try to match X, H, MCX+, H, X from here.
+            if (
+                position + 4 < len(indices)
+                and is_plain(indices[position], "x")
+                and is_plain(indices[position + 1], "h")
+            ):
+                scan = position + 2
+                mcx_positions = []
+                while scan < len(indices) and is_mcx_target(indices[scan]):
+                    mcx_positions.append(scan)
+                    scan += 1
+                if (
+                    mcx_positions
+                    and scan + 1 < len(indices)
+                    and is_plain(indices[scan], "h")
+                    and is_plain(indices[scan + 1], "x")
+                ):
+                    to_drop.update(
+                        (
+                            indices[position],
+                            indices[position + 1],
+                            indices[scan],
+                            indices[scan + 1],
+                        )
+                    )
+                    for mcx_position in mcx_positions:
+                        mcx = instructions[indices[mcx_position]]
+                        to_replace[indices[mcx_position]] = _mcz_from_mcx(mcx)
+                    position = scan + 2
+                    continue  # Still |0> after the segment.
+            known_zero = False
+            position += 1
+
+    out: list = []
+    for index, inst in enumerate(instructions):
+        if index in to_replace:
+            out.extend(to_replace[index])
+        elif index not in to_drop:
+            out.append(inst)
+    return out
+
+
+def _dead_reset_pass(instructions: list) -> list:
+    """Drop Reset instructions with no later operation on the wire.
+
+    A reset exists to return a qubit to the ancilla pool; at the end of
+    the program it is dead code (real toolchains' assembly ends at the
+    final measurement, so this also keeps op counts comparable).
+    """
+    live: set[int] = set()
+    out_reversed = []
+    for inst in reversed(instructions):
+        if isinstance(inst, Reset) and inst.qubit not in live:
+            continue
+        if isinstance(inst, CircuitGate):
+            live.update(inst.qubits)
+            if inst.condition is not None:
+                pass  # Classical bits do not keep wires alive.
+        else:
+            live.add(inst.qubit)
+        out_reversed.append(inst)
+    return list(reversed(out_reversed))
+
+
+def compact_qubits(circuit: Circuit) -> Circuit:
+    """Renumber qubits so unused wires (freed ancillas) disappear."""
+    used: set[int] = set()
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate):
+            used.update(inst.qubits)
+        else:
+            used.add(inst.qubit)
+    mapping = {old: new for new, old in enumerate(sorted(used))}
+    new = Circuit(
+        len(mapping), circuit.num_bits, output_bits=list(circuit.output_bits)
+    )
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate):
+            new.add(inst.remapped(mapping))
+        elif isinstance(inst, Measurement):
+            new.add(Measurement(mapping[inst.qubit], inst.bit))
+        else:
+            new.add(Reset(mapping[inst.qubit]))
+    return new
+
+
+def run_peephole(
+    circuit: Circuit, relaxed: bool = True, max_iterations: int = 10
+) -> Circuit:
+    """Run all peephole passes to a fixpoint (paper §6.5)."""
+    instructions = list(circuit.instructions)
+    for _ in range(max_iterations):
+        before = len(instructions)
+        # Relaxed peephole first: the generic H-X-H rewrite would
+        # otherwise consume the |-> shell and hide the Fig. 10 pattern.
+        if relaxed:
+            instructions = _relaxed_peephole_pass(
+                circuit.num_qubits, instructions
+            )
+        instructions = _cancellation_pass(instructions)
+        instructions = _dead_reset_pass(instructions)
+        if len(instructions) == before:
+            break
+    out = Circuit(
+        circuit.num_qubits,
+        circuit.num_bits,
+        instructions,
+        list(circuit.output_bits),
+    )
+    return compact_qubits(out)

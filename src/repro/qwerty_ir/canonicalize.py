@@ -1,0 +1,232 @@
+"""Canonicalization patterns for Qwerty IR (paper §5.4 and Appendix C).
+
+The centerpiece converts ``call_indirect`` of a chain of
+``func_const``/``func_adj``/``func_pred`` ops into a direct ``call``
+with ``adj``/``pred`` markers, e.g.::
+
+    call_indirect(func_pred {'10'} (func_adj (func_const @f)))()
+        -->  call adj pred ({'10'}) @f()
+
+A specialized pattern pushes ``call_indirect`` (and ``func_adj`` /
+``func_pred``) whose callee is defined by an ``scf.if`` into both forks
+of the ``scf.if`` (Appendix C), unblocking the pattern above.
+"""
+
+from __future__ import annotations
+
+from repro.basis import Basis
+from repro.dialects import arith, qwerty, scf
+from repro.ir.core import Operation, Value
+from repro.ir.module import Builder, ModuleOp
+from repro.ir.rewrite import RewritePattern, apply_patterns_greedily
+
+
+def _resolve_callee_chain(
+    value: Value,
+) -> tuple[str, bool, Basis | None, list[Operation]] | None:
+    """Peel func_adj/func_pred wrappers down to a func_const.
+
+    Returns (callee symbol, adjoint parity, combined predicate basis,
+    wrapper ops outermost-first) or None if the chain bottoms out in
+    something else (e.g. a block argument or scf.if).
+    """
+    adj = False
+    pred: Basis | None = None
+    chain: list[Operation] = []
+    current = value
+    while True:
+        op = current.owner_op
+        if op is None:
+            return None
+        if op.name == qwerty.FUNC_CONST:
+            return op.attrs["callee"], adj, pred, chain
+        if op.name == qwerty.FUNC_ADJ:
+            adj = not adj
+            chain.append(op)
+            current = op.operands[0]
+            continue
+        if op.name == qwerty.FUNC_PRED:
+            basis = op.attrs["basis"]
+            pred = basis if pred is None else pred.tensor(basis)
+            chain.append(op)
+            current = op.operands[0]
+            continue
+        return None
+
+
+def _erase_dead_chain(chain: list[Operation], root: Value) -> None:
+    """Erase wrapper ops (and the func_const) if now unused."""
+    for op in chain:
+        if all(not r.uses for r in op.results):
+            op.erase()
+    const = root.owner_op
+    if const is not None and const.name == qwerty.FUNC_CONST and const.result.unused:
+        const.erase()
+
+
+def _fold_call_indirect(op: Operation, module: ModuleOp) -> bool:
+    callee_value = op.operands[0]
+    resolved = _resolve_callee_chain(callee_value)
+    if resolved is None:
+        return False
+    symbol, adj, pred, _chain = resolved
+    builder = Builder.before(op)
+    new = qwerty.call(
+        builder,
+        symbol,
+        list(op.operands[1:]),
+        [r.type for r in op.results],
+        adj=adj,
+        pred=pred,
+    )
+    op.replace_all_results_with(list(new.results))
+    op.erase()
+    # Wrapper/const ops are erased by DCE-like cleanup below.
+    return True
+
+
+def _fold_double_adj(op: Operation, module: ModuleOp) -> bool:
+    """func_adj(func_adj(f)) -> f (AST canonicalization re-checked in IR)."""
+    inner = op.operands[0].owner_op
+    if inner is None or inner.name != qwerty.FUNC_ADJ:
+        return False
+    op.result.replace_all_uses_with(inner.operands[0])
+    op.erase()
+    return True
+
+
+def _fold_pack_unpack(op: Operation, module: ModuleOp) -> bool:
+    """qbpack(qbunpack(x)) -> x, when complete and in order."""
+    sources = {operand.owner_op for operand in op.operands}
+    if len(sources) != 1:
+        return False
+    (source,) = sources
+    if source is None or source.name != qwerty.QBUNPACK:
+        return False
+    if tuple(op.operands) != tuple(source.results):
+        return False
+    op.result.replace_all_uses_with(source.operands[0])
+    op.erase()
+    source.erase()
+    return True
+
+
+def _fold_unpack_pack(op: Operation, module: ModuleOp) -> bool:
+    """qbunpack(qbpack(x...)) -> x..."""
+    source = op.operands[0].owner_op
+    if source is None or source.name != qwerty.QBPACK:
+        return False
+    if not source.result.has_one_use:
+        return False  # Also consumed in an exclusive scf.if fork.
+    op.replace_all_results_with(list(source.operands))
+    op.erase()
+    source.erase()
+    return True
+
+
+def _fold_identity_qbtrans(op: Operation, module: ModuleOp) -> bool:
+    """b >> b with no phases is the identity."""
+    b_in = op.attrs["bin"]
+    b_out = op.attrs["bout"]
+    if op.attrs["phase_slots"]:
+        return False
+    if b_in != b_out or b_in.has_phases:
+        return False
+    op.result.replace_all_uses_with(op.operands[0])
+    op.erase()
+    return True
+
+
+def _push_into_scf_if(op: Operation, module: ModuleOp) -> bool:
+    """Appendix C: push a consumer of an scf.if function value into both
+    forks of the scf.if.
+
+    Applies when the callee operand of ``call_indirect`` (or the operand
+    of ``func_adj``/``func_pred``) is defined by an ``scf.if`` whose
+    sole use is this op.
+    """
+    if op.name == qwerty.CALL_INDIRECT:
+        producer_operand = op.operands[0]
+    else:
+        producer_operand = op.operands[0]
+    if_op = producer_operand.owner_op
+    if if_op is None or if_op.name != scf.IF:
+        return False
+    if not producer_operand.has_one_use:
+        return False
+    result_index = producer_operand.index
+
+    # The consumed value and any other operands (e.g. call args) must be
+    # movable into the regions; SSA visibility permits outer values, so
+    # only the op itself moves.
+    new_result_types = [r.type for r in op.results]
+    for region in if_op.regions:
+        block = region.entry
+        yield_op = block.terminator
+        inner_value = yield_op.operands[result_index]
+        inner_builder = Builder.before(yield_op)
+        if op.name == qwerty.CALL_INDIRECT:
+            inner = qwerty.call_indirect(
+                inner_builder, inner_value, list(op.operands[1:])
+            )
+        elif op.name == qwerty.FUNC_ADJ:
+            inner = qwerty.func_adj(inner_builder, inner_value).owner_op
+        else:
+            inner = qwerty.func_pred(
+                inner_builder, inner_value, op.attrs["basis"]
+            ).owner_op
+        new_yield_operands = [
+            operand
+            for i, operand in enumerate(yield_op.operands)
+            if i != result_index
+        ] + list(inner.results)
+        yield_op.set_operands(new_yield_operands)
+
+    # Rebuild the scf.if with updated result types.
+    kept_types = [
+        r.type for i, r in enumerate(if_op.results) if i != result_index
+    ]
+    builder = Builder.before(if_op)
+    new_if = builder.create(
+        scf.IF,
+        [if_op.operands[0]],
+        kept_types + new_result_types,
+        regions=if_op.regions,
+    )
+    if_op.regions = []
+    # Remap kept results, then the pushed op's results.
+    kept = 0
+    for i, result in enumerate(if_op.results):
+        if i == result_index:
+            continue
+        result.replace_all_uses_with(new_if.results[kept])
+        kept += 1
+    op.replace_all_results_with(list(new_if.results[kept:]))
+    op.erase()
+    if_op.drop_all_operands()
+    if_op.parent_block.ops.remove(if_op)
+    if_op.parent_block = None
+    return True
+
+
+QWERTY_CANONICALIZATION_PATTERNS = [
+    RewritePattern(
+        "qwerty.fold-call-indirect", (qwerty.CALL_INDIRECT,), _fold_call_indirect
+    ),
+    RewritePattern("qwerty.double-adj", (qwerty.FUNC_ADJ,), _fold_double_adj),
+    RewritePattern("qwerty.pack-unpack", (qwerty.QBPACK,), _fold_pack_unpack),
+    RewritePattern("qwerty.unpack-pack", (qwerty.QBUNPACK,), _fold_unpack_pack),
+    RewritePattern(
+        "qwerty.identity-qbtrans", (qwerty.QBTRANS,), _fold_identity_qbtrans
+    ),
+    RewritePattern(
+        "qwerty.push-into-scf-if",
+        (qwerty.CALL_INDIRECT, qwerty.FUNC_ADJ, qwerty.FUNC_PRED),
+        _push_into_scf_if,
+    ),
+] + arith.CANONICALIZATION_PATTERNS
+
+
+def canonicalize(module: ModuleOp) -> bool:
+    """Run the Qwerty canonicalizer to a fixpoint."""
+    return apply_patterns_greedily(module, QWERTY_CANONICALIZATION_PATTERNS)

@@ -1,0 +1,94 @@
+"""Lifting lambdas to functions referenced by ``func_const`` (paper §5.4).
+
+This is step (1) of the inlining sequence: every ``qwerty.lambda`` op
+becomes a module-level function, and the lambda value is replaced by a
+``func_const``.  Classical values the lambda captures from its
+enclosing scope (constants, function values) are re-materialized inside
+the lifted body; capturing quantum values is impossible in well-typed
+Qwerty (linearity), so anything else is an error.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import qwerty
+from repro.errors import LoweringError
+from repro.ir.core import Operation, Value, walk
+from repro.ir.module import Builder, FuncOp, ModuleOp
+from repro.qwerty_ir.adjoint import is_stationary
+
+
+def _rematerialize(
+    value: Value, builder: Builder, cache: dict[int, Value]
+) -> Value:
+    """Clone the classical def chain of ``value`` into ``builder``."""
+    if id(value) in cache:
+        return cache[id(value)]
+    op = value.owner_op
+    if op is None or not is_stationary(op):
+        raise LoweringError(
+            "lambda captures a value that is not re-materializable "
+            f"(defined by {op.name if op else 'a block argument'})"
+        )
+    operands = [_rematerialize(operand, builder, cache) for operand in op.operands]
+    clone = Operation(
+        op.name, operands, [r.type for r in op.results], dict(op.attrs)
+    )
+    builder.insert(clone)
+    for old, new in zip(op.results, clone.results):
+        cache[id(old)] = new
+    return cache[id(value)]
+
+
+def _lift_one(lam: Operation, module: ModuleOp) -> None:
+    func_type = lam.result.type
+    name = module.unique_name("lambda")
+    func = FuncOp(name, func_type, visibility="private")
+    module.add(func)
+
+    body = lam.regions[0].entry
+    value_map: dict[Value, Value] = {}
+    for old_arg, new_arg in zip(body.args, func.entry.args):
+        value_map[old_arg] = new_arg
+
+    # Identify captured values (operands defined outside the lambda).
+    inside: set[int] = {id(arg) for arg in body.args}
+    for op in walk(body):
+        for result in op.results:
+            inside.add(id(result))
+    capture_builder = Builder(func.entry)
+    cache: dict[int, Value] = {}
+    for op in walk(body):
+        for operand in op.operands:
+            if id(operand) not in inside and operand not in value_map:
+                value_map[operand] = _rematerialize(
+                    operand, capture_builder, cache
+                )
+
+    for op in body.ops:
+        func.entry.append(op.clone(value_map))
+
+    builder = Builder.before(lam)
+    const = qwerty.func_const(builder, name, func_type)
+    lam.result.replace_all_uses_with(const)
+    lam.erase()
+
+
+def lift_lambdas(module: ModuleOp) -> bool:
+    """Lift every lambda in the module.  Returns True if any lifted."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for func in list(module):
+            for op in list(walk(func.entry)):
+                if op.name == qwerty.LAMBDA and op.parent_block is not None:
+                    # Lift innermost-first so nested lambdas are handled.
+                    if any(
+                        inner is not op and inner.name == qwerty.LAMBDA
+                        for inner in walk(op)
+                    ):
+                        continue
+                    _lift_one(op, module)
+                    progress = True
+                    changed = True
+    return changed

@@ -1,0 +1,301 @@
+"""Predicating basic blocks (paper §5.3).
+
+Predication rebuilds block operations in place with new predicates
+present — e.g. adding the predicate basis to both sides of each basis
+translation (paper Fig. 5).  Ops register a ``build_predicated``
+callback in :data:`PREDICATE_BUILDERS`, the Pythonic equivalent of the
+paper's ``Predicatable`` op interface.
+
+Per-op predication is not enough: dataflow semantics allow effective
+qubit swaps by *renaming*, which happen regardless of predicates.  The
+pass therefore runs an intraprocedural dataflow analysis mapping each
+qubit/qbundle value to the qubit indices it represents, decomposes the
+permutation the block effects into transpositions, and emits an
+uncontrolled SWAP (to undo the renaming everywhere) immediately
+followed by a predicated SWAP (to redo it inside the predicated space).
+SWAPs are emitted as ``qbtrans {'01','10'} >> {'10','01'}`` ops so the
+usual basis-translation synthesis handles them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.basis import Basis, BasisLiteral
+from repro.dialects import qwerty
+from repro.errors import ReversibilityError
+from repro.ir.core import Operation, Value
+from repro.ir.module import Builder, FuncOp
+from repro.ir.types import FunctionType, QBundleType
+from repro.qwerty_ir.adjoint import is_stationary
+
+
+class _PredState:
+    """State threaded through predication of one block."""
+
+    def __init__(self, pred_basis: Basis, controls: list[Value]) -> None:
+        self.pred_basis = pred_basis
+        self.controls = controls  # Current SSA values of the M control qubits.
+        self.value_map: dict[int, Value] = {}
+        #: Qubit-index analysis: id(value) -> tuple of indices (paper §5.3).
+        self.indices: dict[int, tuple[int, ...]] = {}
+        self.next_index = 0
+
+    def map(self, original: Value, new: Value) -> None:
+        self.value_map[id(original)] = new
+
+    def get(self, original: Value) -> Value:
+        return self.value_map[id(original)]
+
+    def fresh_indices(self, count: int) -> tuple[int, ...]:
+        indices = tuple(range(self.next_index, self.next_index + count))
+        self.next_index += count
+        return indices
+
+
+#: ``build_predicated(op, builder, state)`` registered per op name.
+PREDICATE_BUILDERS: dict[str, Callable[[Operation, Builder, "_PredState"], None]] = {}
+
+
+def predicatable(name: str):
+    def wrap(fn):
+        PREDICATE_BUILDERS[name] = fn
+        return fn
+
+    return wrap
+
+
+def _with_controls(
+    builder: Builder, state: _PredState, payload: Value
+) -> Value:
+    """Pack current controls in front of a payload bundle."""
+    payload_qubits = qwerty.qbunpack(builder, payload)
+    return qwerty.qbpack(builder, state.controls + payload_qubits)
+
+
+def _split_controls(
+    builder: Builder, state: _PredState, combined: Value, payload_n: int
+) -> Value:
+    """Unpack a combined bundle, refresh controls, return payload bundle."""
+    qubits = qwerty.qbunpack(builder, combined)
+    m = len(state.controls)
+    state.controls = qubits[:m]
+    return qwerty.qbpack(builder, qubits[m:])
+
+
+@predicatable(qwerty.QBTRANS)
+def _pred_qbtrans(op: Operation, builder: Builder, state: _PredState) -> None:
+    # b3 & (b1 >> b2) is b3 + b1 >> b3 + b2 (paper §4.2).
+    operand = state.get(op.operands[0])
+    combined_in = _with_controls(builder, state, operand)
+    shift = sum(
+        len(element.vectors)
+        for element in state.pred_basis.elements
+        if isinstance(element, BasisLiteral)
+    )
+    shifted_slots = tuple(
+        (side, index + shift) for side, index in op.attrs["phase_slots"]
+    )
+    phase_operands = [state.get(v) for v in op.operands[1:]]
+    result = qwerty.qbtrans(
+        builder,
+        combined_in,
+        state.pred_basis.tensor(op.attrs["bin"]),
+        state.pred_basis.tensor(op.attrs["bout"]),
+        phase_operands,
+        shifted_slots,
+    )
+    payload = _split_controls(builder, state, result, op.result.type.n)
+    state.map(op.result, payload)
+    state.indices[id(payload)] = state.indices[id(operand)]
+
+
+@predicatable(qwerty.CALL)
+def _pred_call(op: Operation, builder: Builder, state: _PredState) -> None:
+    if len(op.operands) != 1 or len(op.results) != 1:
+        raise ReversibilityError("predicated calls must be qbundle -> qbundle")
+    operand = state.get(op.operands[0])
+    combined_in = _with_controls(builder, state, operand)
+    existing = op.attrs.get("pred")
+    pred = state.pred_basis if existing is None else state.pred_basis.tensor(existing)
+    new = qwerty.call(
+        builder,
+        op.attrs["callee"],
+        [combined_in],
+        [QBundleType(combined_in.type.n)],
+        adj=op.attrs.get("adj", False),
+        pred=pred,
+    )
+    payload = _split_controls(builder, state, new.results[0], op.results[0].type.n)
+    state.map(op.results[0], payload)
+    state.indices[id(payload)] = state.indices[id(operand)]
+
+
+@predicatable(qwerty.CALL_INDIRECT)
+def _pred_call_indirect(op: Operation, builder: Builder, state: _PredState) -> None:
+    if len(op.operands) != 2 or len(op.results) != 1:
+        raise ReversibilityError("predicated calls must be qbundle -> qbundle")
+    callee = state.get(op.operands[0])
+    pred_callee = qwerty.func_pred(builder, callee, state.pred_basis)
+    operand = state.get(op.operands[1])
+    combined_in = _with_controls(builder, state, operand)
+    new = qwerty.call_indirect(builder, pred_callee, [combined_in])
+    payload = _split_controls(builder, state, new.results[0], op.results[0].type.n)
+    state.map(op.results[0], payload)
+    state.indices[id(payload)] = state.indices[id(operand)]
+
+
+@predicatable(qwerty.EMBED)
+def _pred_embed(op: Operation, builder: Builder, state: _PredState) -> None:
+    operand = state.get(op.operands[0])
+    combined_in = _with_controls(builder, state, operand)
+    attrs = dict(op.attrs)
+    existing = attrs.get("pred")
+    attrs["pred"] = (
+        state.pred_basis if existing is None else state.pred_basis.tensor(existing)
+    )
+    from repro.ir.types import QBundleType
+
+    combined = builder.create(
+        qwerty.EMBED,
+        [combined_in],
+        [QBundleType(combined_in.type.n)],
+        attrs,
+    ).result
+    payload = _split_controls(builder, state, combined, op.result.type.n)
+    state.map(op.result, payload)
+    state.indices[id(payload)] = state.indices[id(operand)]
+
+
+@predicatable(qwerty.QBPACK)
+def _pred_qbpack(op: Operation, builder: Builder, state: _PredState) -> None:
+    operands = [state.get(v) for v in op.operands]
+    result = qwerty.qbpack(builder, operands)
+    state.map(op.result, result)
+    state.indices[id(result)] = tuple(
+        index for v in operands for index in state.indices[id(v)]
+    )
+
+
+@predicatable(qwerty.QBUNPACK)
+def _pred_qbunpack(op: Operation, builder: Builder, state: _PredState) -> None:
+    operand = state.get(op.operands[0])
+    qubits = qwerty.qbunpack(builder, operand)
+    indices = state.indices[id(operand)]
+    for original, new, index in zip(op.results, qubits, indices):
+        state.map(original, new)
+        state.indices[id(new)] = (index,)
+
+
+@predicatable(qwerty.QBPREP)
+def _pred_qbprep(op: Operation, builder: Builder, state: _PredState) -> None:
+    # Ancilla allocation is not predicated; the predicated ops that act
+    # on the ancilla leave it untouched outside the predicate space, so
+    # the matching unprep/discardz below stays sound.
+    result = qwerty.qbprep(builder, op.attrs["prim"], op.attrs["eigenbits"])
+    state.map(op.result, result)
+    state.indices[id(result)] = state.fresh_indices(result.type.n)
+
+
+@predicatable(qwerty.QBUNPREP)
+def _pred_qbunprep(op: Operation, builder: Builder, state: _PredState) -> None:
+    qwerty.qbunprep(
+        builder, state.get(op.operands[0]), op.attrs["prim"], op.attrs["eigenbits"]
+    )
+
+
+@predicatable(qwerty.QBDISCARDZ)
+def _pred_qbdiscardz(op: Operation, builder: Builder, state: _PredState) -> None:
+    qwerty.qbdiscardz(builder, state.get(op.operands[0]))
+
+
+_SWAP_IN = Basis.literal("01", "10")
+_SWAP_OUT = Basis.literal("10", "01")
+
+
+def _emit_swap_pair(
+    builder: Builder, state: _PredState, qubits: list[Value], i: int, j: int
+) -> None:
+    """Uncontrolled SWAP then predicated SWAP on positions i, j."""
+    pair = qwerty.qbpack(builder, [qubits[i], qubits[j]])
+    swapped = qwerty.qbtrans(builder, pair, _SWAP_IN, _SWAP_OUT)
+    unpacked = qwerty.qbunpack(builder, swapped)
+    combined = qwerty.qbpack(builder, state.controls + unpacked)
+    redone = qwerty.qbtrans(
+        builder,
+        combined,
+        state.pred_basis.tensor(_SWAP_IN),
+        state.pred_basis.tensor(_SWAP_OUT),
+    )
+    all_qubits = qwerty.qbunpack(builder, redone)
+    m = len(state.controls)
+    state.controls = all_qubits[:m]
+    qubits[i], qubits[j] = all_qubits[m], all_qubits[m + 1]
+
+
+def predicate_function(
+    func: FuncOp, pred_basis: Basis, new_name: str
+) -> FuncOp:
+    """Create a function computing ``pred_basis & func`` (paper §5.3)."""
+    if not func.type.reversible:
+        raise ReversibilityError(f"@{func.name} is not reversible")
+    m = pred_basis.dim
+    pred_type = qwerty.predicated_type(func.type, m)
+    pred_func = FuncOp(new_name, pred_type, func.visibility)
+    builder = Builder(pred_func.entry)
+
+    combined_arg = pred_func.entry.args[0]
+    qubits = qwerty.qbunpack(builder, combined_arg)
+    controls = qubits[:m]
+    payload = qwerty.qbpack(builder, qubits[m:])
+
+    state = _PredState(pred_basis, controls)
+    (orig_arg,) = func.entry.args
+    state.map(orig_arg, payload)
+    n = orig_arg.type.n
+    state.next_index = 0
+    state.indices[id(payload)] = state.fresh_indices(n)
+    initial_indices = state.indices[id(payload)]
+
+    copy_map: dict[Value, Value] = {}
+    for op in func.entry.ops:
+        if op.name == qwerty.RETURN:
+            break
+        if is_stationary(op):
+            clone = op.clone(copy_map)
+            builder.insert(clone)
+            for old, new in zip(op.results, clone.results):
+                state.map(old, new)
+            continue
+        build = PREDICATE_BUILDERS.get(op.name)
+        if build is None:
+            raise ReversibilityError(
+                f"op {op.name} is not predicatable; reversible functions "
+                f"cannot contain it"
+            )
+        build(op, builder, state)
+
+    terminator = func.entry.terminator
+    (orig_result,) = terminator.operands
+    result_bundle = state.get(orig_result)
+
+    # Swap-undo: compare the indices of the returned bundle against the
+    # indices assigned at entry; undo the renaming-induced permutation.
+    final_indices = list(state.indices[id(result_bundle)])
+    result_qubits = qwerty.qbunpack(builder, result_bundle)
+    wanted = list(initial_indices)
+    if sorted(final_indices) == sorted(wanted) and final_indices != wanted:
+        current = list(final_indices)
+        for position in range(len(wanted)):
+            if current[position] == wanted[position]:
+                continue
+            other = current.index(wanted[position])
+            _emit_swap_pair(builder, state, result_qubits, position, other)
+            current[position], current[other] = (
+                current[other],
+                current[position],
+            )
+
+    final = qwerty.qbpack(builder, state.controls + result_qubits)
+    qwerty.return_op(builder, [final])
+    return pred_func

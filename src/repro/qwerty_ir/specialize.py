@@ -1,0 +1,203 @@
+"""Function specialization (paper §6.2 and Appendix D).
+
+A Qwerty function value may be adjointed or predicated, so the compiler
+must generate specializations (reversed/predicated function bodies).
+:func:`analyze_specializations` reproduces Algorithm D5: it labels the
+call graph with (funcName, isAdjoint, numControls) tuples and closes it
+transitively (an ``call adj g`` inside ``f`` makes the adjoint of every
+callee of ``g`` necessary).  :func:`generate_specializations`
+materializes the required function bodies using the adjoint and
+predication passes and retargets ``call adj/pred`` ops at them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basis import Basis, BasisLiteral
+from repro.dialects import qwerty
+from repro.ir.core import Operation, walk
+from repro.ir.module import FuncOp, ModuleOp
+from repro.qwerty_ir.adjoint import adjoint_function
+from repro.qwerty_ir.canonicalize import _resolve_callee_chain
+from repro.qwerty_ir.predicate import predicate_function
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """A node of the specialization call graph (Algorithm D5)."""
+
+    func_name: str
+    is_adjoint: bool
+    num_controls: int
+
+
+def _callee_tuples(func: FuncOp) -> list[Specialization]:
+    """Specializations directly requested by a forward invocation of
+    ``func`` (the intraprocedural part of the analysis)."""
+    out = []
+    for op in walk(func.entry):
+        if op.name == qwerty.CALL:
+            pred = op.attrs.get("pred")
+            out.append(
+                Specialization(
+                    op.attrs["callee"],
+                    bool(op.attrs.get("adj", False)),
+                    pred.dim if pred is not None else 0,
+                )
+            )
+        elif op.name == qwerty.CALL_INDIRECT:
+            resolved = _resolve_callee_chain(op.operands[0])
+            if resolved is not None:
+                symbol, adj, pred, _chain = resolved
+                out.append(
+                    Specialization(
+                        symbol, adj, pred.dim if pred is not None else 0
+                    )
+                )
+    return out
+
+
+def analyze_specializations(
+    module: ModuleOp, entry_point: str | None = None
+) -> set[Specialization]:
+    """Algorithm D5: the set of specializations needed to execute the IR."""
+    vertices: set[Specialization] = set()
+    edges: set[tuple[Specialization, Specialization]] = set()
+    direct: dict[str, list[Specialization]] = {}
+
+    for func in module:
+        forward = Specialization(func.name, False, 0)
+        vertices.add(forward)
+        callees = _callee_tuples(func)
+        direct[func.name] = callees
+        for callee in callees:
+            vertices.add(callee)
+            edges.add((forward, callee))
+
+    # Transitive closure: a specialization of f implies the composed
+    # specialization of each of f's callees.
+    changed = True
+    while changed:
+        changed = False
+        for vertex in list(vertices):
+            for callee in direct.get(vertex.func_name, []):
+                composed = Specialization(
+                    callee.func_name,
+                    vertex.is_adjoint ^ callee.is_adjoint,
+                    vertex.num_controls + callee.num_controls,
+                )
+                if composed not in vertices:
+                    vertices.add(composed)
+                    changed = True
+                if (vertex, composed) not in edges:
+                    edges.add((vertex, composed))
+                    changed = True
+
+    # DFS from the entry point; unreached specializations are dropped.
+    if entry_point is None:
+        entry_point = module.entry_point
+    if entry_point is None:
+        return vertices
+    root = Specialization(entry_point, False, 0)
+    reached: set[Specialization] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in reached or node not in vertices:
+            continue
+        reached.add(node)
+        for src, dst in edges:
+            if src == node:
+                stack.append(dst)
+        # Any specialization of f requires walking f's callees too.
+        for callee in direct.get(node.func_name, []):
+            composed = Specialization(
+                callee.func_name,
+                node.is_adjoint ^ callee.is_adjoint,
+                node.num_controls + callee.num_controls,
+            )
+            stack.append(composed)
+    return reached
+
+
+def _mangle(base: str, adj: bool, pred: Basis | None) -> str:
+    name = base
+    if adj:
+        name += "__adj"
+    if pred is not None:
+        tag = "".join(str(v) for v in _pred_signature(pred))
+        name += f"__pred_{abs(hash(_pred_signature(pred))) % 10**8}_{pred.dim}"
+    return name
+
+
+def _pred_signature(pred: Basis) -> tuple:
+    parts = []
+    for element in pred.elements:
+        if isinstance(element, BasisLiteral):
+            parts.append(
+                (
+                    "lit",
+                    element.prim.value,
+                    tuple(vec.eigenbits for vec in element.vectors),
+                )
+            )
+        else:
+            parts.append(("builtin", element.prim.value, element.dim))
+    return tuple(parts)
+
+
+def generate_specializations(module: ModuleOp) -> bool:
+    """Materialize specializations for every ``call adj/pred`` op.
+
+    Runs to a fixpoint: building an adjoint body can introduce further
+    ``call adj`` ops (the transitive requirement of Appendix D), which
+    the next sweep satisfies.  After this pass every ``call`` op is a
+    plain forward call.
+    """
+    generated: dict[tuple[str, bool, tuple | None], str] = {}
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for func in list(module):
+            for op in list(walk(func.entry)):
+                if op.name != qwerty.CALL or op.parent_block is None:
+                    continue
+                adj = bool(op.attrs.get("adj", False))
+                pred = op.attrs.get("pred")
+                if not adj and pred is None:
+                    continue
+                key = (
+                    op.attrs["callee"],
+                    adj,
+                    _pred_signature(pred) if pred is not None else None,
+                )
+                if key not in generated:
+                    base = module.get(op.attrs["callee"])
+                    specialized = base
+                    if adj:
+                        specialized = adjoint_function(
+                            specialized,
+                            module.unique_name(_mangle(base.name, True, None)),
+                        )
+                        module.add(specialized)
+                    if pred is not None:
+                        specialized = predicate_function(
+                            specialized,
+                            pred,
+                            module.unique_name(_mangle(base.name, adj, pred)),
+                        )
+                        module.add(specialized)
+                    specialized.specialization_of = (
+                        base.name,
+                        adj,
+                        pred.dim if pred is not None else 0,
+                    )
+                    generated[key] = specialized.name
+                op.attrs["callee"] = generated[key]
+                op.attrs["adj"] = False
+                op.attrs["pred"] = None
+                progress = True
+                changed = True
+    return changed

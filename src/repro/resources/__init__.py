@@ -1,0 +1,17 @@
+"""Fault-tolerant resource estimation (the Azure Quantum Resource
+Estimator substitute, paper §8.3)."""
+
+from repro.resources.logical import LogicalCounts, count_logical_resources
+from repro.resources.surface_code import (
+    PhysicalEstimate,
+    SurfaceCodeParams,
+    estimate_physical_resources,
+)
+
+__all__ = [
+    "LogicalCounts",
+    "PhysicalEstimate",
+    "SurfaceCodeParams",
+    "count_logical_resources",
+    "estimate_physical_resources",
+]

@@ -1,0 +1,18 @@
+"""Statevector simulation (the qir-runner substitute, paper §7)."""
+
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    run_circuit,
+    unitary_of_gates,
+    apply_gates_to_state,
+)
+from repro.sim.interpreter import ModuleInterpreter, interpret_module
+
+__all__ = [
+    "ModuleInterpreter",
+    "StatevectorSimulator",
+    "apply_gates_to_state",
+    "interpret_module",
+    "run_circuit",
+    "unitary_of_gates",
+]

@@ -1,0 +1,240 @@
+"""A dense statevector simulator for flat circuits.
+
+This is the reproduction's substitute for qir-runner (paper §7): it
+executes the same circuits the backends emit, including mid-circuit
+measurement, reset, classically conditioned gates, and multi-controlled
+gates with arbitrary control polarity.
+
+Convention: qubit 0 is the *leftmost* qubit of a ket, matching the
+position order of Qwerty qubit literals ('10' means qubit 0 is |1> and
+qubit 1 is |0>), so basis state index ``x`` has qubit ``q`` equal to
+bit ``(x >> (n - 1 - q)) & 1``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+
+
+def _gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """The unitary matrix of a known 1- or 2-qubit gate."""
+    inv_sqrt2 = 1.0 / math.sqrt(2.0)
+    if name == "x":
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+    if name == "y":
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+    if name == "z":
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+    if name == "h":
+        return np.array([[1, 1], [1, -1]], dtype=complex) * inv_sqrt2
+    if name == "s":
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+    if name == "sdg":
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+    if name == "t":
+        return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+    if name == "tdg":
+        return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "sxdg":
+        return 0.5 * np.array(
+            [[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex
+        )
+    if name == "p":
+        return np.array([[1, 0], [0, cmath.exp(1j * params[0])]], dtype=complex)
+    if name == "rx":
+        half = params[0] / 2.0
+        return np.array(
+            [
+                [math.cos(half), -1j * math.sin(half)],
+                [-1j * math.sin(half), math.cos(half)],
+            ],
+            dtype=complex,
+        )
+    if name == "ry":
+        half = params[0] / 2.0
+        return np.array(
+            [
+                [math.cos(half), -math.sin(half)],
+                [math.sin(half), math.cos(half)],
+            ],
+            dtype=complex,
+        )
+    if name == "rz":
+        half = params[0] / 2.0
+        return np.array(
+            [
+                [cmath.exp(-1j * half), 0],
+                [0, cmath.exp(1j * half)],
+            ],
+            dtype=complex,
+        )
+    if name == "swap":
+        return np.array(
+            [
+                [1, 0, 0, 0],
+                [0, 0, 1, 0],
+                [0, 1, 0, 0],
+                [0, 0, 0, 1],
+            ],
+            dtype=complex,
+        )
+    raise SimulationError(f"no matrix for gate {name!r}")
+
+
+class StatevectorSimulator:
+    """Simulates a fixed number of qubits plus a classical bit register."""
+
+    def __init__(self, num_qubits: int, num_bits: int = 0, seed: int = 0) -> None:
+        if num_qubits > 24:
+            raise SimulationError(
+                f"{num_qubits} qubits exceeds the dense-simulation limit"
+            )
+        self.num_qubits = num_qubits
+        self.state = np.zeros((2,) * max(num_qubits, 1), dtype=complex)
+        self.state[(0,) * max(num_qubits, 1)] = 1.0
+        self.bits = [0] * num_bits
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Gate application.
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate: CircuitGate) -> None:
+        if gate.condition is not None:
+            bit, required = gate.condition
+            if self.bits[bit] != required:
+                return
+        matrix = _gate_matrix(gate.name, gate.params)
+        self._apply_matrix(matrix, gate.targets, gate.controls, gate.ctrl_states)
+
+    def _apply_matrix(
+        self,
+        matrix: np.ndarray,
+        targets: tuple[int, ...],
+        controls: tuple[int, ...] = (),
+        ctrl_states: tuple[int, ...] = (),
+    ) -> None:
+        view = self.state
+        if controls:
+            index: list = [slice(None)] * self.num_qubits
+            for qubit, state in zip(controls, ctrl_states):
+                index[qubit] = state
+            view = self.state[tuple(index)]
+            # Axis numbers shrink for every removed (indexed) axis.
+            removed = sorted(controls)
+            adjusted = []
+            for target in targets:
+                shift = sum(1 for r in removed if r < target)
+                adjusted.append(target - shift)
+            targets = tuple(adjusted)
+
+        k = len(targets)
+        tensor = matrix.reshape((2,) * (2 * k))
+        moved = np.tensordot(tensor, view, axes=(range(k, 2 * k), targets))
+        # tensordot puts the contracted axes first; move them back.
+        result = np.moveaxis(moved, range(k), targets)
+        view[...] = result
+
+    # ------------------------------------------------------------------
+    # Non-unitary operations.
+    # ------------------------------------------------------------------
+    def probability_one(self, qubit: int) -> float:
+        index: list = [slice(None)] * self.num_qubits
+        index[qubit] = 1
+        return float(np.sum(np.abs(self.state[tuple(index)]) ** 2))
+
+    def measure(self, qubit: int) -> int:
+        p_one = self.probability_one(qubit)
+        outcome = 1 if self.rng.random() < p_one else 0
+        self._project(qubit, outcome, p_one)
+        return outcome
+
+    def _project(self, qubit: int, outcome: int, p_one: float) -> None:
+        probability = p_one if outcome else 1.0 - p_one
+        if probability <= 0.0:
+            raise SimulationError("projection onto zero-probability outcome")
+        index: list = [slice(None)] * self.num_qubits
+        index[qubit] = 1 - outcome
+        self.state[tuple(index)] = 0.0
+        self.state /= math.sqrt(probability)
+
+    def reset(self, qubit: int) -> None:
+        outcome = self.measure(qubit)
+        if outcome == 1:
+            self.apply_gate(CircuitGate("x", (qubit,)))
+
+    # ------------------------------------------------------------------
+    # Whole-circuit execution.
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit) -> list[int]:
+        """Execute the circuit; returns the classical bit register."""
+        for inst in circuit.instructions:
+            if isinstance(inst, CircuitGate):
+                self.apply_gate(inst)
+            elif isinstance(inst, Measurement):
+                self.bits[inst.bit] = self.measure(inst.qubit)
+            elif isinstance(inst, Reset):
+                self.reset(inst.qubit)
+            else:
+                raise SimulationError(f"unknown instruction {inst!r}")
+        return list(self.bits)
+
+    def statevector(self) -> np.ndarray:
+        """The state as a flat 2^n vector (qubit 0 most significant)."""
+        return self.state.reshape(-1)
+
+
+def run_circuit(
+    circuit: Circuit, shots: int = 1, seed: int = 0
+) -> list[tuple[int, ...]]:
+    """Run ``shots`` independent executions; returns output-bit tuples."""
+    results = []
+    for shot in range(shots):
+        sim = StatevectorSimulator(
+            circuit.num_qubits, circuit.num_bits, seed=seed + shot
+        )
+        bits = sim.run(circuit)
+        output = circuit.output_bits or range(circuit.num_bits)
+        results.append(tuple(bits[i] for i in output))
+    return results
+
+
+def apply_gates_to_state(
+    gates: Sequence[CircuitGate],
+    num_qubits: int,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Apply a gate list to a statevector (default |0...0>)."""
+    sim = StatevectorSimulator(num_qubits)
+    if initial is not None:
+        if initial.size != 2**num_qubits:
+            raise SimulationError("initial state has the wrong dimension")
+        sim.state = np.array(initial, dtype=complex).reshape((2,) * num_qubits)
+    for gate in gates:
+        sim.apply_gate(gate)
+    return sim.statevector()
+
+
+def unitary_of_gates(
+    gates: Sequence[CircuitGate], num_qubits: int
+) -> np.ndarray:
+    """The full 2^n x 2^n unitary of a gate list (small n only)."""
+    dim = 2**num_qubits
+    if num_qubits > 10:
+        raise SimulationError("unitary extraction limited to 10 qubits")
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for column in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[column] = 1.0
+        unitary[:, column] = apply_gates_to_state(gates, num_qubits, basis)
+    return unitary

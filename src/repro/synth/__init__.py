@@ -1,0 +1,32 @@
+"""Circuit synthesis for basis translations (paper §6.3, Apps. E and F).
+
+The synthesized circuit has the structure of paper Fig. 6::
+
+    unconditional standardize | conditional standardize |
+    left vector phases (removed) | permute std basis vectors |
+    right vector phases (added) | conditional destandardize |
+    unconditional destandardize
+
+* :mod:`repro.synth.standardize` — Algorithm E6 (with padding for
+  inseparable bases like ``fourier``).
+* :mod:`repro.synth.align` — Algorithm E7 basis alignment.
+* :mod:`repro.synth.permute` — transformation-based reversible
+  synthesis (the tweedledum substitute, refs [33, 50]).
+* :mod:`repro.synth.phases` — X-conjugated multi-controlled P(theta)
+  for vector phases.
+* :mod:`repro.synth.qft` — QFT/IQFT circuits for the Fourier basis.
+* :mod:`repro.synth.translation` — assembles the full pipeline.
+"""
+
+from repro.synth.translation import synthesize_basis_translation
+from repro.synth.permute import synthesize_permutation
+from repro.synth.standardize import determine_standardizations, Standardization
+from repro.synth.align import align_translation
+
+__all__ = [
+    "Standardization",
+    "align_translation",
+    "determine_standardizations",
+    "synthesize_basis_translation",
+    "synthesize_permutation",
+]

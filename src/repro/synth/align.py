@@ -1,0 +1,126 @@
+"""Basis alignment (paper Appendix F, Algorithm E7).
+
+Alignment rewrites a well-typed basis translation into a functionally
+equivalent one in which respective basis elements pair up: equal
+dimensions, and literal-with-literal / builtin-with-builtin.  Factoring
+is preferred (it keeps permutations small); merging (Cartesian
+products) is the fallback.
+
+Elements are *standardized* first: primitive bases become ``std`` and
+vector phases are stripped — standardization gates and phase gates are
+synthesized separately (see :mod:`repro.synth.translation`), so the
+aligned translation only drives the central permutation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.basis.basis import Basis, BasisElement
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.factor import factor_prefix_ordered
+from repro.basis.literal import BasisLiteral, full_literal
+from repro.basis.primitive import PrimitiveBasis
+from repro.errors import SynthesisError
+
+#: Merging builds explicit Cartesian products; bound the blowup.
+MAX_MERGE_DIM = 16
+
+
+def _standardize_element(element: BasisElement) -> BasisElement:
+    """Change the primitive basis to std and remove vector phases."""
+    if isinstance(element, BuiltinBasis):
+        return BuiltinBasis(PrimitiveBasis.STD, element.dim)
+    return element.with_prim(PrimitiveBasis.STD).without_phases()
+
+
+def _as_literal(element: BasisElement) -> BasisLiteral:
+    if isinstance(element, BasisLiteral):
+        return element
+    if element.dim > MAX_MERGE_DIM:
+        raise SynthesisError(
+            f"refusing to expand {element} into a 2^{element.dim}-vector literal"
+        )
+    return full_literal(PrimitiveBasis.STD, element.dim)
+
+
+def _merge(
+    first: BasisElement, own_deque: deque[BasisElement]
+) -> BasisLiteral:
+    """Tensor the element with the next deque element (as literals)."""
+    if not own_deque:
+        raise SynthesisError("dimension mismatch while aligning bases")
+    next_element = own_deque.popleft()
+    merged = _as_literal(first).tensor(_as_literal(next_element))
+    if merged.dim > MAX_MERGE_DIM:
+        raise SynthesisError("merged basis literal is too large to synthesize")
+    return merged
+
+
+def align_translation(
+    b_in: Basis, b_out: Basis
+) -> list[tuple[BasisElement, BasisElement]]:
+    """Algorithm E7: pair up the elements of a standardized translation.
+
+    Returns a list of (input element, output element) pairs where each
+    pair has equal dimension and both sides are literals or both are
+    built-in ``std`` bases.
+    """
+    ldeque: deque[BasisElement] = deque(
+        _standardize_element(e) for e in b_in.elements
+    )
+    rdeque: deque[BasisElement] = deque(
+        _standardize_element(e) for e in b_out.elements
+    )
+    pairs: list[tuple[BasisElement, BasisElement]] = []
+
+    while ldeque and rdeque:
+        left = ldeque.popleft()
+        right = rdeque.popleft()
+
+        while left.dim != right.dim:
+            if left.dim > right.dim:
+                big, small, bigdeque = left, right, ldeque
+                small_deque = rdeque
+            else:
+                big, small, bigdeque = right, left, rdeque
+                small_deque = ldeque
+            delta = big.dim - small.dim
+
+            if isinstance(big, BuiltinBasis):
+                # std[N] factors freely: peel off dim(small) qubits.
+                factor: BasisElement = BuiltinBasis(PrimitiveBasis.STD, small.dim)
+                if isinstance(small, BasisLiteral):
+                    factor = _as_literal(factor)
+                new_big = factor
+                bigdeque.appendleft(BuiltinBasis(PrimitiveBasis.STD, delta))
+            elif isinstance(big, BasisLiteral):
+                factored = factor_prefix_ordered(big, small.dim)
+                if factored is not None:
+                    prefix, remainder = factored
+                    if isinstance(small, BuiltinBasis):
+                        small = _as_literal(small)
+                    new_big = prefix
+                    bigdeque.appendleft(remainder)
+                else:
+                    # Fall back to merging on the small side.
+                    small = _merge(small, small_deque)
+                    new_big = _as_literal(big)
+            else:  # pragma: no cover - defensive
+                raise SynthesisError(f"cannot align element {big}")
+
+            if left.dim > right.dim:
+                left, right = new_big, small
+            else:
+                left, right = small, new_big
+
+        # Equal dimensions: unify representations.
+        if isinstance(left, BuiltinBasis) and isinstance(right, BasisLiteral):
+            left = _as_literal(left)
+        elif isinstance(right, BuiltinBasis) and isinstance(left, BasisLiteral):
+            right = _as_literal(right)
+        pairs.append((left, right))
+
+    if ldeque or rdeque:
+        raise SynthesisError("dimension mismatch while aligning bases")
+    return pairs

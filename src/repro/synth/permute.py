@@ -1,0 +1,116 @@
+"""Transformation-based reversible synthesis (the tweedledum substitute).
+
+Implements the Miller–Maslov–Dueck transformation-based algorithm
+(paper refs [33, 50]) that ASDF uses via tweedledum: given a
+permutation of std basis vectors, produce a cascade of multi-controlled
+X gates realizing it.  Processing inputs in increasing order guarantees
+already-fixed rows are never disturbed, because every emitted gate's
+control set forces a value at least as large as the row being fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SynthesisError
+from repro.qcircuit.circuit import CircuitGate
+
+#: Permutations act on bit strings; bound the explicit table size.
+MAX_PERMUTATION_QUBITS = 16
+
+
+def _ones(value: int, width: int) -> list[int]:
+    """Qubit positions (0 = most significant) whose bit is set."""
+    return [q for q in range(width) if (value >> (width - 1 - q)) & 1]
+
+
+def _apply_mcx_to_table(
+    table: list[int], controls_mask: int, target_mask: int
+) -> None:
+    """Compose an MCX (positive controls) into the output side of the table."""
+    for i, value in enumerate(table):
+        if value & controls_mask == controls_mask:
+            table[i] = value ^ target_mask
+
+
+def synthesize_permutation(
+    permutation: Sequence[int], num_qubits: int
+) -> list[CircuitGate]:
+    """Synthesize gates realizing ``x -> permutation[x]`` on std vectors.
+
+    ``permutation`` is a bijection over ``range(2**num_qubits)``; basis
+    state index follows the simulator convention (qubit 0 is the most
+    significant bit).  Returns multi-controlled X gates, all controls
+    positive.
+    """
+    if num_qubits > MAX_PERMUTATION_QUBITS:
+        raise SynthesisError(
+            f"permutation on {num_qubits} qubits is too large to tabulate"
+        )
+    size = 2**num_qubits
+    table = list(permutation)
+    if sorted(table) != list(range(size)):
+        raise SynthesisError("input is not a permutation")
+
+    recorded: list[CircuitGate] = []
+
+    def emit(controls_mask: int, target_bit: int) -> None:
+        target_mask = 1 << (num_qubits - 1 - target_bit)
+        controls = _ones(controls_mask, num_qubits)
+        recorded.append(
+            CircuitGate("x", (target_bit,), tuple(controls))
+        )
+        _apply_mcx_to_table(table, controls_mask, target_mask)
+
+    for x in range(size):
+        y = table[x]
+        if y == x:
+            continue
+        # Step 1: set the bits that x has but y lacks, controlling on
+        # the current ones of y (y > x here, so fixed rows are safe).
+        missing = x & ~y
+        for bit in _ones(missing, num_qubits):
+            emit(table[x], bit)
+        # Step 2: clear the extra bits, controlling on the remaining
+        # ones (minus the target itself).
+        y = table[x]
+        extra = y & ~x
+        for bit in _ones(extra, num_qubits):
+            mask = 1 << (num_qubits - 1 - bit)
+            emit(table[x] & ~mask, bit)
+
+    if table != list(range(size)):  # pragma: no cover - algorithm invariant
+        raise SynthesisError("transformation-based synthesis failed to converge")
+    # Gates were composed on the output side; the circuit applies them
+    # in reverse (each MCX is self-inverse).
+    return list(reversed(recorded))
+
+
+def permutation_from_vector_map(
+    in_bits: Sequence[tuple[int, ...]],
+    out_bits: Sequence[tuple[int, ...]],
+    num_qubits: int,
+) -> list[int]:
+    """The total permutation mapping each input eigenbit pattern to the
+    respective output pattern, identity off the common support.
+
+    Well-typedness guarantees both sides cover the same set of
+    patterns; this is re-checked here.
+    """
+
+    def to_index(bits: tuple[int, ...]) -> int:
+        value = 0
+        for bit in bits:
+            value = (value << 1) | bit
+        return value
+
+    in_indices = [to_index(bits) for bits in in_bits]
+    out_indices = [to_index(bits) for bits in out_bits]
+    if sorted(in_indices) != sorted(out_indices):
+        raise SynthesisError(
+            "basis translation sides span different std subspaces"
+        )
+    table = list(range(2**num_qubits))
+    for src, dst in zip(in_indices, out_indices):
+        table[src] = dst
+    return table

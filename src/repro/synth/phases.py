@@ -1,0 +1,41 @@
+"""Vector-phase synthesis (paper §6.3, Fig. 8).
+
+After standardization, a phased basis vector corresponds to a std
+eigenbit pattern; imparting (or removing) its phase is an X-conjugated
+multi-controlled P(theta): X gates flip the eigenbit-0 positions so a
+positive-control MCP fires exactly on the pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.qcircuit.circuit import CircuitGate
+
+
+def phase_on_pattern(
+    qubits: Sequence[int],
+    pattern: Sequence[int],
+    theta_degrees: float,
+    extra_controls: Sequence[int] = (),
+    extra_states: Sequence[int] = (),
+) -> list[CircuitGate]:
+    """Gates imparting ``exp(i theta)`` on the subspace where ``qubits``
+    match ``pattern`` (and any ``extra_controls`` match their states)."""
+    theta = math.radians(theta_degrees)
+    if not qubits or theta == 0.0:
+        return []
+    gates: list[CircuitGate] = []
+    flips = [q for q, bit in zip(qubits, pattern) if bit == 0]
+    for qubit in flips:
+        gates.append(CircuitGate("x", (qubit,)))
+    target = qubits[-1]
+    controls = tuple(qubits[:-1]) + tuple(extra_controls)
+    states = (1,) * (len(qubits) - 1) + tuple(extra_states)
+    gates.append(
+        CircuitGate("p", (target,), controls, (theta,), states)
+    )
+    for qubit in reversed(flips):
+        gates.append(CircuitGate("x", (qubit,)))
+    return gates

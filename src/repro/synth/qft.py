@@ -1,0 +1,35 @@
+"""QFT and inverse-QFT circuits for the Fourier basis (paper §6.3).
+
+Standardizing ``fourier[N]`` applies the N-qubit inverse quantum
+Fourier transform; destandardizing applies the QFT.  The convention
+matches qubit 0 being the most significant bit: ``QFT |k> = f_k`` where
+``f_k = 2^{-N/2} sum_x exp(2 pi i k x / 2^N) |x>``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.qcircuit.circuit import CircuitGate
+
+
+def qft_gates(qubits: list[int], include_swaps: bool = True) -> list[CircuitGate]:
+    """The quantum Fourier transform on the given qubit line indices."""
+    n = len(qubits)
+    gates: list[CircuitGate] = []
+    for i in range(n):
+        gates.append(CircuitGate("h", (qubits[i],)))
+        for j in range(i + 1, n):
+            angle = math.pi / (2 ** (j - i))
+            gates.append(
+                CircuitGate("p", (qubits[i],), (qubits[j],), (angle,))
+            )
+    if include_swaps:
+        for i in range(n // 2):
+            gates.append(CircuitGate("swap", (qubits[i], qubits[n - 1 - i])))
+    return gates
+
+
+def iqft_gates(qubits: list[int], include_swaps: bool = True) -> list[CircuitGate]:
+    """The inverse QFT: the QFT's gates reversed and daggered."""
+    return [gate.dagger() for gate in reversed(qft_gates(qubits, include_swaps))]

@@ -1,0 +1,128 @@
+"""Determining standardizations for a basis translation (Algorithm E6).
+
+Standardization translates qubits from their primitive basis to ``std``
+at the start of synthesis; destandardization translates back at the
+end.  Each is *unconditional* when the same primitive basis appears at
+the same position on both sides of the translation, else *conditional*
+(it must be controlled on the translation's predicates).
+
+Inseparable primitive bases (``fourier``) complicate the walk: the
+algorithm inserts *padding* pseudo-elements so both deques stay aligned
+on the same qubit offset (paper Fig. E14).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.basis.basis import Basis
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.literal import BasisLiteral
+from repro.basis.primitive import PrimitiveBasis
+
+
+@dataclass(frozen=True)
+class Standardization:
+    """One (de)standardization: which basis, which qubits, conditional?"""
+
+    prim: PrimitiveBasis
+    offset: int
+    dim: int
+    conditional: bool
+
+
+@dataclass(frozen=True)
+class _Element:
+    """A deque entry: a primitive-basis range or padding."""
+
+    prim: Optional[PrimitiveBasis]  # None means padding.
+    dim: int
+
+    @property
+    def is_padding(self) -> bool:
+        return self.prim is None
+
+
+def _ranges(basis: Basis) -> deque[_Element]:
+    """The (prim, dim) ranges across the basis elements."""
+    out: deque[_Element] = deque()
+    for element in basis.elements:
+        if isinstance(element, BasisLiteral):
+            out.append(_Element(element.prim, element.dim))
+        elif isinstance(element, BuiltinBasis):
+            out.append(_Element(element.prim, element.dim))
+    return out
+
+
+def determine_standardizations(
+    b_in: Basis, b_out: Basis
+) -> tuple[list[Standardization], list[Standardization]]:
+    """Algorithm E6: standardizations (for ``b_in``) and
+    destandardizations (for ``b_out``), with qubit offsets."""
+    lstd: list[Standardization] = []
+    rstd: list[Standardization] = []
+    ldeque = _ranges(b_in)
+    rdeque = _ranges(b_out)
+    loffset = 0
+    roffset = 0
+
+    while ldeque and rdeque:
+        left = ldeque.popleft()
+        right = rdeque.popleft()
+        if not left.is_padding and not right.is_padding and left.prim is right.prim:
+            conditional = False
+        else:
+            conditional = True
+
+        if left.dim == right.dim:
+            if not left.is_padding:
+                lstd.append(
+                    Standardization(left.prim, loffset, left.dim, conditional)
+                )
+            if not right.is_padding:
+                rstd.append(
+                    Standardization(right.prim, roffset, right.dim, conditional)
+                )
+            loffset += left.dim
+            roffset += right.dim
+            continue
+
+        if left.dim > right.dim:
+            big, small = left, right
+            bigdeque, big_std, small_std = ldeque, lstd, rstd
+            big_offset, small_offset = loffset, roffset
+        else:
+            big, small = right, left
+            bigdeque, big_std, small_std = rdeque, rstd, lstd
+            big_offset, small_offset = roffset, loffset
+        delta = big.dim - small.dim
+
+        if not big.is_padding and big.prim.is_separable:
+            if not small.is_padding:
+                small_std.append(
+                    Standardization(small.prim, small_offset, small.dim, conditional)
+                )
+            big_std.append(
+                Standardization(big.prim, big_offset, small.dim, conditional)
+            )
+            bigdeque.appendleft(_Element(big.prim, delta))
+        else:
+            # Inseparable (or padding) big element: the whole element
+            # (de)standardizes at once, and padding keeps the deques in
+            # step (paper Fig. E14).
+            if not small.is_padding:
+                small_std.append(
+                    Standardization(small.prim, small_offset, small.dim, True)
+                )
+            if not big.is_padding:
+                big_std.append(
+                    Standardization(big.prim, big_offset, big.dim, True)
+                )
+            bigdeque.appendleft(_Element(None, delta))
+
+        loffset += small.dim
+        roffset += small.dim
+
+    return lstd, rstd

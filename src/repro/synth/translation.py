@@ -1,0 +1,249 @@
+"""Full basis-translation circuit synthesis (paper §6.3, Fig. 6).
+
+The synthesized circuit reads left to right::
+
+    standardize (unconditional) | standardize (conditional) |
+    vector phases (left, removed) | permute std basis vectors |
+    vector phases (right, added) | destandardize (conditional) |
+    destandardize (unconditional)
+
+Predicates — aligned element pairs that are identical single-vector
+literals on both sides — control every conditional section.  Span
+equivalence checking guarantees predicates always correspond to
+unconditional standardizations, so their control values are plain std
+eigenbits once the outer unconditional layer has run (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basis.basis import Basis
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.literal import BasisLiteral
+from repro.basis.primitive import PrimitiveBasis
+from repro.errors import SynthesisError
+from repro.qcircuit.circuit import CircuitGate
+from repro.synth.align import align_translation
+from repro.synth.permute import (
+    permutation_from_vector_map,
+    synthesize_permutation,
+)
+from repro.synth.phases import phase_on_pattern
+from repro.synth.qft import iqft_gates, qft_gates
+from repro.synth.standardize import Standardization, determine_standardizations
+
+
+#: Cap on the number of controlled copies emitted when expanding
+#: multi-vector predicates into per-pattern controls.
+MAX_PREDICATE_PRODUCT = 128
+
+
+@dataclass(frozen=True)
+class _Predicate:
+    """A predicate: a qubit range whose state must lie in a pattern set.
+
+    Any aligned pair that does not fully span constrains the rest of
+    the circuit to act only when its qubits hold one of its std
+    patterns.  Crucially, a well-typed pair's pattern *set* is
+    preserved by its own permutation, so these controls are stable
+    across the whole synthesized circuit.
+    """
+
+    offset: int
+    patterns: tuple[tuple[int, ...], ...]
+
+    @property
+    def dim(self) -> int:
+        return len(self.patterns[0])
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return tuple(range(self.offset, self.offset + self.dim))
+
+
+def _standardization_gates(
+    std: Standardization, inverse: bool
+) -> list[CircuitGate]:
+    """Gates translating ``std.prim -> std`` (or the inverse)."""
+    qubits = list(range(std.offset, std.offset + std.dim))
+    if std.prim is PrimitiveBasis.STD:
+        return []
+    if std.prim is PrimitiveBasis.PM:
+        return [CircuitGate("h", (q,)) for q in qubits]
+    if std.prim is PrimitiveBasis.IJ:
+        gates = []
+        for q in qubits:
+            if not inverse:
+                gates += [CircuitGate("sdg", (q,)), CircuitGate("h", (q,))]
+            else:
+                gates += [CircuitGate("h", (q,)), CircuitGate("s", (q,))]
+        return gates
+    if std.prim is PrimitiveBasis.FOURIER:
+        return qft_gates(qubits) if inverse else iqft_gates(qubits)
+    raise SynthesisError(f"cannot standardize {std.prim}")
+
+
+def _controlled(
+    gates: list[CircuitGate], predicates: list[_Predicate]
+) -> list[CircuitGate]:
+    """Control gates on membership in every predicate's pattern set.
+
+    Multi-pattern predicates expand to one controlled copy per pattern
+    combination; the patterns are mutually exclusive, so the sequence
+    of controlled copies equals a single span-membership control.
+    """
+    if not predicates:
+        return gates
+    combos = _predicate_combos(predicates)
+    out = []
+    for gate in gates:
+        for controls, states in combos:
+            out.append(gate.with_extra_controls(controls, states))
+    return out
+
+
+def _collect_predicates(
+    pairs: list[tuple], offsets: list[int]
+) -> list[_Predicate]:
+    """Every non-fully-spanning aligned pair is a predicate."""
+    predicates = []
+    for (left, right), offset in zip(pairs, offsets):
+        if not isinstance(left, BasisLiteral) or not isinstance(right, BasisLiteral):
+            continue
+        if left.fully_spans:
+            continue
+        predicates.append(
+            _Predicate(offset, tuple(vec.eigenbits for vec in left.vectors))
+        )
+    return predicates
+
+
+def _excluding(
+    predicates: list[_Predicate], offset: int
+) -> list[_Predicate]:
+    """Predicates other than the one at ``offset`` (a pair must not be
+    controlled on itself)."""
+    return [p for p in predicates if p.offset != offset]
+
+
+def _predicate_combos(
+    predicates: list[_Predicate],
+) -> list[tuple[list[int], list[int]]]:
+    """All (controls, states) combinations across predicate patterns."""
+    combos: list[tuple[list[int], list[int]]] = [([], [])]
+    for predicate in predicates:
+        combos = [
+            (controls + list(predicate.qubits), states + list(pattern))
+            for controls, states in combos
+            for pattern in predicate.patterns
+        ]
+        if len(combos) > MAX_PREDICATE_PRODUCT:
+            raise SynthesisError(
+                "predicate pattern product too large to synthesize"
+            )
+    return combos
+
+
+def _phase_gates(
+    basis: Basis,
+    sign: float,
+    predicates: list[_Predicate],
+) -> list[CircuitGate]:
+    """MCP gates removing (sign=-1) or adding (sign=+1) vector phases."""
+    gates: list[CircuitGate] = []
+    for element, start, stop in basis.element_ranges():
+        if not isinstance(element, BasisLiteral):
+            continue
+        own_range = set(range(start, stop))
+        applicable = [
+            predicate
+            for predicate in predicates
+            if not own_range & set(predicate.qubits)
+        ]
+        combos = _predicate_combos(applicable)
+        for vector in element.vectors:
+            if not vector.has_phase:
+                continue
+            for controls, states in combos:
+                gates += phase_on_pattern(
+                    list(range(start, stop)),
+                    vector.eigenbits,
+                    sign * vector.phase,
+                    controls,
+                    states,
+                )
+    return gates
+
+
+def synthesize_basis_translation(
+    b_in: Basis, b_out: Basis
+) -> list[CircuitGate]:
+    """Synthesize the circuit for ``b_in >> b_out`` on qubits 0..dim-1.
+
+    The translation must already be well-typed (span-equivalent); this
+    function re-checks only what synthesis itself relies on.
+    """
+    if b_in.dim != b_out.dim:
+        raise SynthesisError("basis translation sides differ in dimension")
+
+    lstd, rstd = determine_standardizations(b_in, b_out)
+    pairs = align_translation(b_in, b_out)
+    offsets = []
+    position = 0
+    for left, _right in pairs:
+        offsets.append(position)
+        position += left.dim
+    predicates = _collect_predicates(pairs, offsets)
+
+    gates: list[CircuitGate] = []
+
+    # 1. Unconditional standardization (uncontrolled: it is undone by
+    #    the matching unconditional destandardization, conjugating the
+    #    rest of the circuit).
+    for std in lstd:
+        if not std.conditional:
+            gates += _standardization_gates(std, inverse=False)
+
+    # 2. Conditional standardization, controlled on the predicates.
+    for std in lstd:
+        if std.conditional:
+            gates += _controlled(
+                _standardization_gates(std, inverse=False), predicates
+            )
+
+    # 3. Left vector phases, removed.
+    gates += _phase_gates(b_in, -1.0, predicates)
+
+    # 4. The central permutation of std basis vectors, per aligned pair.
+    #    Each pair is controlled on every *other* pair's pattern set.
+    for (left, right), offset in zip(pairs, offsets):
+        if left == right:
+            continue
+        if isinstance(left, BuiltinBasis) or isinstance(right, BuiltinBasis):
+            continue  # Both std builtins: identity.
+        in_bits = [vec.eigenbits for vec in left.vectors]
+        out_bits = [vec.eigenbits for vec in right.vectors]
+        table = permutation_from_vector_map(in_bits, out_bits, left.dim)
+        if table == list(range(len(table))):
+            continue
+        local = synthesize_permutation(table, left.dim)
+        shifted = [gate.shifted(offset) for gate in local]
+        gates += _controlled(shifted, _excluding(predicates, offset))
+
+    # 5. Right vector phases, added.
+    gates += _phase_gates(b_out, +1.0, predicates)
+
+    # 6. Conditional destandardization.
+    for std in rstd:
+        if std.conditional:
+            gates += _controlled(
+                _standardization_gates(std, inverse=True), predicates
+            )
+
+    # 7. Unconditional destandardization.
+    for std in rstd:
+        if not std.conditional:
+            gates += _standardization_gates(std, inverse=True)
+
+    return gates

@@ -1,0 +1,97 @@
+"""Tests for the OpenQASM 3 backend (paper §7)."""
+
+import numpy as np
+
+from repro.algorithms import bernstein_vazirani
+from repro.backends.qasm3 import emit_qasm3, parse_qasm3
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.sim import run_circuit, unitary_of_gates
+
+
+def g(name, targets, controls=(), params=(), ctrl_states=(), condition=None):
+    return CircuitGate(
+        name, tuple(targets), tuple(controls), tuple(params),
+        tuple(ctrl_states), condition,
+    )
+
+
+def test_header_and_registers():
+    circuit = Circuit(3, 2)
+    circuit.add(g("h", [0]))
+    text = emit_qasm3(circuit, name="demo")
+    assert "OPENQASM 3.0;" in text
+    assert 'include "stdgates.inc";' in text
+    assert "qubit[3] q;" in text
+    assert "bit[2] c;" in text
+
+
+def test_gate_spellings():
+    circuit = Circuit(2, 0)
+    circuit.add(g("h", [0]))
+    circuit.add(g("x", [1], controls=[0]))
+    circuit.add(g("p", [1], params=[0.5]))
+    circuit.add(g("swap", [0, 1]))
+    text = emit_qasm3(circuit)
+    assert "h q[0];" in text
+    assert "ctrl @ x q[0], q[1];" in text
+    assert "p(0.5) q[1];" in text
+    assert "swap q[0], q[1];" in text
+
+
+def test_negative_controls():
+    circuit = Circuit(3, 0)
+    circuit.add(g("x", [2], controls=[0, 1], ctrl_states=[1, 0]))
+    text = emit_qasm3(circuit)
+    assert "ctrl @ negctrl @ x q[0], q[1], q[2];" in text
+
+
+def test_measurement_and_reset():
+    circuit = Circuit(1, 1)
+    circuit.add(Measurement(0, 0))
+    circuit.add(Reset(0))
+    text = emit_qasm3(circuit)
+    assert "c[0] = measure q[0];" in text
+    assert "reset q[0];" in text
+
+
+def test_conditioned_gate():
+    circuit = Circuit(2, 1)
+    circuit.add(Measurement(0, 0))
+    circuit.add(g("x", [1], condition=(0, 1)))
+    text = emit_qasm3(circuit)
+    assert "if (c[0] == 1) { x q[1]; }" in text
+
+
+def test_roundtrip_preserves_semantics():
+    result = bernstein_vazirani("1011").compile()
+    circuit = result.optimized_circuit
+    text = emit_qasm3(circuit)
+    parsed = parse_qasm3(text)
+    assert parsed.num_qubits == circuit.num_qubits
+    (original,) = run_circuit(circuit)
+    parsed.output_bits = circuit.output_bits
+    (reparsed,) = run_circuit(parsed)
+    assert original == reparsed
+
+
+def test_roundtrip_gate_by_gate():
+    circuit = Circuit(3, 0)
+    gates = [
+        g("h", [0]),
+        g("x", [2], controls=[0, 1], ctrl_states=[1, 0]),
+        g("rz", [1], params=[1.25]),
+        g("tdg", [2]),
+    ]
+    for gate in gates:
+        circuit.add(gate)
+    parsed = parse_qasm3(emit_qasm3(circuit))
+    before = unitary_of_gates(gates, 3)
+    after = unitary_of_gates(parsed.gates, 3)
+    assert np.allclose(before, after)
+
+
+def test_kernel_qasm3_export():
+    result = bernstein_vazirani("110").compile()
+    text = result.qasm3()
+    assert "OPENQASM 3.0;" in text
+    assert "measure" in text

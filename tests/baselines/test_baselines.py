@@ -1,0 +1,87 @@
+"""Tests for the baseline compilers (paper §8) and their characteristic
+differences."""
+
+import pytest
+
+from repro.baselines import build_baseline, transpile_o3
+from repro.baselines.qsharp_qir import qsharp_callable_counts
+from repro.sim import run_circuit
+
+
+def test_all_styles_build_all_algorithms():
+    for algorithm in ("bv", "dj", "grover", "simon", "period"):
+        for style in ("qiskit", "quipper", "qsharp"):
+            circuit = build_baseline(algorithm, style, 4)
+            assert circuit.num_qubits >= 4
+            assert circuit.output_bits
+
+
+def test_bv_baselines_recover_secret():
+    # All three styles must compute the same answer (secret 1010...).
+    for style in ("qiskit", "quipper", "qsharp"):
+        circuit = build_baseline("bv", style, 4)
+        (outcome,) = run_circuit(circuit)
+        assert outcome == (1, 0, 1, 0), style
+
+
+def test_bv_transpiled_still_correct():
+    for style in ("qiskit", "quipper", "qsharp"):
+        circuit = transpile_o3(build_baseline("bv", style, 4), style)
+        (outcome,) = run_circuit(circuit)
+        assert outcome == (1, 0, 1, 0), style
+
+
+def test_grover_baselines_find_marked_item():
+    for style in ("qiskit", "qsharp"):
+        circuit = transpile_o3(build_baseline("grover", style, 3), style)
+        results = run_circuit(circuit, shots=20)
+        hits = sum(1 for r in results if r == (1, 1, 1))
+        assert hits >= 18, style
+
+
+def test_quipper_uses_more_ancillas_for_xor():
+    # The paper attributes Quipper's cost to ancilla-per-XOR synthesis.
+    quipper = build_baseline("dj", "quipper", 8)
+    qiskit = build_baseline("dj", "qiskit", 8)
+    assert quipper.num_qubits > qiskit.num_qubits
+
+
+def test_quipper_iqft_has_no_swaps():
+    # Paper §8.3: Quipper uses renaming-based swaps for the IQFT.
+    quipper = build_baseline("period", "quipper", 4)
+    qiskit = build_baseline("period", "qiskit", 4)
+    assert not any(g.name == "swap" for g in quipper.gates)
+    assert any(g.name == "swap" for g in qiskit.gates)
+
+
+def test_period_baselines_agree():
+    for style in ("qiskit", "quipper"):
+        circuit = transpile_o3(build_baseline("period", style, 3), style)
+        for seed in range(8):
+            (sample,) = run_circuit(circuit, seed=seed)
+            value = int("".join(str(b) for b in sample), 2)
+            assert value % 2 == 0, style
+
+
+def test_selinger_styles_have_fewer_t_gates():
+    # Q#'s (and ASDF's) Selinger decomposition beats the naive ladder.
+    def t_count(circuit):
+        return sum(1 for g in circuit.gates if g.name in ("t", "tdg"))
+
+    qsharp = transpile_o3(build_baseline("grover", "qsharp", 6), "qsharp")
+    qiskit = transpile_o3(build_baseline("grover", "qiskit", 6), "qiskit")
+    assert t_count(qsharp) < t_count(qiskit)
+
+
+def test_qsharp_callable_counts_nonzero():
+    for algorithm in ("bv", "dj", "grover", "simon", "period"):
+        creates, invokes = qsharp_callable_counts(algorithm)
+        assert creates > 0
+        assert invokes > 0
+
+
+def test_unknown_style_rejected():
+    from repro.errors import SynthesisError
+
+    with pytest.raises(SynthesisError):
+        build_baseline("bv", "cirq", 4)

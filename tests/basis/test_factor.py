@@ -1,0 +1,141 @@
+"""Unit and property tests for the factoring algorithms (Appendix B)."""
+
+from hypothesis import given, strategies as st
+
+from repro.basis import BasisLiteral, BasisVector, PrimitiveBasis
+from repro.basis.factor import (
+    factor_fully_spanning,
+    factor_literal,
+    factor_prefix,
+)
+from repro.basis.literal import full_literal
+
+
+def lit(*chars):
+    return BasisLiteral.of(*chars)
+
+
+def test_factor_fully_spanning_success():
+    remainder = factor_fully_spanning(lit("00", "01", "10", "11"), 1)
+    assert remainder == lit("0", "1")
+
+
+def test_factor_fully_spanning_not_divisible():
+    assert factor_fully_spanning(lit("00", "01", "10"), 1) is None
+
+
+def test_factor_fully_spanning_missing_prefix():
+    assert factor_fully_spanning(lit("00", "01"), 1) is None
+
+
+def test_factor_fully_spanning_unbalanced_suffixes():
+    # Divisible and both prefixes present, but suffix '0' appears once.
+    assert factor_fully_spanning(lit("00", "11", "01", "10"), 1) == lit("0", "1")
+    assert factor_fully_spanning(lit("000", "010", "101", "111"), 1) is None
+
+
+def test_factor_fully_spanning_bad_n():
+    assert factor_fully_spanning(lit("00", "01"), 0) is None
+    assert factor_fully_spanning(lit("00", "01"), 2) is None
+
+
+def test_factor_literal_success():
+    remainder = factor_literal(lit("10", "11"), lit("1"))
+    assert remainder == lit("0", "1")
+
+
+def test_factor_literal_prefix_not_subset():
+    assert factor_literal(lit("00", "01"), lit("1")) is None
+
+
+def test_factor_literal_prim_mismatch():
+    assert factor_literal(lit("10", "11"), lit("m")) is None
+
+
+def test_factor_literal_not_divisible():
+    assert factor_literal(lit("00", "01", "10"), lit("0", "1")) is None
+
+
+def test_factor_literal_single_prefix():
+    # {'100','101','110'} = {'1'} (x) {'00','01','10'}.
+    remainder = factor_literal(lit("100", "101", "110"), lit("1"))
+    assert remainder == lit("00", "01", "10")
+
+
+def test_factor_prefix_product():
+    result = factor_prefix(lit("01", "00", "10", "11"), 1)
+    assert result is not None
+    prefix, remainder = result
+    assert prefix == lit("0", "1")
+    assert remainder == lit("0", "1")
+
+
+def test_factor_prefix_non_product():
+    assert factor_prefix(lit("00", "11"), 1) is None
+
+
+def test_factor_prefix_partial_product():
+    result = factor_prefix(lit("10", "11"), 1)
+    assert result is not None
+    prefix, remainder = result
+    assert prefix == lit("1")
+    assert remainder == lit("0", "1")
+
+
+@st.composite
+def product_literal(draw):
+    """A literal constructed as an explicit tensor product."""
+    prim = draw(st.sampled_from([PrimitiveBasis.STD, PrimitiveBasis.PM]))
+    pre_dim = draw(st.integers(min_value=1, max_value=3))
+    suf_dim = draw(st.integers(min_value=1, max_value=3))
+    pre_values = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=2**pre_dim - 1),
+            min_size=1,
+            max_size=2**pre_dim,
+        )
+    )
+    suf_values = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=2**suf_dim - 1),
+            min_size=1,
+            max_size=2**suf_dim,
+        )
+    )
+
+    def to_vec(value, dim):
+        bits = tuple((value >> (dim - 1 - k)) & 1 for k in range(dim))
+        return BasisVector(bits, prim)
+
+    prefix = BasisLiteral(tuple(sorted(to_vec(v, pre_dim) for v in pre_values)))
+    suffix = BasisLiteral(tuple(sorted(to_vec(v, suf_dim) for v in suf_values)))
+    return prefix, suffix
+
+
+@given(product_literal())
+def test_factor_prefix_roundtrip(parts):
+    """factor_prefix recovers the factors of any explicit product."""
+    prefix, suffix = parts
+    product = prefix.tensor(suffix)
+    result = factor_prefix(product, prefix.dim)
+    assert result is not None
+    got_prefix, got_suffix = result
+    assert got_prefix == BasisLiteral(tuple(sorted(prefix.vectors)))
+    assert got_suffix == BasisLiteral(tuple(sorted(suffix.vectors)))
+
+
+@given(product_literal())
+def test_factor_literal_roundtrip(parts):
+    """Algorithm B4 factors any explicit product by its prefix."""
+    prefix, suffix = parts
+    product = prefix.tensor(suffix)
+    remainder = factor_literal(product, prefix)
+    assert remainder == BasisLiteral(tuple(sorted(suffix.vectors)))
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+def test_factor_full_literal(n, rest):
+    """A fully spanning literal factors at every boundary."""
+    product = full_literal(PrimitiveBasis.STD, n + rest)
+    remainder = factor_fully_spanning(product, n)
+    assert remainder == full_literal(PrimitiveBasis.STD, rest)

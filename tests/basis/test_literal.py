@@ -1,0 +1,90 @@
+"""Unit tests for basis literals and built-in bases."""
+
+import pytest
+
+from repro.basis import BasisLiteral, BasisVector, BuiltinBasis, PrimitiveBasis
+from repro.basis.literal import full_literal
+from repro.errors import BasisError
+
+
+def test_literal_of_strings():
+    lit = BasisLiteral.of("01", "10")
+    assert lit.dim == 2
+    assert lit.prim is PrimitiveBasis.STD
+    assert not lit.fully_spans
+
+
+def test_fully_spans():
+    assert BasisLiteral.of("0", "1").fully_spans
+    assert BasisLiteral.of("00", "01", "10", "11").fully_spans
+    assert not BasisLiteral.of("00", "01", "10").fully_spans
+
+
+def test_duplicate_eigenbits_rejected():
+    with pytest.raises(BasisError):
+        BasisLiteral.of("0", "0")
+
+
+def test_duplicate_differing_phase_rejected():
+    # Eigenbits must be distinct even if phases differ.
+    with pytest.raises(BasisError):
+        BasisLiteral(
+            (
+                BasisVector.from_chars("0"),
+                BasisVector.from_chars("0", phase=90.0),
+            )
+        )
+
+
+def test_mismatched_dims_rejected():
+    with pytest.raises(BasisError):
+        BasisLiteral.of("0", "11")
+
+
+def test_mismatched_prims_rejected():
+    with pytest.raises(BasisError):
+        BasisLiteral.of("0", "p")
+
+
+def test_normalized_sorts_and_strips_phases():
+    lit = BasisLiteral(
+        (
+            BasisVector.from_chars("11", phase=180.0),
+            BasisVector.from_chars("10"),
+        )
+    )
+    norm = lit.normalized()
+    assert [vec.chars() for vec in norm.vectors] == ["10", "11"]
+    assert not norm.has_phases
+
+
+def test_tensor_is_cartesian_product():
+    left = BasisLiteral.of("0", "1")
+    right = BasisLiteral.of("0", "1")
+    product = left.tensor(right)
+    assert {vec.chars() for vec in product.vectors} == {"00", "01", "10", "11"}
+
+
+def test_full_literal():
+    lit = full_literal(PrimitiveBasis.PM, 2)
+    assert lit.fully_spans
+    assert lit.prim is PrimitiveBasis.PM
+    assert {vec.chars() for vec in lit.vectors} == {"pp", "pm", "mp", "mm"}
+
+
+def test_full_literal_rejects_fourier():
+    with pytest.raises(BasisError):
+        full_literal(PrimitiveBasis.FOURIER, 2)
+
+
+def test_builtin_basis():
+    basis = BuiltinBasis(PrimitiveBasis.FOURIER, 3)
+    assert basis.fully_spans
+    assert basis.dim == 3
+    assert str(basis) == "fourier[3]"
+    assert str(BuiltinBasis(PrimitiveBasis.STD, 1)) == "std"
+
+
+def test_builtin_rejects_zero_dim():
+    with pytest.raises(BasisError):
+        BuiltinBasis(PrimitiveBasis.STD, 0)

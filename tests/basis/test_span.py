@@ -1,0 +1,185 @@
+"""Span equivalence checking tests (paper §4.1, Appendix B)."""
+
+import pytest
+
+from repro.basis import (
+    Basis,
+    BasisLiteral,
+    BasisVector,
+    BuiltinBasis,
+    PrimitiveBasis,
+    spans_equal,
+)
+from repro.basis.basis import fourier, ij, pm, std
+from repro.basis.span import check_span_equivalence
+from repro.errors import SpanCheckError
+
+
+def lit(*vectors):
+    return Basis.literal(*vectors)
+
+
+def test_identical_literals():
+    assert spans_equal(lit("01", "10"), lit("01", "10"))
+
+
+def test_swap_example():
+    # {'01','10'} >> {'10','01'}: same span (a SWAP gate, paper §2.2).
+    assert spans_equal(lit("01", "10"), lit("10", "01"))
+
+
+def test_disjoint_literals_fail():
+    assert not spans_equal(lit("01", "10"), lit("00", "11"))
+
+
+def test_fully_spanning_literals_match_builtins():
+    assert spans_equal(lit("0", "1"), std(1))
+    assert spans_equal(lit("00", "01", "10", "11"), std(2))
+    assert spans_equal(lit("p", "m"), std(1))
+    assert spans_equal(ij(3), pm(3))
+    assert spans_equal(fourier(2), std(2))
+
+
+def test_exponential_blowup_avoided():
+    # {'0','1'}[64] >> {'1','0'}[64] represents 2^64 vectors but must
+    # type check in polynomial time (paper §4.1).
+    big_in = lit("0", "1").broadcast(64)
+    big_out = lit("1", "0").broadcast(64)
+    assert spans_equal(big_in, big_out)
+
+
+def test_dimension_mismatch_fails():
+    assert not spans_equal(std(2), std(3))
+    with pytest.raises(SpanCheckError, match="dimension mismatch"):
+        check_span_equivalence(std(2), std(3))
+
+
+def test_partial_literal_vs_builtin_fails():
+    assert not spans_equal(lit("0"), std(1))
+    assert not spans_equal(std(2), Basis.of(BasisLiteral.of("0")).tensor(std(1)))
+
+
+def test_factoring_builtin_from_builtin():
+    # std[3] vs std + std[2]: factoring fully-spanning elements.
+    assert spans_equal(std(3), std(1).tensor(std(2)))
+    assert spans_equal(fourier(3), std(1).tensor(pm(2)))
+
+
+def test_factor_fully_spanning_from_literal():
+    # {'00','01','10','11'} = std[1] (x) {'0','1'}.
+    four = lit("00", "01", "10", "11")
+    assert spans_equal(four, std(1).tensor(lit("0", "1")))
+    assert spans_equal(four, pm(1).tensor(std(1)))
+
+
+def test_factor_fails_on_non_product():
+    # {'00','01','10'} is not a tensor product with a full first qubit.
+    three = lit("00", "01", "10")
+    assert not spans_equal(three, std(1).tensor(lit("0", "1")))
+
+
+def test_factor_literal_from_literal():
+    # {'10','11'} = {'1'} (x) {'0','1'}.
+    assert spans_equal(lit("10", "11"), lit("1").tensor(lit("0", "1")))
+    # {'100','101','110','111'} = {'1'} (x) std[2].
+    assert spans_equal(
+        lit("100", "101", "110", "111"), lit("1").tensor(std(2))
+    )
+
+
+def test_factor_literal_prefix_mismatch():
+    # {'00','01'} has prefix {'0'}, not {'1'}.
+    assert not spans_equal(lit("00", "01"), lit("1").tensor(lit("0", "1")))
+
+
+def test_prims_matter_for_partial_literals():
+    # span({'0'}) != span({'p'}).
+    assert not spans_equal(lit("0"), lit("p"))
+    assert not spans_equal(
+        lit("0").tensor(std(1)), lit("p").tensor(std(1))
+    )
+
+
+def test_phases_are_normalized_away():
+    # Phases never change spans (paper Fig. 3 normalize step).
+    phased = Basis.of(
+        BasisLiteral((BasisVector.from_chars("1", phase=45.0),))
+    )
+    assert spans_equal(phased, lit("1"))
+    neg = Basis.of(
+        BasisLiteral(
+            (
+                BasisVector.from_chars("11", phase=180.0),
+                BasisVector.from_chars("10"),
+            )
+        )
+    )
+    assert spans_equal(neg, lit("10", "11"))
+
+
+def test_paper_figure3():
+    # {'p'} + fourier[3] + {'1'@45} + pm
+    #   >> {-'p'} + std[2] + ij + {-'11', '10'}
+    lhs = (
+        lit("p")
+        .tensor(fourier(3))
+        .tensor(
+            Basis.of(BasisLiteral((BasisVector.from_chars("1", phase=45.0),)))
+        )
+        .tensor(pm(1))
+    )
+    rhs = (
+        Basis.of(BasisLiteral((BasisVector.from_chars("p", phase=180.0),)))
+        .tensor(std(2))
+        .tensor(ij(1))
+        .tensor(
+            Basis.of(
+                BasisLiteral(
+                    (
+                        BasisVector.from_chars("11", phase=180.0),
+                        BasisVector.from_chars("10"),
+                    )
+                )
+            )
+        )
+    )
+    check_span_equivalence(lhs, rhs)
+
+
+def test_paper_figure3_wrong_variant_fails():
+    # Same as Fig. 3 but the final literal does not contain '1' prefix
+    # vectors, so factoring {'1'} must fail.
+    lhs = lit("p").tensor(fourier(1)).tensor(lit("1"))
+    rhs = lit("p").tensor(std(1)).tensor(lit("0"))
+    assert not spans_equal(lhs, rhs)
+
+
+def test_pm_literal_vs_pm_builtin_partial():
+    # {'pm','mp'} vs {'mp','pm'}: identical after sorting.
+    assert spans_equal(lit("pm", "mp"), lit("mp", "pm"))
+    # But not equal span to {'pp','mm'}.
+    assert not spans_equal(lit("pm", "mp"), lit("pp", "mm"))
+
+
+def test_grover_diffuser_span():
+    # {'p'[3]} >> {-'p'[3]} from paper Fig. 8: same single-vector span.
+    plus3 = Basis.of(BasisLiteral((BasisVector.from_chars("ppp"),)))
+    minus_phase = Basis.of(
+        BasisLiteral((BasisVector.from_chars("ppp", phase=180.0),))
+    )
+    assert spans_equal(plus3, minus_phase)
+
+
+def test_interleaved_factoring_both_sides():
+    # Alternating element boundaries force factoring on both sides.
+    lhs = std(3).tensor(pm(2)).tensor(std(1))
+    rhs = pm(1).tensor(std(4)).tensor(ij(1))
+    assert spans_equal(lhs, rhs)
+
+
+def test_literal_requiring_repeated_factoring():
+    # {'110','111'} = {'1'} (x) {'1'} (x) {'0','1'}.
+    assert spans_equal(
+        lit("110", "111"),
+        lit("1").tensor(lit("1")).tensor(lit("0", "1")),
+    )

@@ -1,0 +1,88 @@
+"""Property tests: the polynomial span checker against dense ground truth.
+
+The reference computes span equality by building the actual subspaces
+as matrices and comparing ranks — exponential, but fine for the small
+random bases hypothesis generates.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.basis import Basis, BasisLiteral, BasisVector, BuiltinBasis
+from repro.basis.primitive import PrimitiveBasis
+from repro.basis.span import spans_equal
+
+from tests.synth.helpers import basis_vectors
+
+
+def dense_spans_equal(b_in: Basis, b_out: Basis) -> bool:
+    if b_in.dim != b_out.dim:
+        return False
+    left = np.array(basis_vectors(b_in)).T
+    right = np.array(basis_vectors(b_out)).T
+    stacked = np.hstack([left, right])
+    rank_left = np.linalg.matrix_rank(left, tol=1e-9)
+    rank_right = np.linalg.matrix_rank(right, tol=1e-9)
+    rank_union = np.linalg.matrix_rank(stacked, tol=1e-9)
+    return rank_left == rank_right == rank_union
+
+
+@st.composite
+def random_element(draw):
+    kind = draw(st.sampled_from(["builtin", "literal"]))
+    if kind == "builtin":
+        prim = draw(st.sampled_from(list(PrimitiveBasis)))
+        dim = draw(st.integers(min_value=1, max_value=2))
+        return BuiltinBasis(prim, dim)
+    prim = draw(
+        st.sampled_from(
+            [PrimitiveBasis.STD, PrimitiveBasis.PM, PrimitiveBasis.IJ]
+        )
+    )
+    dim = draw(st.integers(min_value=1, max_value=2))
+    universe = list(range(2**dim))
+    values = draw(
+        st.sets(st.sampled_from(universe), min_size=1, max_size=2**dim)
+    )
+    vectors = tuple(
+        BasisVector(
+            tuple((v >> (dim - 1 - k)) & 1 for k in range(dim)), prim
+        )
+        for v in sorted(values)
+    )
+    return BasisLiteral(vectors)
+
+
+@st.composite
+def random_basis(draw, max_dim=4):
+    elements = []
+    total = 0
+    while total < max_dim:
+        element = draw(random_element())
+        if total + element.dim > max_dim:
+            break
+        elements.append(element)
+        total += element.dim
+        if draw(st.booleans()):
+            break
+    if not elements:
+        elements.append(draw(random_element()))
+    return Basis(tuple(elements))
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_basis(), random_basis())
+def test_span_checker_matches_dense_reference(b_in, b_out):
+    assert spans_equal(b_in, b_out) == dense_spans_equal(b_in, b_out)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_basis())
+def test_span_equivalence_is_reflexive(basis):
+    assert spans_equal(basis, basis)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_basis(), random_basis())
+def test_span_equivalence_is_symmetric(b_in, b_out):
+    assert spans_equal(b_in, b_out) == spans_equal(b_out, b_in)

@@ -1,0 +1,80 @@
+"""Unit tests for basis vectors."""
+
+import pytest
+
+from repro.basis import BasisVector, PrimitiveBasis
+from repro.errors import BasisError
+
+
+def test_from_chars_std():
+    vec = BasisVector.from_chars("101")
+    assert vec.prim is PrimitiveBasis.STD
+    assert vec.eigenbits == (1, 0, 1)
+    assert vec.dim == 3
+    assert vec.eigenbits_int == 0b101
+
+
+def test_from_chars_pm():
+    vec = BasisVector.from_chars("pm")
+    assert vec.prim is PrimitiveBasis.PM
+    assert vec.eigenbits == (0, 1)
+
+
+def test_from_chars_ij():
+    vec = BasisVector.from_chars("ji")
+    assert vec.prim is PrimitiveBasis.IJ
+    assert vec.eigenbits == (1, 0)
+
+
+def test_mixed_prim_rejected():
+    with pytest.raises(BasisError):
+        BasisVector.from_chars("p0")
+
+
+def test_empty_rejected():
+    with pytest.raises(BasisError):
+        BasisVector.from_chars("")
+
+
+def test_invalid_char_rejected():
+    with pytest.raises(BasisError):
+        BasisVector.from_chars("0x1")
+
+
+def test_phase_normalization():
+    assert BasisVector.from_chars("1", phase=360.0).phase == 0.0
+    assert BasisVector.from_chars("1", phase=-90.0).phase == 270.0
+    assert not BasisVector.from_chars("1", phase=720.0).has_phase
+
+
+def test_without_phase():
+    vec = BasisVector.from_chars("1", phase=45.0)
+    assert vec.has_phase
+    stripped = vec.without_phase()
+    assert not stripped.has_phase
+    assert stripped.eigenbits == vec.eigenbits
+
+
+def test_prefix_suffix_concat():
+    vec = BasisVector.from_chars("1101")
+    assert vec.prefix(2).chars() == "11"
+    assert vec.suffix_from(2).chars() == "01"
+    joined = vec.prefix(2).concat(vec.suffix_from(2))
+    assert joined.chars() == "1101"
+
+
+def test_concat_rejects_mixed_prims():
+    with pytest.raises(BasisError):
+        BasisVector.from_chars("0").concat(BasisVector.from_chars("p"))
+
+
+def test_str_forms():
+    assert str(BasisVector.from_chars("10")) == "'10'"
+    assert str(BasisVector.from_chars("p", phase=180.0)) == "-'p'"
+    assert str(BasisVector.from_chars("1", phase=45.0)) == "'1'@45"
+
+
+def test_ordering_is_lexicographic():
+    a = BasisVector.from_chars("01")
+    b = BasisVector.from_chars("10")
+    assert sorted([b, a]) == [a, b]

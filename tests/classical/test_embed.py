@@ -1,0 +1,157 @@
+"""Tests for Bennett/sign embeddings, verified by simulation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.classical import (
+    LogicNetwork,
+    synthesize_sign_embedding,
+    synthesize_xor_embedding,
+)
+from repro.classical.network import reduce_signals
+from repro.qcircuit.circuit import CircuitGate
+from repro.sim import apply_gates_to_state
+
+
+def check_xor_embedding(network):
+    """Exhaustively check U_f |x>|0> = |x>|f(x)> and ancilla cleanup."""
+    oracle = synthesize_xor_embedding(network)
+    n = oracle.num_inputs
+    m = oracle.num_outputs
+    total = oracle.num_qubits
+    for x in range(2**n):
+        x_bits = [(x >> (n - 1 - i)) & 1 for i in range(n)]
+        prep = [
+            CircuitGate("x", (i,)) for i, bit in enumerate(x_bits) if bit
+        ]
+        state = apply_gates_to_state(prep + oracle.gates, total)
+        index = np.argmax(np.abs(state))
+        assert abs(state[index]) > 1 - 1e-9, "output is not a basis state"
+        out_bits = [(index >> (total - 1 - q)) & 1 for q in range(total)]
+        assert out_bits[:n] == x_bits, "inputs must be preserved"
+        expected = network.evaluate(x_bits)
+        assert out_bits[n : n + m] == expected
+        assert all(b == 0 for b in out_bits[n + m :]), "dirty ancilla"
+    return oracle
+
+
+def check_sign_embedding(network):
+    oracle = synthesize_sign_embedding(network)
+    n = oracle.num_inputs
+    total = oracle.num_qubits
+    for x in range(2**n):
+        x_bits = [(x >> (n - 1 - i)) & 1 for i in range(n)]
+        prep = [
+            CircuitGate("x", (i,)) for i, bit in enumerate(x_bits) if bit
+        ]
+        state = apply_gates_to_state(prep + oracle.gates, total)
+        index = np.argmax(np.abs(state))
+        out_bits = [(index >> (total - 1 - q)) & 1 for q in range(total)]
+        assert out_bits[:n] == x_bits
+        assert all(b == 0 for b in out_bits[n:])
+        expected_sign = (-1) ** network.evaluate(x_bits)[0]
+        assert np.isclose(state[index], expected_sign)
+    return oracle
+
+
+def test_identity_wire():
+    net = LogicNetwork(1)
+    net.add_output(net.inputs[0])
+    oracle = check_xor_embedding(net)
+    assert oracle.num_ancillas == 0
+
+
+def test_xor_of_inputs_uses_no_ancillas():
+    # The tweedledum-style property the paper credits (§8.3): pure XOR
+    # functions need no ancilla qubits.
+    net = LogicNetwork(4)
+    net.add_output(reduce_signals(net, net.inputs, net.xor_))
+    oracle = check_xor_embedding(net)
+    assert oracle.num_ancillas == 0
+    assert all(g.name == "x" for g in oracle.gates)
+
+
+def test_and_reduce_single_mcx():
+    # An AND tree collapses to one multi-controlled X.
+    net = LogicNetwork(3)
+    net.add_output(reduce_signals(net, net.inputs, net.and_))
+    oracle = check_xor_embedding(net)
+    assert oracle.num_ancillas == 0
+    mcx = [g for g in oracle.gates if g.controls]
+    assert len(mcx) == 1
+    assert mcx[0].num_controls == 3
+
+
+def test_complemented_inputs_become_negative_controls():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    net.add_output(net.and_(~a, b))
+    oracle = check_xor_embedding(net)
+    mcx = [g for g in oracle.gates if g.controls][0]
+    assert set(zip(mcx.controls, mcx.ctrl_states)) == {(0, 0), (1, 1)}
+
+
+def test_or_via_demorgan():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    net.add_output(net.or_(a, b))
+    check_xor_embedding(net)
+
+
+def test_nested_and_of_xor_uses_ancilla():
+    # (a ^ b) & c: the XOR operand is computed into an ancilla and
+    # uncomputed afterwards.
+    net = LogicNetwork(3)
+    a, b, c = net.inputs
+    net.add_output(net.and_(net.xor_(a, b), c))
+    oracle = check_xor_embedding(net)
+    assert oracle.num_ancillas == 1
+
+
+def test_multi_output():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    net.add_output(net.xor_(a, b))
+    net.add_output(net.and_(a, b))
+    check_xor_embedding(net)
+
+
+def test_constant_outputs():
+    net = LogicNetwork(1)
+    net.add_output(net.true)
+    net.add_output(net.false)
+    check_xor_embedding(net)
+
+
+def test_sign_embedding_all_ones():
+    # The Grover oracle: match input of all 1s.
+    net = LogicNetwork(3)
+    net.add_output(reduce_signals(net, net.inputs, net.and_))
+    check_sign_embedding(net)
+
+
+def test_sign_embedding_parity():
+    # The Bernstein-Vazirani shape: sign of a parity function.
+    net = LogicNetwork(3)
+    net.add_output(reduce_signals(net, net.inputs, net.xor_))
+    check_sign_embedding(net)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_random_networks(data):
+    """Random small XAGs embed correctly."""
+    num_inputs = data.draw(st.integers(min_value=1, max_value=3))
+    net = LogicNetwork(num_inputs)
+    pool = list(net.inputs) + [net.true]
+    for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+        op = data.draw(st.sampled_from(["and", "xor", "or", "not"]))
+        a = data.draw(st.sampled_from(pool))
+        if op == "not":
+            pool.append(~a)
+            continue
+        b = data.draw(st.sampled_from(pool))
+        fn = {"and": net.and_, "xor": net.xor_, "or": net.or_}[op]
+        pool.append(fn(a, b))
+    net.add_output(pool[-1])
+    check_xor_embedding(net)

@@ -1,0 +1,90 @@
+"""Tests for the XAG logic network."""
+
+from hypothesis import given, strategies as st
+
+from repro.classical.network import LogicNetwork, reduce_signals
+
+
+def test_constant_folding_and():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    assert net.and_(a, net.false) == net.false
+    assert net.and_(a, net.true) == a
+    assert net.and_(a, a) == a
+    assert net.and_(a, ~a) == net.false
+
+
+def test_constant_folding_xor():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    assert net.xor_(a, net.false) == a
+    assert net.xor_(a, net.true) == ~a
+    assert net.xor_(a, a) == net.false
+    assert net.xor_(a, ~a) == net.true
+
+
+def test_structural_hashing():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    first = net.and_(a, b)
+    second = net.and_(b, a)  # Commuted operands hash the same.
+    assert first == second
+    assert net.num_and_nodes() == 0  # Not yet an output.
+    net.add_output(first)
+    assert net.num_and_nodes() == 1
+
+
+def test_xor_complement_normalization():
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    assert net.xor_(~a, b) == ~net.xor_(a, b)
+    assert net.xor_(~a, ~b) == net.xor_(a, b)
+
+
+def test_evaluate_majority():
+    net = LogicNetwork(3)
+    a, b, c = net.inputs
+    maj = net.or_(net.or_(net.and_(a, b), net.and_(b, c)), net.and_(a, c))
+    net.add_output(maj)
+    for x in range(8):
+        bits = [(x >> 2) & 1, (x >> 1) & 1, x & 1]
+        expected = 1 if sum(bits) >= 2 else 0
+        assert net.evaluate(bits) == [expected]
+
+
+def test_evaluate_with_complemented_output():
+    net = LogicNetwork(1)
+    (a,) = net.inputs
+    net.add_output(~a)
+    assert net.evaluate([0]) == [1]
+    assert net.evaluate([1]) == [0]
+
+
+def test_reduce_signals_xor():
+    net = LogicNetwork(4)
+    total = reduce_signals(net, net.inputs, net.xor_)
+    net.add_output(total)
+    for x in range(16):
+        bits = [(x >> (3 - i)) & 1 for i in range(4)]
+        assert net.evaluate(bits) == [sum(bits) % 2]
+
+
+def test_reduce_signals_empty():
+    net = LogicNetwork(0)
+    assert reduce_signals(net, [], net.xor_) == net.false
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_bitwise_ops_against_python(x_value, mask):
+    """The network agrees with Python's bitwise semantics."""
+    net = LogicNetwork(8)
+    bits = net.inputs
+    masked = [
+        net.and_(bit, net.constant(bool((mask >> (7 - i)) & 1)))
+        for i, bit in enumerate(bits)
+    ]
+    parity = reduce_signals(net, masked, net.xor_)
+    net.add_output(parity)
+    x_bits = [(x_value >> (7 - i)) & 1 for i in range(8)]
+    expected = bin(x_value & mask).count("1") % 2
+    assert net.evaluate(x_bits) == [expected]

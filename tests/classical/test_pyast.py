@@ -1,0 +1,132 @@
+"""Tests for the @classical Python frontend (paper §6.4)."""
+
+import pytest
+
+from repro.errors import QwertySyntaxError, QwertyTypeError
+from repro.frontend.decorators import Bits, bit, classical, N
+
+
+def evaluate(fn, bits_in):
+    return fn.evaluate(Bits(bits_in))
+
+
+def test_bitwise_and_or_xor_not():
+    mask = bit.from_str("1100")
+
+    @classical[N](mask)
+    def f(mask: bit[N], x: bit[N]) -> bit[N]:
+        return (x & mask) | (~x & ~mask) ^ (x ^ x)
+
+    for value in range(16):
+        xs = [(value >> (3 - i)) & 1 for i in range(4)]
+        expected = [
+            (x & m) | ((1 - x) & (1 - m)) for x, m in zip(xs, (1, 1, 0, 0))
+        ]
+        assert list(evaluate(f, xs)) == expected
+
+
+def test_indexing_and_slicing():
+    @classical[N]
+    def f(x: bit[N]) -> bit[2]:
+        return x[0] + x[1:2]
+
+    f_bound = _bind(f, 3)
+    assert list(f_bound.evaluate(Bits([1, 0, 1]), {"N": 3})) == [1, 0]
+
+
+def _bind(f, n):
+    return f
+
+
+def test_concatenation():
+    @classical[N]
+    def f(x: bit[N]) -> bit[4]:
+        return x + x
+
+    assert list(f.evaluate(Bits([1, 0]), {"N": 2})) == [1, 0, 1, 0]
+
+
+def test_reductions():
+    @classical[N]
+    def parity(x: bit[N]) -> bit:
+        return x.xor_reduce()
+
+    @classical[N]
+    def all_ones(x: bit[N]) -> bit:
+        return x.and_reduce()
+
+    @classical[N]
+    def any_one(x: bit[N]) -> bit:
+        return x.or_reduce()
+
+    assert parity.evaluate(Bits([1, 1, 1]), {"N": 3}) == Bits([1])
+    assert all_ones.evaluate(Bits([1, 1, 0]), {"N": 3}) == Bits([0])
+    assert any_one.evaluate(Bits([0, 0, 1]), {"N": 3}) == Bits([1])
+
+
+def test_repeat():
+    @classical[N]
+    def f(x: bit[N]) -> bit[N]:
+        return x[0].repeat(N)
+
+    assert f.evaluate(Bits([1, 0, 0]), {"N": 3}) == Bits([1, 1, 1])
+
+
+def test_intermediate_assignments():
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        masked = x & x
+        folded = masked.xor_reduce()
+        return folded
+
+    assert f.evaluate(Bits([1, 1, 0]), {"N": 3}) == Bits([0])
+
+
+def test_capture_constant_folds():
+    # BV with a zero secret folds the whole oracle to constant 0:
+    # the synthesized network has no gates at all.
+    secret = bit.from_str("000")
+
+    @classical[N](secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    network = f.network({"N": 3})
+    assert network.num_and_nodes() == 0
+    assert network.num_xor_nodes() == 0
+
+
+def test_width_mismatch_rejected():
+    @classical[N]
+    def f(x: bit[N], y: bit[2]) -> bit[N]:
+        return x & y
+
+    with pytest.raises(QwertyTypeError, match="equal width"):
+        f.network({"N": 3})
+
+
+def test_missing_annotation_rejected():
+    with pytest.raises(QwertySyntaxError):
+        @classical[N]
+        def f(x) -> bit:
+            return x
+
+
+def test_unsupported_statement_rejected():
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        while True:
+            pass
+        return x.xor_reduce()
+
+    with pytest.raises(QwertySyntaxError):
+        f.network({"N": 2})
+
+
+def test_missing_return_rejected():
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        y = x & x  # noqa
+
+    with pytest.raises(QwertySyntaxError, match="no return"):
+        f.network({"N": 2})

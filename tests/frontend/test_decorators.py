@@ -1,0 +1,176 @@
+"""Tests for the decorators, Bits, and dimension-variable inference."""
+
+import pytest
+
+from repro.errors import DimVarError, QwertyTypeError
+from repro.frontend.decorators import (
+    Bits,
+    bit,
+    cfunc,
+    classical,
+    qpu,
+    N,
+    I,
+)
+
+
+def test_bits_basics():
+    bits = Bits.from_str("1010")
+    assert len(bits) == 4
+    assert str(bits) == "1010"
+    assert int(bits) == 10
+    assert bits == "1010"
+    assert bits == (1, 0, 1, 0)
+    assert bits[0] == 1
+    assert str(bits[1:3]) == "01"
+
+
+def test_bits_reject_non_binary():
+    with pytest.raises(QwertyTypeError):
+        Bits([0, 2])
+
+
+def test_bit_marker_subscriptable():
+    assert bit[4] is not None
+    assert bit.from_str("11") == Bits([1, 1])
+
+
+def test_classical_evaluate():
+    secret = bit.from_str("101")
+
+    @classical[N](secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    assert f.evaluate(Bits([1, 1, 1])) == Bits([0])
+    assert f.evaluate(Bits([1, 0, 0])) == Bits([1])
+
+
+def test_classical_infer_dims_from_capture():
+    secret = bit.from_str("1011")
+
+    @classical[N](secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    assert f.infer_dims() == {"N": 4}
+    assert f.signature({"N": 4}) == (4, 1)
+
+
+def test_classical_capture_must_be_bits():
+    with pytest.raises(QwertyTypeError):
+        @classical[N]("not bits")
+        def f(s: bit[N], x: bit[N]) -> bit:
+            return x.xor_reduce()
+
+
+def test_kernel_dim_inference_from_cfunc():
+    secret = bit.from_str("110")
+
+    @classical[N](secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    @qpu[N](f)
+    def kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    assert kernel.infer_dims() == {"N": 3}
+
+
+def test_kernel_subscript_binds_remaining_dims():
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        return x.xor_reduce()
+
+    @qpu[N, I](f)
+    def kernel(f: cfunc[N, 1]) -> bit[N]:
+        q = 'p'[N]  # noqa
+        for _ in range(I):  # noqa
+            q = q | f.sign  # noqa
+        return q | std[N].measure  # noqa
+
+    bound = kernel[4, 2]
+    assert bound.infer_dims() == {"N": 4, "I": 2}
+
+
+def test_missing_dims_raise():
+    @classical[N]
+    def f(x: bit[N]) -> bit:
+        return x.xor_reduce()
+
+    @qpu[N](f)
+    def kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    with pytest.raises(DimVarError, match="could not infer"):
+        kernel.infer_dims()
+
+
+def test_conflicting_dims_raise():
+    f_secret = bit.from_str("110")
+    g_secret = bit.from_str("11011")
+
+    @classical[N](f_secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    @classical[N](g_secret)
+    def g(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    @qpu[N](f, g)
+    def kernel(f: cfunc[N, 1], g: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | g.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    # Detected either as a dimension conflict or as a capture-width
+    # mismatch when the second capture is checked against N=3.
+    with pytest.raises((DimVarError, QwertyTypeError)):
+        kernel.infer_dims()
+
+
+def test_overbinding_dims_raise():
+    secret = bit.from_str("110")
+
+    @classical[N](secret)
+    def f(s: bit[N], x: bit[N]) -> bit:
+        return (s & x).xor_reduce()
+
+    @qpu[N](f)
+    def kernel(f: cfunc[N, 1]) -> bit[N]:
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    # N is already inferred; there is nothing left to bind.
+    with pytest.raises(DimVarError, match="too many"):
+        kernel[5]
+
+
+def test_histogram():
+    @qpu
+    def coin() -> bit:
+        return 'p' | std.measure  # noqa
+
+    histogram = coin.histogram(shots=64, seed=0)
+    assert set(histogram) <= {"0", "1"}
+    assert sum(histogram.values()) == 64
+    assert histogram.get("0", 0) > 10
+    assert histogram.get("1", 0) > 10
+
+
+def test_shots_return_list():
+    @qpu
+    def one() -> bit:
+        return '1' | std.measure  # noqa
+
+    results = one(shots=3)
+    assert len(results) == 3
+    assert all(str(r) == "1" for r in results)
+
+
+def test_runtime_params_rejected():
+    @qpu
+    def kernel(q: "qubit") -> "qubit":
+        return q | std.flip  # noqa
+
+    with pytest.raises(QwertyTypeError, match="runtime parameters"):
+        kernel.compile()

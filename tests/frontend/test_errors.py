@@ -1,0 +1,101 @@
+"""Diagnostics: the compiler rejects ill-formed programs with clear errors."""
+
+import pytest
+
+from repro.errors import (
+    BasisError,
+    QwertySyntaxError,
+    QwertyTypeError,
+    SpanCheckError,
+)
+from repro.frontend.decorators import bit, qpu
+
+
+def compile_fails(kernel, error, match=None):
+    with pytest.raises(error, match=match):
+        kernel.compile()
+
+
+def test_invalid_literal_char():
+    @qpu
+    def kernel() -> bit:
+        return 'q' | std.measure  # noqa
+
+    compile_fails(kernel, BasisError, "invalid qubit literal")
+
+
+def test_mixed_prim_basis_vector():
+    @qpu
+    def kernel() -> bit[2]:
+        return '00' | {'p0'} >> {'0p'} | std[2].measure  # noqa
+
+    compile_fails(kernel, BasisError, "mixes primitive bases")
+
+
+def test_duplicate_basis_vectors():
+    @qpu
+    def kernel() -> bit:
+        return '0' | {'0', '0'} >> {'0', '1'} | std.measure  # noqa
+
+    compile_fails(kernel, BasisError, "distinct")
+
+
+def test_span_mismatch_message_names_elements():
+    @qpu
+    def kernel() -> bit:
+        return '0' | {'0'} >> {'1'} | std.measure  # noqa
+
+    compile_fails(kernel, SpanCheckError)
+
+
+def test_dimension_mismatch_in_translation():
+    @qpu
+    def kernel() -> bit[2]:
+        return '00' | std[2] >> std[3] | std[2].measure  # noqa
+
+    compile_fails(kernel, SpanCheckError, "dimension mismatch")
+
+
+def test_piping_bits_into_quantum_function():
+    @qpu
+    def kernel() -> bit:
+        m = '0' | std.measure  # noqa
+        return m | std.flip | std.measure  # noqa
+
+    compile_fails(kernel, QwertyTypeError, "mismatch")
+
+
+def test_unknown_variable():
+    @qpu
+    def kernel() -> bit:
+        return mystery | std.measure  # noqa
+
+    compile_fails(kernel, QwertyTypeError, "undefined")
+
+
+def test_kernel_without_return():
+    @qpu
+    def kernel() -> bit:
+        q = '0' | std.measure  # noqa
+
+    compile_fails(kernel, QwertyTypeError, "no return")
+
+
+def test_return_not_last():
+    def make():
+        @qpu
+        def kernel() -> bit:
+            return '0' | std.measure  # noqa
+            q = '1'  # noqa
+
+        return kernel
+
+    compile_fails(make(), QwertyTypeError, "final statement")
+
+
+def test_starred_assignment_rejected():
+    with pytest.raises(QwertySyntaxError):
+        @qpu
+        def kernel() -> bit:
+            a, *rest = '00' | std[2].measure  # noqa
+            return a  # noqa

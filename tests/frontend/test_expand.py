@@ -1,0 +1,114 @@
+"""Tests for AST expansion (paper §4): dimension substitution,
+loop unrolling, broadcast expansion."""
+
+import pytest
+
+from repro.errors import DimVarError
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BroadcastExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    TensorExpr,
+)
+from repro.frontend.expand import expand_kernel
+from repro.frontend.pyast import parse_kernel
+
+
+def expand(fn, dims, dimvars=("N",)):
+    return expand_kernel(parse_kernel(fn, list(dimvars)), dims)
+
+
+def test_qubit_literal_broadcast():
+    def kernel() -> "bit[N]":
+        return 'p'[N] | std[N].measure  # noqa
+
+    expanded = expand(kernel, {"N": 4})
+    literal = expanded.body[0].value.value
+    assert isinstance(literal, QubitLiteralExpr)
+    assert literal.chars == "pppp"
+
+
+def test_function_broadcast_becomes_tensor():
+    def kernel() -> "bit[2]":
+        return '00' | (std.flip)[2] | std[2].measure  # noqa
+
+    expanded = expand(kernel, {}, dimvars=())
+    tensor = expanded.body[0].value.value.fn
+    assert isinstance(tensor, TensorExpr)
+    assert len(tensor.parts) == 2
+
+
+def test_loop_unrolling():
+    def kernel() -> "bit[N]":
+        q = 'p'[N]  # noqa
+        for _ in range(I):  # noqa
+            q = q | f.sign  # noqa
+        return q | std[N].measure  # noqa
+
+    expanded = expand(kernel, {"N": 2, "I": 3}, dimvars=("N", "I"))
+    assigns = [s for s in expanded.body if isinstance(s, AssignStmt)]
+    assert len(assigns) == 1 + 3  # Initial plus three unrolled.
+
+
+def test_loop_variable_usable_as_dim():
+    def kernel() -> "bit[3]":
+        q = '0'  # noqa
+        for k in range(2):  # noqa
+            q = q + '1'[k + 1]  # noqa
+        return q | std[4].measure  # noqa
+
+    expanded = expand(kernel, {}, dimvars=())
+    # k takes values 0 and 1: broadcasts of 1 and 2.
+    second = expanded.body[1].value
+    third = expanded.body[2].value
+    assert second.parts[-1].chars == "1"
+    assert third.parts[-1].chars == "11"
+
+
+def test_unbound_dimension_rejected():
+    def kernel() -> "bit[N]":
+        return 'p'[N] | std[N].measure  # noqa
+
+    with pytest.raises(DimVarError, match="unbound"):
+        expand(kernel, {})
+
+
+def test_dim_arithmetic_evaluates():
+    def kernel() -> "bit[N]":
+        return 'p'[2 * N + 1] | std[2 * N + 1].measure  # noqa
+
+    expanded = expand(kernel, {"N": 3})
+    literal = expanded.body[0].value.value
+    assert literal.chars == "p" * 7
+
+
+def test_vector_repeat_expands():
+    def kernel() -> "bit[N]":
+        return 'p'[N] | {'p'[N]} >> {-'p'[N]} | std[N].measure  # noqa
+
+    expanded = expand(kernel, {"N": 3})
+    translation = expanded.body[0].value.value.fn
+    assert translation.b_in.vectors[0].chars == "ppp"
+    assert translation.b_out.vectors[0].phase == 180.0
+
+
+def test_zero_broadcast_rejected():
+    def kernel() -> "bit[N]":
+        return 'p'[N] | std[N].measure  # noqa
+
+    with pytest.raises(DimVarError):
+        expand(kernel, {"N": 0})
+
+
+def test_nested_loops():
+    def kernel() -> "bit[4]":
+        q = '0'  # noqa
+        for _ in range(2):  # noqa
+            for _ in range(2):  # noqa
+                q = q | std.flip  # noqa
+        return q | std.measure  # noqa
+
+    expanded = expand(kernel, {}, dimvars=())
+    assigns = [s for s in expanded.body if isinstance(s, AssignStmt)]
+    assert len(assigns) == 1 + 4

@@ -1,0 +1,177 @@
+"""Tests for Python AST -> Qwerty AST conversion (paper §4)."""
+
+import pytest
+
+from repro.errors import QwertySyntaxError
+from repro.frontend.ast_nodes import (
+    AdjointExpr,
+    AssignStmt,
+    BasisLiteralExpr,
+    BroadcastExpr,
+    BuiltinBasisExpr,
+    CondExpr,
+    DimOp,
+    DimRef,
+    DiscardExpr,
+    EmbedExpr,
+    ForStmt,
+    MeasureExpr,
+    PipeExpr,
+    PredExpr,
+    QubitLiteralExpr,
+    ReturnStmt,
+    TensorExpr,
+    TranslationExpr,
+)
+from repro.frontend.pyast import parse_kernel
+
+
+def parse(fn, dimvars=("N",)):
+    return parse_kernel(fn, list(dimvars))
+
+
+def test_bv_kernel_shape():
+    def kernel(f: "cfunc[N, 1]") -> "bit[N]":
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    ast = parse(kernel)
+    assert ast.name == "kernel"
+    assert ast.params[0].annotation.kind == "cfunc"
+    assert ast.params[0].annotation.dims == [DimRef("N"), 1]
+    (ret,) = ast.body
+    assert isinstance(ret, ReturnStmt)
+    pipe = ret.value
+    assert isinstance(pipe, PipeExpr)
+    assert isinstance(pipe.fn, MeasureExpr)
+    inner = pipe.value
+    assert isinstance(inner.fn, TranslationExpr)
+    assert isinstance(inner.value.fn, EmbedExpr)
+    assert inner.value.fn.kind == "sign"
+    literal = inner.value.value
+    assert isinstance(literal, BroadcastExpr)
+    assert isinstance(literal.operand, QubitLiteralExpr)
+    assert literal.operand.chars == "p"
+
+
+def test_basis_literal_with_phases():
+    def kernel() -> "bit":
+        return '0' | {'p'} >> {-'p'} | {'1'@45, '0'} >> {'0', '1'@45} | std.measure  # noqa
+
+    ast = parse(kernel, ())
+    pipe = ast.body[0].value
+    translation = pipe.value.fn
+    assert isinstance(translation, TranslationExpr)
+    literal = translation.b_in
+    assert isinstance(literal, BasisLiteralExpr)
+    assert literal.vectors[0].phase == 45.0
+    diffuser = pipe.value.value.fn
+    assert diffuser.b_out.vectors[0].phase == 180.0
+
+
+def test_symbolic_vector_repeat():
+    def kernel() -> "bit[N]":
+        return 'p'[N] | {'p'[N]} >> {-'p'[N]} | std[N].measure  # noqa
+
+    ast = parse(kernel)
+    translation = ast.body[0].value.value.fn
+    assert translation.b_in.vectors[0].repeat == DimRef("N")
+
+
+def test_tensor_flattening():
+    def kernel() -> "bit[3]":
+        return '0' + '1' + 'p' | std[3].measure  # noqa
+
+    ast = parse(kernel, ())
+    tensor = ast.body[0].value.value
+    assert isinstance(tensor, TensorExpr)
+    assert len(tensor.parts) == 3
+
+
+def test_adjoint_and_pred():
+    def kernel(q: "qubit[2]") -> "qubit[2]":
+        return q | ~( {'0','1'} >> {'1','0'} ) | '1' & f  # noqa
+
+    ast = parse(kernel, ())
+    outer = ast.body[0].value
+    assert isinstance(outer.fn, PredExpr)
+    assert isinstance(outer.value.fn, AdjointExpr)
+
+
+def test_for_loop():
+    def kernel() -> "bit[N]":
+        q = 'p'[N]  # noqa
+        for _ in range(I):  # noqa
+            q = q | f.sign  # noqa
+        return q | std[N].measure  # noqa
+
+    ast = parse(kernel, ("N", "I"))
+    loop = ast.body[1]
+    assert isinstance(loop, ForStmt)
+    assert loop.count == DimRef("I")
+    assert isinstance(loop.body[0], AssignStmt)
+
+
+def test_tuple_unpacking():
+    def kernel() -> "bit":
+        alice, bob = 'p0' | '1' & std.flip  # noqa
+        return alice + bob | std[2].measure  # noqa
+
+    ast = parse(kernel, ())
+    assign = ast.body[0]
+    assert assign.targets == ["alice", "bob"]
+
+
+def test_conditional_expression():
+    def kernel() -> "bit":
+        m = '1' | std.measure  # noqa
+        q = '0' | (std.flip if m else id)  # noqa
+        return q | std.measure  # noqa
+
+    ast = parse(kernel, ())
+    cond = ast.body[1].value.fn
+    assert isinstance(cond, CondExpr)
+
+
+def test_discard_attribute():
+    def kernel() -> "bit[N]":
+        return 'p'[N] + '0'[N] | f.xor | pm[N].measure + std[N].discard  # noqa
+
+    ast = parse(kernel)
+    tensor = ast.body[0].value.fn
+    assert isinstance(tensor.parts[1], DiscardExpr)
+
+
+def test_dim_arithmetic():
+    def kernel() -> "bit[N]":
+        return 'p'[2 * N + 1] | std[2 * N + 1].measure  # noqa
+
+    ast = parse(kernel)
+    broadcast = ast.body[0].value.value
+    assert isinstance(broadcast.count, DimOp)
+
+
+def test_rejects_expression_statements():
+    def kernel() -> "bit":
+        '0' | std.measure  # noqa
+        return '0' | std.measure  # noqa
+
+    with pytest.raises(QwertySyntaxError, match="linear"):
+        parse(kernel, ())
+
+
+def test_rejects_unknown_attribute():
+    def kernel() -> "bit":
+        return '0' | std.frobnicate  # noqa
+
+    with pytest.raises(QwertySyntaxError, match="frobnicate"):
+        parse(kernel, ())
+
+
+def test_rejects_while_loops():
+    def kernel() -> "bit":
+        while True:
+            pass
+        return '0' | std.measure  # noqa
+
+    with pytest.raises(QwertySyntaxError):
+        parse(kernel, ())

@@ -1,0 +1,188 @@
+"""Tests for the Qwerty type checker (paper §4), including linearity
+and span equivalence enforcement."""
+
+import pytest
+
+from repro.errors import (
+    LinearityError,
+    QwertyTypeError,
+    ReversibilityError,
+    SpanCheckError,
+)
+from repro.frontend.expand import expand_kernel
+from repro.frontend.pyast import parse_kernel
+from repro.frontend.typecheck import TypeChecker
+from repro.frontend.types import BitType, CFuncType, QubitType
+
+
+def check(fn, dims=None, captures=None, dimvars=()):
+    kernel = parse_kernel(fn, list(dimvars))
+    expanded = expand_kernel(kernel, dims or {})
+    checker = TypeChecker(captures or {})
+    return checker.check_kernel(expanded)
+
+
+def test_bv_types():
+    def kernel(f: "cfunc[N, 1]") -> "bit[N]":
+        return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure  # noqa
+
+    result = check(
+        kernel,
+        dims={"N": 4},
+        captures={"f": CFuncType(4, 1)},
+        dimvars=("N",),
+    )
+    assert result == BitType(4)
+
+
+def test_qubit_used_twice_rejected():
+    def kernel() -> "bit[2]":
+        q = '0'  # noqa
+        return q + q | std[2].measure  # noqa
+
+    with pytest.raises(LinearityError, match="more than once"):
+        check(kernel)
+
+
+def test_unused_qubit_rejected():
+    def kernel() -> "bit":
+        q = '0'  # noqa
+        r = '1'  # noqa
+        return r | std.measure  # noqa
+
+    with pytest.raises(LinearityError, match="never used"):
+        check(kernel)
+
+
+def test_discard_consumes():
+    def kernel() -> "bit":
+        q = '0' + '1'  # noqa
+        r = '1'  # noqa
+        m = q | std[2].measure  # noqa - measurement consumes
+        return r | std.measure  # noqa
+
+    # q measured, r measured: all consumed; m (bits) needs no use.
+    check(kernel)
+
+
+def test_span_mismatch_rejected():
+    def kernel() -> "bit":
+        return '0' | {'0'} >> {'1'} | std.measure  # noqa
+
+    with pytest.raises(SpanCheckError):
+        check(kernel)
+
+
+def test_exponential_translation_checks_fast():
+    def kernel() -> "bit[64]":
+        return '0'[64] | {'0','1'}[64] >> {'1','0'}[64] | std[64].measure  # noqa
+
+    check(kernel)
+
+
+def test_pipe_dimension_mismatch():
+    def kernel() -> "bit":
+        return '00' | std.measure  # noqa
+
+    with pytest.raises(QwertyTypeError, match="mismatch"):
+        check(kernel)
+
+
+def test_adjoint_requires_reversible():
+    def kernel() -> "bit":
+        return '0' | ~(std.measure) | std.measure  # noqa
+
+    with pytest.raises(ReversibilityError):
+        check(kernel)
+
+
+def test_pred_requires_reversible():
+    def kernel() -> "bit[2]":
+        return '00' | '1' & std.measure | std[2].measure  # noqa
+
+    with pytest.raises(ReversibilityError):
+        check(kernel)
+
+
+def test_pred_type_widens():
+    def kernel() -> "bit[2]":
+        return '10' | '1' & std.flip | std[2].measure  # noqa
+
+    assert check(kernel) == BitType(2)
+
+
+def test_measure_requires_full_span():
+    def kernel() -> "bit":
+        return '0' | {'0'}.measure  # noqa
+
+    with pytest.raises(QwertyTypeError, match="fully span"):
+        check(kernel)
+
+
+def test_sign_embedding_requires_single_output():
+    def kernel(f: "cfunc[2, 2]") -> "bit[2]":
+        return '00' | f.sign | std[2].measure  # noqa
+
+    with pytest.raises(QwertyTypeError, match="single-output"):
+        check(kernel, captures={"f": CFuncType(2, 2)})
+
+
+def test_xor_embedding_type():
+    def kernel(f: "cfunc[2, 2]") -> "bit[4]":
+        return '00' + '00' | f.xor | std[4].measure  # noqa
+
+    assert check(kernel, captures={"f": CFuncType(2, 2)}) == BitType(4)
+
+
+def test_conditional_on_qubit_rejected():
+    def kernel() -> "bit":
+        q = '0'  # noqa
+        r = '1' | (std.flip if q else id)  # noqa
+        return r | std.measure  # noqa
+
+    with pytest.raises(QwertyTypeError, match="single bit"):
+        check(kernel)
+
+
+def test_conditional_branch_mismatch():
+    def kernel() -> "bit":
+        m = '1' | std.measure  # noqa
+        q = '00' | (std[2].measure if m else id[2])  # noqa
+        return '0' | std.measure  # noqa
+
+    with pytest.raises(QwertyTypeError):
+        check(kernel)
+
+
+def test_rebinding_linear_variable_rejected():
+    def kernel() -> "bit":
+        q = '0'  # noqa
+        q = '1'  # noqa
+        return q | std.measure  # noqa
+
+    with pytest.raises(LinearityError, match="rebinding"):
+        check(kernel)
+
+
+def test_flip_on_multiqubit_builtin_rejected():
+    def kernel() -> "bit[2]":
+        return '00' | fourier[2].flip | std[2].measure  # noqa
+
+    with pytest.raises(QwertyTypeError):
+        check(kernel)
+
+
+def test_grover_loop_types():
+    def kernel(f: "cfunc[N, 1]") -> "bit[N]":
+        q = 'p'[N]  # noqa
+        for _ in range(I):  # noqa
+            q = q | f.sign | {'p'[N]} >> {-'p'[N]}  # noqa
+        return q | std[N].measure  # noqa
+
+    result = check(
+        kernel,
+        dims={"N": 3, "I": 2},
+        captures={"f": CFuncType(3, 1)},
+        dimvars=("N", "I"),
+    )
+    assert result == BitType(3)

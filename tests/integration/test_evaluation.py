@@ -1,0 +1,65 @@
+"""Tests for the evaluation harness (paper §8)."""
+
+from repro.evaluation import (
+    ALGORITHMS,
+    asdf_kernel,
+    compiled_circuit,
+    evaluate,
+    format_series,
+    format_table1,
+    table1,
+)
+
+
+def test_asdf_kernels_build_for_all_algorithms():
+    for algorithm in ALGORITHMS:
+        kernel = asdf_kernel(algorithm, 4)
+        assert kernel.infer_dims()
+
+
+def test_compiled_circuit_small_sweep():
+    rows = evaluate(
+        algorithms=("bv",), compilers=("asdf", "qiskit"), sizes=(4, 8)
+    )
+    assert len(rows) == 4
+    by_key = {(r.compiler, r.input_size): r for r in rows}
+    assert (
+        by_key[("asdf", 8)].physical_kiloqubits
+        > by_key[("asdf", 4)].physical_kiloqubits
+    )
+
+
+def test_table1_structure():
+    rows = table1(n=3)
+    assert [r.algorithm for r in rows] == list(ALGORITHMS)
+    text = format_table1(rows)
+    assert "Asdf (Opt)" in text
+    assert "B-V" in text
+
+
+def test_format_series_grouping():
+    rows = evaluate(algorithms=("dj",), compilers=("asdf",), sizes=(4,))
+    series = format_series(rows, "runtime_seconds")
+    assert "dj" in series
+    assert "asdf" in series["dj"]
+    assert series["dj"]["asdf"][0][0] == 4
+
+
+def test_all_compilers_agree_on_bv_output():
+    """Every toolchain's optimized circuit computes the same answer."""
+    from repro.sim import run_circuit
+
+    for compiler in ("asdf", "qiskit", "quipper", "qsharp"):
+        circuit = compiled_circuit("bv", compiler, 5)
+        (outcome,) = run_circuit(circuit)
+        assert outcome == (1, 0, 1, 0, 1), compiler
+
+
+def test_all_compilers_agree_on_grover_output():
+    from repro.sim import run_circuit
+
+    for compiler in ("asdf", "qiskit", "quipper", "qsharp"):
+        circuit = compiled_circuit("grover", compiler, 3)
+        results = run_circuit(circuit, shots=10, seed=1)
+        hits = sum(1 for r in results if r == (1, 1, 1))
+        assert hits >= 9, compiler

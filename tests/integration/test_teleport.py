@@ -1,0 +1,85 @@
+"""Quantum teleportation end to end (paper Fig. C13 / Appendix C).
+
+Exercises predication of basic blocks, the scf.if canonicalization
+pattern, measurement-conditioned gates, and dynamic circuits.
+
+Note on the correction order: with the measurement convention here
+(``m_pm`` the pm-basis outcome of the secret, ``m_std`` the std-basis
+outcome of Alice's half), the Bell algebra requires an X (``std.flip``)
+conditioned on ``m_std`` followed by a Z (``pm.flip``) conditioned on
+``m_pm``; the paper's listing attaches the corrections the other way
+around, which does not teleport under this convention.
+"""
+
+from repro.frontend.decorators import bit, qpu
+
+
+def make_teleport(secret_char: str, measure_basis: str):
+    if measure_basis == "pm":
+        if secret_char == "p":
+            @qpu
+            def teleport() -> bit:
+                alice, bob = 'p0' | '1' & std.flip  # noqa
+                m_pm, m_std = 'p' + alice | '1' & std.flip | (pm + std).measure  # noqa
+                out = bob | (std.flip if m_std else id) | (pm.flip if m_pm else id)  # noqa
+                return out | pm.measure  # noqa
+        else:
+            @qpu
+            def teleport() -> bit:
+                alice, bob = 'p0' | '1' & std.flip  # noqa
+                m_pm, m_std = 'm' + alice | '1' & std.flip | (pm + std).measure  # noqa
+                out = bob | (std.flip if m_std else id) | (pm.flip if m_pm else id)  # noqa
+                return out | pm.measure  # noqa
+    else:
+        if secret_char == "0":
+            @qpu
+            def teleport() -> bit:
+                alice, bob = 'p0' | '1' & std.flip  # noqa
+                m_pm, m_std = '0' + alice | '1' & std.flip | (pm + std).measure  # noqa
+                out = bob | (std.flip if m_std else id) | (pm.flip if m_pm else id)  # noqa
+                return out | std.measure  # noqa
+        else:
+            @qpu
+            def teleport() -> bit:
+                alice, bob = 'p0' | '1' & std.flip  # noqa
+                m_pm, m_std = '1' + alice | '1' & std.flip | (pm + std).measure  # noqa
+                out = bob | (std.flip if m_std else id) | (pm.flip if m_pm else id)  # noqa
+                return out | std.measure  # noqa
+    return teleport
+
+
+def test_teleport_std_basis_secrets():
+    for char, expected in (("0", "0"), ("1", "1")):
+        kernel = make_teleport(char, "std")
+        for seed in range(8):
+            assert str(kernel(seed=seed)) == expected
+
+
+def test_teleport_pm_basis_secrets():
+    for char, expected in (("p", "0"), ("m", "1")):
+        kernel = make_teleport(char, "pm")
+        for seed in range(8):
+            assert str(kernel(seed=seed)) == expected
+
+
+def test_teleport_compiles_without_callables():
+    kernel = make_teleport("m", "pm")
+    result = kernel.compile()
+    from repro.backends.qir import count_callable_intrinsics
+
+    creates, invokes = count_callable_intrinsics(result.qir("unrestricted"))
+    # The scf.if push pattern (Appendix C) converts the conditional
+    # calls into direct calls, which then inline: no callables remain.
+    assert creates == 0
+    assert invokes == 0
+
+
+def test_teleport_uses_conditioned_gates():
+    kernel = make_teleport("1", "std")
+    result = kernel.compile()
+    conditions = {
+        gate.condition
+        for gate in result.optimized_circuit.gates
+        if gate.condition is not None
+    }
+    assert conditions, "teleport must branch on measurement results"

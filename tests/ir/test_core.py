@@ -1,0 +1,149 @@
+"""Unit tests for the SSA IR core."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    FuncOp,
+    FunctionType,
+    ModuleOp,
+    QBundleType,
+    verify_module,
+)
+from repro.ir.core import walk
+from repro.ir.printer import print_module
+from repro.errors import IRVerificationError
+from repro.dialects import arith, qwerty
+from repro.basis.basis import pm, std
+
+
+def make_identity_func(n=2):
+    func = FuncOp(
+        "f", FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    qwerty.return_op(builder, [func.entry.args[0]])
+    return func
+
+
+def test_build_and_verify_identity():
+    module = ModuleOp()
+    module.add(make_identity_func())
+    verify_module(module)
+
+
+def test_use_lists_maintained():
+    func = make_identity_func()
+    arg = func.entry.args[0]
+    assert len(arg.uses) == 1
+    ret = func.entry.terminator
+    assert ret.operands == (arg,)
+
+
+def test_replace_all_uses_with():
+    module = ModuleOp()
+    func = FuncOp(
+        "f", FunctionType((QBundleType(1),), (QBundleType(1),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+    module.add(func)
+    verify_module(module)
+
+    trans = out.owner_op
+    trans.result.replace_all_uses_with(func.entry.args[0])
+    # Now the arg has 2 uses and the trans result none: both violations.
+    with pytest.raises(IRVerificationError):
+        verify_module(module)
+
+
+def test_linearity_violation_detected():
+    module = ModuleOp()
+    func = FuncOp(
+        "f", FunctionType((QBundleType(1),), (QBundleType(1),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    # Use the argument twice: measure-free duplication of a qubit.
+    qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [func.entry.args[0]])
+    module.add(func)
+    with pytest.raises(IRVerificationError, match="linear value"):
+        verify_module(module)
+
+
+def test_return_type_mismatch_detected():
+    module = ModuleOp()
+    func = FuncOp(
+        "f", FunctionType((QBundleType(2),), (QBundleType(1),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    qwerty.return_op(builder, [func.entry.args[0]])
+    module.add(func)
+    with pytest.raises(IRVerificationError, match="returns"):
+        verify_module(module)
+
+
+def test_clone_remaps_values():
+    func = FuncOp(
+        "f", FunctionType((QBundleType(1),), (QBundleType(1),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+
+    clone = func.clone("g")
+    assert clone.name == "g"
+    assert len(clone.entry.ops) == 2
+    cloned_trans = clone.entry.ops[0]
+    assert cloned_trans.operands[0] is clone.entry.args[0]
+    assert cloned_trans.operands[0] is not func.entry.args[0]
+
+
+def test_walk_enters_regions():
+    from repro.dialects import scf
+    from repro.ir.types import I1
+
+    func = FuncOp("f", FunctionType((I1,), (), reversible=False))
+    builder = Builder(func.entry)
+    if_operation = scf.if_op(builder, func.entry.args[0], [])
+    inner = Builder(scf.then_block(if_operation))
+    arith.constant(inner, 1.0)
+    scf.yield_op(inner, [])
+    scf.yield_op(Builder(scf.else_block(if_operation)), [])
+    qwerty.return_op(builder, [])
+
+    names = [op.name for op in walk(func.entry)]
+    assert names == [
+        "scf.if",
+        "arith.constant",
+        "scf.yield",
+        "scf.yield",
+        "func.return",
+    ]
+
+
+def test_printer_smoke():
+    module = ModuleOp()
+    module.add(make_identity_func())
+    text = print_module(module)
+    assert "func @f" in text
+    assert "func.return" in text
+
+
+def test_erase_with_live_uses_rejected():
+    func = FuncOp(
+        "f", FunctionType((QBundleType(1),), (QBundleType(1),), reversible=True)
+    )
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+    with pytest.raises(ValueError):
+        out.owner_op.erase()
+
+
+def test_module_unique_name():
+    module = ModuleOp()
+    module.add(make_identity_func())
+    assert module.unique_name("f") == "f_0"
+    assert module.unique_name("g") == "g"

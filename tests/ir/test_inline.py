@@ -1,0 +1,142 @@
+"""Tests for the inliner and the rewrite driver."""
+
+from repro.basis.basis import pm, std
+from repro.dialects import arith, qwerty
+from repro.ir import (
+    Builder,
+    FuncOp,
+    FunctionType,
+    ModuleOp,
+    QBundleType,
+    inline_call_op,
+    inline_calls,
+)
+from repro.ir.rewrite import RewritePattern, apply_patterns_greedily
+from repro.ir.verifier import verify_module
+
+
+def rev_type(n=1):
+    return FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+
+
+def make_callee(module, name="g"):
+    callee = FuncOp(name, rev_type(), visibility="private")
+    builder = Builder(callee.entry)
+    out = qwerty.qbtrans(builder, callee.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+    module.add(callee)
+    return callee
+
+
+def test_inline_single_call():
+    module = ModuleOp()
+    make_callee(module)
+    caller = FuncOp("f", rev_type())
+    builder = Builder(caller.entry)
+    call = qwerty.call(builder, "g", [caller.entry.args[0]], [QBundleType(1)])
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(caller)
+
+    assert inline_call_op(call, module)
+    verify_module(module)
+    names = [op.name for op in caller.entry.ops]
+    assert qwerty.CALL not in names
+    assert qwerty.QBTRANS in names
+
+
+def test_inline_skips_adj_marked_calls():
+    module = ModuleOp()
+    make_callee(module)
+    caller = FuncOp("f", rev_type())
+    builder = Builder(caller.entry)
+    call = qwerty.call(
+        builder, "g", [caller.entry.args[0]], [QBundleType(1)], adj=True
+    )
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(caller)
+    assert not inline_call_op(call, module)
+
+
+def test_inline_skips_missing_callee():
+    module = ModuleOp()
+    caller = FuncOp("f", rev_type())
+    builder = Builder(caller.entry)
+    call = qwerty.call(
+        builder, "missing", [caller.entry.args[0]], [QBundleType(1)]
+    )
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(caller)
+    assert not inline_call_op(call, module)
+
+
+def test_inline_calls_transitive():
+    module = ModuleOp()
+    make_callee(module, "h")
+    mid = FuncOp("g", rev_type(), visibility="private")
+    builder = Builder(mid.entry)
+    call = qwerty.call(builder, "h", [mid.entry.args[0]], [QBundleType(1)])
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(mid)
+
+    top = FuncOp("f", rev_type())
+    builder = Builder(top.entry)
+    call = qwerty.call(builder, "g", [top.entry.args[0]], [QBundleType(1)])
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(top)
+
+    inline_calls(module)
+    verify_module(module)
+    names = [op.name for op in module.get("f").entry.ops]
+    assert qwerty.CALL not in names
+    assert qwerty.QBTRANS in names
+
+
+def test_constant_folding_patterns():
+    module = ModuleOp()
+    func = FuncOp("f", FunctionType((), (), False))
+    builder = Builder(func.entry)
+    two = arith.constant(builder, 2.0)
+    three = arith.constant(builder, 3.0)
+    total = arith.addf(builder, two, three)
+    product = arith.mulf(builder, total, total)
+    negated = arith.negf(builder, product)
+    # Keep the value alive through the return? Classical values need
+    # no use; attach via a dummy op-free approach: just fold.
+    qwerty.return_op(builder, [])
+    module.add(func)
+
+    apply_patterns_greedily(module, arith.CANONICALIZATION_PATTERNS)
+    # Everything folded then DCE'd away.
+    assert [op.name for op in func.entry.ops] == [qwerty.RETURN]
+
+
+def test_division_by_zero_not_folded():
+    module = ModuleOp()
+    func = FuncOp("f", FunctionType((), (), False))
+    builder = Builder(func.entry)
+    one = arith.constant(builder, 1.0)
+    zero = arith.constant(builder, 0.0)
+    arith.divf(builder, one, zero)
+    qwerty.return_op(builder, [])
+    module.add(func)
+
+    apply_patterns_greedily(module, arith.CANONICALIZATION_PATTERNS, run_dce=False)
+    names = [op.name for op in func.entry.ops]
+    assert "arith.divf" in names
+
+
+def test_pattern_driver_reaches_fixpoint():
+    module = ModuleOp()
+    func = FuncOp("f", FunctionType((), (), False))
+    builder = Builder(func.entry)
+    value = arith.constant(builder, 1.0)
+    for _ in range(5):
+        value = arith.addf(builder, value, arith.constant(builder, 1.0))
+    qwerty.return_op(builder, [])
+    module.add(func)
+
+    changed = apply_patterns_greedily(module, arith.CANONICALIZATION_PATTERNS)
+    assert changed
+    assert apply_patterns_greedily(
+        module, arith.CANONICALIZATION_PATTERNS
+    ) is False

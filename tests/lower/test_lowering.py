@@ -1,0 +1,205 @@
+"""Tests for Qwerty IR -> QCircuit IR lowering and flattening (§6.1, §7)."""
+
+import pytest
+
+from repro.basis import Basis
+from repro.basis.basis import pm, std
+from repro.basis.primitive import PrimitiveBasis
+from repro.dialects import arith, qcircuit, qwerty
+from repro.errors import LoweringError
+from repro.ir import Builder, FuncOp, FunctionType, ModuleOp, QBundleType
+from repro.ir.core import walk
+from repro.lower import flatten_to_circuit, lower_module
+from repro.sim import run_circuit
+
+
+def make_module(build_body, n=1, outputs=None):
+    module = ModuleOp()
+    func = FuncOp(
+        "main",
+        FunctionType((), outputs or (QBundleType(n),), reversible=False),
+    )
+    module.add(func)
+    module.entry_point = "main"
+    build_body(Builder(func.entry))
+    return module
+
+
+def test_qbprep_lowers_to_qalloc_and_gates():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.PM, (0, 1))
+        qwerty.return_op(builder, [bundle])
+
+    lowered = lower_module(make_module(body, 2))
+    ops = [op.name for op in walk(lowered.get("main").entry)]
+    assert ops.count(qcircuit.QALLOC) == 2
+    gate_names = [
+        op.attrs["gate"]
+        for op in walk(lowered.get("main").entry)
+        if op.name == qcircuit.GATE
+    ]
+    # |p> is H; |m> is X then H.
+    assert gate_names == ["h", "x", "h"]
+
+
+def test_qbtrans_lowers_to_synthesized_gates():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (0,))
+        out = qwerty.qbtrans(builder, bundle, std(1), pm(1))
+        qwerty.return_op(builder, [out])
+
+    lowered = lower_module(make_module(body, 1))
+    gates = [
+        op.attrs["gate"]
+        for op in walk(lowered.get("main").entry)
+        if op.name == qcircuit.GATE
+    ]
+    assert gates == ["h"]
+
+
+def test_qbmeas_lowers_to_standardize_then_measure():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (0, 0))
+        bits = qwerty.qbmeas(builder, bundle, pm(2))
+        qwerty.return_op(builder, [bits])
+
+    from repro.ir.types import BitBundleType
+
+    lowered = lower_module(make_module(body, 2, outputs=(BitBundleType(2),)))
+    ops = [op.name for op in walk(lowered.get("main").entry)]
+    assert ops.count(qcircuit.MEASURE) == 2
+    gates = [
+        op.attrs["gate"]
+        for op in walk(lowered.get("main").entry)
+        if op.name == qcircuit.GATE
+    ]
+    assert gates == ["h", "h"]  # pm -> std standardization.
+
+
+def test_dynamic_phase_resolution():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (1,))
+        angle = arith.constant(builder, 90.0)
+        out = qwerty.qbtrans(
+            builder,
+            bundle,
+            Basis.literal("1"),
+            Basis.literal("1"),
+            [angle],
+            [("out", 0)],
+        )
+        qwerty.return_op(builder, [out])
+
+    lowered = lower_module(make_module(body, 1))
+    phase_gates = [
+        op
+        for op in walk(lowered.get("main").entry)
+        if op.name == qcircuit.GATE and op.attrs["gate"] == "p"
+    ]
+    assert len(phase_gates) == 1
+    import math
+
+    assert phase_gates[0].attrs["params"][0] == pytest.approx(math.pi / 2)
+
+
+def test_unresolved_dynamic_phase_rejected():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (1,))
+        a = arith.constant(builder, 90.0)
+        b = builder.create("arith.addf", [a, a], [a.type])  # Unfolded.
+        out = qwerty.qbtrans(
+            builder,
+            bundle,
+            Basis.literal("1"),
+            Basis.literal("1"),
+            [b.result],
+            [("out", 0)],
+        )
+        qwerty.return_op(builder, [out])
+
+    module = make_module(body, 1)
+    # Without canonicalization the addf is not a constant.
+    with pytest.raises(LoweringError, match="constant"):
+        lower_module(module)
+
+
+def test_flatten_full_pipeline_bell_state():
+    def body(builder):
+        plus = qwerty.qbprep(builder, PrimitiveBasis.PM, (0,))
+        zero = qwerty.qbprep(builder, PrimitiveBasis.STD, (0,))
+        plus_q = qwerty.qbunpack(builder, plus)
+        zero_q = qwerty.qbunpack(builder, zero)
+        pair = qwerty.qbpack(builder, plus_q + zero_q)
+        bell = qwerty.qbtrans(
+            builder,
+            pair,
+            Basis.literal("10", "11"),
+            Basis.literal("11", "10"),
+        )
+        bits = qwerty.qbmeas(builder, bell, std(2))
+        qwerty.return_op(builder, [bits])
+
+    from repro.ir.types import BitBundleType
+
+    module = make_module(body, 2, outputs=(BitBundleType(2),))
+    circuit = flatten_to_circuit(lower_module(module))
+    outcomes = {run_circuit(circuit, seed=seed)[0] for seed in range(24)}
+    # Bell state: both bits always agree.
+    assert outcomes <= {(0, 0), (1, 1)}
+    assert len(outcomes) == 2
+
+
+def test_flatten_reuses_freed_qubits():
+    def body(builder):
+        first = qwerty.qbprep(builder, PrimitiveBasis.STD, (0,))
+        qwerty.qbdiscardz(builder, first)
+        second = qwerty.qbprep(builder, PrimitiveBasis.STD, (1,))
+        bits = qwerty.qbmeas(builder, second, std(1))
+        qwerty.return_op(builder, [bits])
+
+    from repro.ir.types import BitBundleType
+
+    module = make_module(body, 1, outputs=(BitBundleType(1),))
+    circuit = flatten_to_circuit(lower_module(module))
+    assert circuit.num_qubits == 1  # The freed wire was reused.
+
+
+def test_flatten_rejects_surviving_calls():
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (0,))
+        call = qwerty.call(builder, "helper", [bundle], [QBundleType(1)])
+        qwerty.return_op(builder, [call.results[0]])
+
+    module = make_module(body, 1)
+    helper = FuncOp(
+        "helper", FunctionType((QBundleType(1),), (QBundleType(1),), True)
+    )
+    builder = Builder(helper.entry)
+    qwerty.return_op(builder, [helper.entry.args[0]])
+    module.add(helper)
+
+    with pytest.raises(LoweringError, match="inlining"):
+        flatten_to_circuit(lower_module(module))
+
+
+def test_embed_lowering_allocates_and_frees_ancillas():
+    from repro.classical import LogicNetwork
+    from repro.classical.network import reduce_signals
+
+    net = LogicNetwork(2)
+    a, b = net.inputs
+    net.add_output(net.and_(net.xor_(a, b), net.and_(a, b)))  # Needs ancillas.
+
+    def body(builder):
+        bundle = qwerty.qbprep(builder, PrimitiveBasis.STD, (0, 0, 0))
+        out = qwerty.embed(builder, bundle, net, "xor")
+        bits = qwerty.qbmeas(builder, out, std(3))
+        qwerty.return_op(builder, [bits])
+
+    from repro.ir.types import BitBundleType
+
+    module = make_module(body, 3, outputs=(BitBundleType(3),))
+    lowered = lower_module(module)
+    ops = [op.name for op in walk(lowered.get("main").entry)]
+    assert ops.count(qcircuit.QALLOC) > 3  # Inputs+output+ancillas.
+    assert qcircuit.QFREEZ in ops

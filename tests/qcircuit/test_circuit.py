@@ -1,0 +1,98 @@
+"""Unit tests for the flat circuit representation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+from repro.sim import unitary_of_gates
+
+
+def g(name, targets, controls=(), params=(), ctrl_states=()):
+    return CircuitGate(
+        name, tuple(targets), tuple(controls), tuple(params), tuple(ctrl_states)
+    )
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(SimulationError):
+        g("frobnicate", [0])
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(SimulationError):
+        g("x", [0], controls=[0])
+    with pytest.raises(SimulationError):
+        g("swap", [1, 1])
+
+
+def test_ctrl_states_default_positive():
+    gate = g("x", [1], controls=[0])
+    assert gate.ctrl_states == (1,)
+
+
+def test_clifford_classification():
+    assert g("h", [0]).is_clifford
+    assert g("s", [0]).is_clifford
+    assert not g("t", [0]).is_clifford
+    assert g("p", [0], params=[math.pi / 2]).is_clifford
+    assert not g("p", [0], params=[math.pi / 4]).is_clifford
+    assert not g("rz", [0], params=[0.3]).is_clifford
+
+
+def test_shifted_and_remapped():
+    gate = g("x", [1], controls=[0])
+    shifted = gate.shifted(3)
+    assert shifted.targets == (4,)
+    assert shifted.controls == (3,)
+    remapped = gate.remapped({0: 5, 1: 9})
+    assert remapped.targets == (9,)
+    assert remapped.controls == (5,)
+
+
+def test_with_extra_controls():
+    gate = g("x", [2]).with_extra_controls([0, 1], [1, 0])
+    assert gate.controls == (0, 1)
+    assert gate.ctrl_states == (1, 0)
+
+
+@given(
+    st.sampled_from(["x", "h", "s", "sdg", "t", "tdg", "swap", "p", "rz"])
+)
+def test_dagger_inverts(name):
+    params = (0.7,) if name in ("p", "rz") else ()
+    targets = (0, 1) if name == "swap" else (0,)
+    gate = CircuitGate(name, targets, (), params)
+    n = 2 if name == "swap" else 1
+    product = unitary_of_gates([gate, gate.dagger()], n)
+    assert np.allclose(product, np.eye(2**n))
+
+
+def test_gate_counts():
+    circuit = Circuit(3)
+    circuit.add(g("h", [0]))
+    circuit.add(g("h", [1]))
+    circuit.add(g("x", [2], controls=[0, 1]))
+    counts = circuit.gate_counts()
+    assert counts == {"h": 2, "c2x": 1}
+
+
+def test_depth():
+    circuit = Circuit(2)
+    circuit.add(g("h", [0]))
+    circuit.add(g("h", [1]))
+    assert circuit.depth() == 1
+    circuit.add(g("x", [1], controls=[0]))
+    assert circuit.depth() == 2
+    circuit.add(Measurement(0, 0))
+    assert circuit.depth() == 3
+
+
+def test_outputs_and_measurements():
+    circuit = Circuit(1, 1, output_bits=[0])
+    circuit.add(Measurement(0, 0))
+    assert len(circuit.measurements) == 1
+    assert circuit.output_bits == [0]

@@ -1,0 +1,173 @@
+"""Tests for taking the adjoint of basic blocks (paper §5.2)."""
+
+import pytest
+
+from repro.basis.basis import Basis, ij, pm, std
+from repro.basis.primitive import PrimitiveBasis
+from repro.dialects import arith, qwerty
+from repro.errors import ReversibilityError
+from repro.ir import Builder, FuncOp, FunctionType, ModuleOp, QBundleType
+from repro.ir.verifier import verify_module
+from repro.qwerty_ir import adjoint_function
+
+
+def rev_type(n):
+    return FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+
+
+def test_adjoint_of_single_qbtrans():
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+
+    adj = adjoint_function(func, "f__adj")
+    module = ModuleOp()
+    module.add(func)
+    module.add(adj)
+    verify_module(module)
+
+    trans_ops = [op for op in adj.entry.ops if op.name == qwerty.QBTRANS]
+    assert len(trans_ops) == 1
+    # ~(b1 >> b2) is b2 >> b1.
+    assert trans_ops[0].attrs["bin"] == pm(1)
+    assert trans_ops[0].attrs["bout"] == std(1)
+
+
+def test_adjoint_reverses_op_order():
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    mid = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    out = qwerty.qbtrans(builder, mid, pm(1), ij(1))
+    qwerty.return_op(builder, [out])
+
+    adj = adjoint_function(func, "f__adj")
+    trans_ops = [op for op in adj.entry.ops if op.name == qwerty.QBTRANS]
+    assert len(trans_ops) == 2
+    # First adjoint op inverts the *last* original op.
+    assert trans_ops[0].attrs["bin"] == ij(1)
+    assert trans_ops[0].attrs["bout"] == pm(1)
+    assert trans_ops[1].attrs["bin"] == pm(1)
+    assert trans_ops[1].attrs["bout"] == std(1)
+
+
+def test_stationary_ops_stay(paper_fig4=None):
+    # Paper Fig. 4: arith ops computing a phase are not adjointed.
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    pi = arith.constant(builder, 3.14)
+    two = arith.constant(builder, 2.0)
+    half = arith.divf(builder, pi, two)
+    basis_in = Basis.literal("0", "1")
+    basis_out = Basis.literal("0", "1")
+    out = qwerty.qbtrans(
+        builder,
+        func.entry.args[0],
+        basis_in,
+        basis_out,
+        [half],
+        [("out", 1)],
+    )
+    qwerty.return_op(builder, [out])
+
+    adj = adjoint_function(func, "f__adj")
+    names = [op.name for op in adj.entry.ops]
+    assert names.count("arith.constant") == 2
+    assert names.count("arith.divf") == 1
+    trans = [op for op in adj.entry.ops if op.name == qwerty.QBTRANS][0]
+    # The dynamic phase slot flips sides with its basis.
+    assert trans.attrs["phase_slots"] == (("in", 1),)
+    # The stationary value feeds the adjointed translation.
+    assert trans.operands[1].owner_op.name == "arith.divf"
+
+
+def test_adjoint_pack_unpack():
+    func = FuncOp("f", rev_type(2))
+    builder = Builder(func.entry)
+    qubits = qwerty.qbunpack(builder, func.entry.args[0])
+    bundle = qwerty.qbpack(builder, [qubits[1], qubits[0]])
+    qwerty.return_op(builder, [bundle])
+
+    adj = adjoint_function(func, "f__adj")
+    module = ModuleOp()
+    module.add(func)
+    module.add(adj)
+    verify_module(module)
+    # The adjoint of a renaming swap is the reverse renaming swap.
+    names = [op.name for op in adj.entry.ops]
+    assert names == [
+        qwerty.QBUNPACK,
+        qwerty.QBPACK,
+        qwerty.RETURN,
+    ]
+
+
+def test_adjoint_of_prep_is_unprep():
+    func = FuncOp("f", FunctionType((), (QBundleType(1),), reversible=True))
+    builder = Builder(func.entry)
+    bundle = qwerty.qbprep(builder, PrimitiveBasis.PM, (1,))
+    qwerty.return_op(builder, [bundle])
+
+    adj = adjoint_function(func, "f__adj")
+    names = [op.name for op in adj.entry.ops]
+    assert qwerty.QBUNPREP in names
+
+
+def test_adjoint_of_call_toggles_adj():
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    call = qwerty.call(
+        builder, "g", [func.entry.args[0]], [QBundleType(1)], adj=True
+    )
+    qwerty.return_op(builder, [call.results[0]])
+
+    adj = adjoint_function(func, "f__adj")
+    call_ops = [op for op in adj.entry.ops if op.name == qwerty.CALL]
+    assert call_ops[0].attrs["adj"] is False
+
+
+def test_adjoint_of_call_indirect_wraps_func_adj():
+    fn_type = rev_type(1)
+    func = FuncOp(
+        "f",
+        FunctionType(
+            (fn_type, QBundleType(1)), (QBundleType(1),), reversible=True
+        ),
+    )
+    builder = Builder(func.entry)
+    call = qwerty.call_indirect(
+        builder, func.entry.args[0], [func.entry.args[1]]
+    )
+    qwerty.return_op(builder, [call.results[0]])
+
+    adj = adjoint_function(func, "f__adj")
+    names = [op.name for op in adj.entry.ops]
+    assert qwerty.FUNC_ADJ in names
+    assert qwerty.CALL_INDIRECT in names
+
+
+def test_irreversible_func_rejected():
+    func = FuncOp(
+        "f",
+        FunctionType((QBundleType(1),), (QBundleType(1),), reversible=False),
+    )
+    with pytest.raises(ReversibilityError):
+        adjoint_function(func, "f__adj")
+
+
+def test_measure_not_adjointable():
+    func = FuncOp(
+        "f",
+        FunctionType(
+            (QBundleType(1),),
+            (QBundleType(1),),
+            reversible=True,
+        ),
+    )
+    builder = Builder(func.entry)
+    qwerty.qbmeas(builder, func.entry.args[0], std(1))
+    # Return something bogus just to have a terminator.
+    prep = qwerty.qbprep(builder, PrimitiveBasis.STD, (0,))
+    qwerty.return_op(builder, [prep])
+    with pytest.raises(ReversibilityError):
+        adjoint_function(func, "f__adj")

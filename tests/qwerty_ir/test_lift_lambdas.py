@@ -1,0 +1,93 @@
+"""Tests for lambda lifting (paper §5.4, step 1 of inlining)."""
+
+import pytest
+
+from repro.basis.basis import pm, std
+from repro.dialects import arith, qwerty
+from repro.errors import LoweringError
+from repro.ir import Builder, FuncOp, FunctionType, ModuleOp, QBundleType
+from repro.ir.verifier import verify_module
+from repro.qwerty_ir import lift_lambdas
+
+
+def rev_type(n=1):
+    return FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+
+
+def test_nested_lambdas_lift_innermost_first():
+    module = ModuleOp()
+    func = FuncOp("f", rev_type())
+    builder = Builder(func.entry)
+    outer = qwerty.lambda_op(builder, rev_type())
+    outer_builder = Builder(outer.regions[0].entry)
+    inner = qwerty.lambda_op(outer_builder, rev_type())
+    inner_builder = Builder(inner.regions[0].entry)
+    qwerty.return_op(inner_builder, [inner.regions[0].entry.args[0]])
+    call = qwerty.call_indirect(
+        outer_builder, inner.result, [outer.regions[0].entry.args[0]]
+    )
+    qwerty.return_op(outer_builder, [call.results[0]])
+    top_call = qwerty.call_indirect(builder, outer.result, [func.entry.args[0]])
+    qwerty.return_op(builder, [top_call.results[0]])
+    module.add(func)
+
+    lift_lambdas(module)
+    verify_module(module)
+    lifted = [name for name in module.funcs if name.startswith("lambda")]
+    assert len(lifted) == 2
+    for name in lifted:
+        body_ops = [op.name for op in module.get(name).entry.ops]
+        assert qwerty.LAMBDA not in body_ops
+
+
+def test_lambda_capturing_constant_rematerializes():
+    module = ModuleOp()
+    func = FuncOp("f", rev_type())
+    builder = Builder(func.entry)
+    angle = arith.constant(builder, 45.0)
+    lam = qwerty.lambda_op(builder, rev_type())
+    lam_builder = Builder(lam.regions[0].entry)
+    from repro.basis import Basis
+
+    out = qwerty.qbtrans(
+        lam_builder,
+        lam.regions[0].entry.args[0],
+        Basis.literal("1"),
+        Basis.literal("1"),
+        [angle],
+        [("out", 0)],
+    )
+    qwerty.return_op(lam_builder, [out])
+    call = qwerty.call_indirect(builder, lam.result, [func.entry.args[0]])
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(func)
+
+    lift_lambdas(module)
+    verify_module(module)
+    lifted = next(f for f in module if f.name.startswith("lambda"))
+    assert any(op.name == arith.CONSTANT for op in lifted.entry.ops)
+
+
+def test_lambda_capturing_quantum_value_rejected():
+    module = ModuleOp()
+    func = FuncOp("f", FunctionType((QBundleType(2),), (QBundleType(2),), True))
+    builder = Builder(func.entry)
+    qubits = qwerty.qbunpack(builder, func.entry.args[0])
+    stray = qwerty.qbpack(builder, [qubits[0]])
+    lam = qwerty.lambda_op(builder, rev_type())
+    lam_builder = Builder(lam.regions[0].entry)
+    inner_qubits = qwerty.qbunpack(lam_builder, lam.regions[0].entry.args[0])
+    stray_qubits = qwerty.qbunpack(lam_builder, stray)  # Captured qubit!
+    merged = qwerty.qbpack(lam_builder, stray_qubits)
+    qwerty.qbdiscard(lam_builder, merged)
+    qwerty.return_op(
+        lam_builder, [qwerty.qbpack(lam_builder, inner_qubits)]
+    )
+    rest = qwerty.qbpack(builder, [qubits[1]])
+    call = qwerty.call_indirect(builder, lam.result, [rest])
+    out = qwerty.qbunpack(builder, call.results[0])
+    qwerty.return_op(builder, [qwerty.qbpack(builder, out + [])])
+    module.add(func)
+
+    with pytest.raises(LoweringError, match="re-materializable"):
+        lift_lambdas(module)

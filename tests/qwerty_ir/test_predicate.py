@@ -1,0 +1,158 @@
+"""Tests for predicating basic blocks (paper §5.3, Fig. 5)."""
+
+import pytest
+
+from repro.basis import Basis, BasisLiteral
+from repro.basis.basis import pm, std
+from repro.dialects import qwerty
+from repro.errors import LoweringError, ReversibilityError
+from repro.ir import Builder, FuncOp, FunctionType, ModuleOp, QBundleType
+from repro.ir.verifier import verify_module
+from repro.qwerty_ir import predicate_function
+
+
+def rev_type(n):
+    return FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+
+
+def pred_111():
+    return Basis.literal("111")
+
+
+def test_predicated_qbtrans_gains_basis():
+    func = FuncOp("f", rev_type(2))
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(
+        builder,
+        func.entry.args[0],
+        Basis.literal("01", "10"),
+        Basis.literal("10", "01"),
+    )
+    qwerty.return_op(builder, [out])
+
+    pred = predicate_function(func, pred_111(), "f__pred")
+    module = ModuleOp()
+    module.add(func)
+    module.add(pred)
+    verify_module(module)
+
+    assert pred.type.inputs == (QBundleType(5),)
+    trans = [op for op in pred.entry.ops if op.name == qwerty.QBTRANS]
+    assert len(trans) == 1
+    # {'111'} prepended to both sides (paper Fig. 5).
+    assert trans[0].attrs["bin"].elements[0] == BasisLiteral.of("111")
+    assert trans[0].attrs["bout"].elements[0] == BasisLiteral.of("111")
+
+
+def test_renaming_swap_gets_unswap_fixup():
+    # Paper Fig. 5: the block swaps its two rightmost qubits by
+    # renaming; predication must emit an uncontrolled SWAP plus a
+    # predicated SWAP.
+    func = FuncOp("f", rev_type(2))
+    builder = Builder(func.entry)
+    qubits = qwerty.qbunpack(builder, func.entry.args[0])
+    bundle = qwerty.qbpack(builder, [qubits[1], qubits[0]])
+    qwerty.return_op(builder, [bundle])
+
+    pred = predicate_function(func, pred_111(), "f__pred")
+    module = ModuleOp()
+    module.add(func)
+    module.add(pred)
+    verify_module(module)
+
+    trans = [op for op in pred.entry.ops if op.name == qwerty.QBTRANS]
+    assert len(trans) == 2
+    # First: an uncontrolled SWAP (dimension 2).
+    assert trans[0].attrs["bin"].dim == 2
+    assert trans[0].attrs["bin"] == Basis.literal("01", "10")
+    # Second: the same SWAP predicated on {'111'} (dimension 5).
+    assert trans[1].attrs["bin"].dim == 5
+    assert trans[1].attrs["bin"].elements[0] == BasisLiteral.of("111")
+
+
+def test_no_fixup_without_renaming():
+    func = FuncOp("f", rev_type(2))
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(2), pm(2))
+    qwerty.return_op(builder, [out])
+
+    pred = predicate_function(func, Basis.literal("1"), "f__pred")
+    trans = [op for op in pred.entry.ops if op.name == qwerty.QBTRANS]
+    assert len(trans) == 1
+
+
+def test_predicated_call_concatenates_bases():
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    call = qwerty.call(
+        builder,
+        "g",
+        [func.entry.args[0]],
+        [QBundleType(1)],
+        pred=Basis.literal("0"),
+    )
+    qwerty.return_op(builder, [call.results[0]])
+
+    pred = predicate_function(func, Basis.literal("1"), "f__pred")
+    call_ops = [op for op in pred.entry.ops if op.name == qwerty.CALL]
+    combined = call_ops[0].attrs["pred"]
+    assert combined.dim == 2
+    assert combined.elements[0] == BasisLiteral.of("1")
+    assert combined.elements[1] == BasisLiteral.of("0")
+
+
+def test_predicated_call_indirect_wraps_func_pred():
+    fn_type = rev_type(1)
+    func = FuncOp(
+        "f",
+        FunctionType(
+            (fn_type, QBundleType(1)), (QBundleType(1),), reversible=True
+        ),
+    )
+    builder = Builder(func.entry)
+    call = qwerty.call_indirect(
+        builder, func.entry.args[0], [func.entry.args[1]]
+    )
+    qwerty.return_op(builder, [call.results[0]])
+
+    # Only qbundle->qbundle functions can be predicated (paper §2.2:
+    # b & f takes qubit[N] rev-> qubit[N]); mixed signatures are
+    # rejected before any body transformation happens.
+    with pytest.raises(LoweringError):
+        predicate_function(func, Basis.literal("1"), "f__pred")
+
+
+def test_irreversible_rejected():
+    func = FuncOp(
+        "f",
+        FunctionType((QBundleType(1),), (QBundleType(1),), reversible=False),
+    )
+    with pytest.raises(ReversibilityError):
+        predicate_function(func, Basis.literal("1"), "f__pred")
+
+
+def test_ancilla_prep_not_predicated():
+    from repro.basis.primitive import PrimitiveBasis
+
+    func = FuncOp("f", rev_type(1))
+    builder = Builder(func.entry)
+    ancilla = qwerty.qbprep(builder, PrimitiveBasis.PM, (1,))
+    arg_qubits = qwerty.qbunpack(builder, func.entry.args[0])
+    anc_qubits = qwerty.qbunpack(builder, ancilla)
+    combined = qwerty.qbpack(builder, arg_qubits + anc_qubits)
+    translated = qwerty.qbtrans(
+        builder, combined, Basis.literal("00", "11"), Basis.literal("11", "00")
+    )
+    qubits = qwerty.qbunpack(builder, translated)
+    out = qwerty.qbpack(builder, [qubits[0]])
+    anc_out = qwerty.qbpack(builder, [qubits[1]])
+    qwerty.qbunprep(builder, anc_out, PrimitiveBasis.PM, (1,))
+    qwerty.return_op(builder, [out])
+
+    pred = predicate_function(func, Basis.literal("1"), "f__pred")
+    preps = [op for op in pred.entry.ops if op.name == qwerty.QBPREP]
+    assert len(preps) == 1
+    # Prep itself is unchanged; only the translation gained a predicate.
+    assert preps[0].attrs["prim"] is PrimitiveBasis.PM
+    trans = [op for op in pred.entry.ops if op.name == qwerty.QBTRANS]
+    assert trans[0].attrs["bin"].dim == 3

@@ -1,0 +1,151 @@
+"""Tests for function specialization analysis (paper §6.2, Appendix D)."""
+
+from repro.basis import Basis
+from repro.basis.basis import pm, std
+from repro.dialects import qwerty
+from repro.ir import Builder, FuncOp, FunctionType, ModuleOp, QBundleType
+from repro.ir.verifier import verify_module
+from repro.qwerty_ir import analyze_specializations, generate_specializations
+from repro.qwerty_ir.specialize import Specialization
+
+
+def rev_type(n=1):
+    return FunctionType((QBundleType(n),), (QBundleType(n),), reversible=True)
+
+
+def trans_func(module, name):
+    func = FuncOp(name, rev_type(), visibility="private")
+    builder = Builder(func.entry)
+    out = qwerty.qbtrans(builder, func.entry.args[0], std(1), pm(1))
+    qwerty.return_op(builder, [out])
+    module.add(func)
+    return func
+
+
+def call_func(module, name, callee, adj=False, pred=None):
+    func = FuncOp(name, rev_type(), visibility="private")
+    builder = Builder(func.entry)
+    call = qwerty.call(
+        builder, callee, [func.entry.args[0]], [QBundleType(1)], adj=adj, pred=pred
+    )
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(func)
+    return func
+
+
+def test_transitive_adjoint_requirement():
+    # Paper Appendix D: f calls adj g; g calls h; so adj h is needed
+    # even though no explicit `call adj h` exists.
+    module = ModuleOp()
+    trans_func(module, "h")
+    call_func(module, "g", "h")
+    call_func(module, "f", "g", adj=True)
+    module.entry_point = "f"
+
+    needed = analyze_specializations(module)
+    assert Specialization("h", True, 0) in needed
+    assert Specialization("g", True, 0) in needed
+    assert Specialization("f", False, 0) in needed
+
+
+def test_unreachable_specializations_dropped():
+    module = ModuleOp()
+    trans_func(module, "h")
+    call_func(module, "g", "h")
+    call_func(module, "f", "g", adj=True)
+    # An unreachable function with its own exotic call.
+    call_func(module, "island", "h", adj=True)
+    module.entry_point = "f"
+
+    needed = analyze_specializations(module)
+    assert Specialization("island", False, 0) not in needed
+
+
+def test_generate_adjoint_specialization():
+    module = ModuleOp()
+    trans_func(module, "g")
+    call_func(module, "f", "g", adj=True)
+    module.entry_point = "f"
+
+    generate_specializations(module)
+    verify_module(module)
+    call = [op for op in module.get("f").entry.ops if op.name == qwerty.CALL][0]
+    assert call.attrs["adj"] is False
+    specialized = module.get(call.attrs["callee"])
+    assert specialized.specialization_of == ("g", True, 0)
+    trans = [
+        op for op in specialized.entry.ops if op.name == qwerty.QBTRANS
+    ][0]
+    assert trans.attrs["bin"] == pm(1)
+
+
+def test_generate_predicated_specialization():
+    module = ModuleOp()
+    trans_func(module, "g")
+    call_func(module, "f", "g", pred=Basis.literal("1"))
+    # Widen f's type to account for the predicate qubit.
+    module.funcs["f"].type = FunctionType(
+        (QBundleType(2),), (QBundleType(2),), reversible=True
+    )
+    module.entry_point = "f"
+    # Rebuild f properly: one arg of qbundle[2].
+    module.remove("f")
+    func = FuncOp("f", FunctionType((QBundleType(2),), (QBundleType(2),), True))
+    builder = Builder(func.entry)
+    call = qwerty.call(
+        builder,
+        "g",
+        [func.entry.args[0]],
+        [QBundleType(2)],
+        pred=Basis.literal("1"),
+    )
+    qwerty.return_op(builder, [call.results[0]])
+    module.add(func)
+
+    generate_specializations(module)
+    verify_module(module)
+    call = [op for op in module.get("f").entry.ops if op.name == qwerty.CALL][0]
+    specialized = module.get(call.attrs["callee"])
+    assert specialized.specialization_of == ("g", False, 1)
+    assert specialized.type.inputs == (QBundleType(2),)
+
+
+def test_transitive_generation_fixpoint():
+    # Generating adj(f) introduces `call adj g` which must also be
+    # satisfied in the same pass.
+    module = ModuleOp()
+    trans_func(module, "h")
+    call_func(module, "g", "h")
+    call_func(module, "f", "g", adj=True)
+    module.entry_point = "f"
+
+    generate_specializations(module)
+    verify_module(module)
+    specialized = [
+        f.specialization_of for f in module if f.specialization_of is not None
+    ]
+    assert ("g", True, 0) in specialized
+    assert ("h", True, 0) in specialized
+
+
+def test_specializations_are_cached():
+    module = ModuleOp()
+    trans_func(module, "g")
+    func = FuncOp("f", FunctionType((QBundleType(2),), (QBundleType(2),), True))
+    builder = Builder(func.entry)
+    qubits = qwerty.qbunpack(builder, func.entry.args[0])
+    first = qwerty.qbpack(builder, [qubits[0]])
+    second = qwerty.qbpack(builder, [qubits[1]])
+    call1 = qwerty.call(builder, "g", [first], [QBundleType(1)], adj=True)
+    call2 = qwerty.call(builder, "g", [second], [QBundleType(1)], adj=True)
+    out1 = qwerty.qbunpack(builder, call1.results[0])
+    out2 = qwerty.qbunpack(builder, call2.results[0])
+    qwerty.return_op(builder, [qwerty.qbpack(builder, out1 + out2)])
+    module.add(func)
+    module.entry_point = "f"
+
+    generate_specializations(module)
+    adjoints = [
+        f for f in module if f.specialization_of == ("g", True, 0)
+    ]
+    assert len(adjoints) == 1

@@ -1,0 +1,115 @@
+"""Tests for the resource estimator (Azure RE substitute, paper §8.3)."""
+
+import math
+
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+from repro.resources import (
+    SurfaceCodeParams,
+    count_logical_resources,
+    estimate_physical_resources,
+)
+
+
+def g(name, targets, controls=(), params=()):
+    return CircuitGate(name, tuple(targets), tuple(controls), tuple(params))
+
+
+def make(num_qubits, gates, measurements=0):
+    circuit = Circuit(num_qubits, measurements)
+    for gate in gates:
+        circuit.add(gate)
+    for index in range(measurements):
+        circuit.add(Measurement(index, index))
+    return circuit
+
+
+def test_t_counting():
+    counts = count_logical_resources(
+        make(1, [g("t", [0]), g("tdg", [0]), g("h", [0])])
+    )
+    assert counts.t_gates == 2
+    assert counts.clifford_gates == 1
+
+
+def test_rotation_classification():
+    # pi/4 phases are T-like; pi/2 are Clifford; others are rotations.
+    counts = count_logical_resources(
+        make(
+            1,
+            [
+                g("p", [0], params=[math.pi / 4]),
+                g("p", [0], params=[math.pi / 2]),
+                g("p", [0], params=[0.3]),
+                g("rz", [0], params=[math.pi]),
+            ],
+        )
+    )
+    assert counts.t_gates == 1
+    assert counts.rotations == 1
+    assert counts.clifford_gates == 2
+
+
+def test_depth_counts_parallelism():
+    parallel = make(2, [g("h", [0]), g("h", [1])])
+    serial = make(2, [g("h", [0]), g("x", [1], controls=[0])])
+    assert count_logical_resources(parallel).logical_depth == 1
+    assert count_logical_resources(serial).logical_depth == 2
+
+
+def test_clifford_only_needs_no_factories():
+    estimate = estimate_physical_resources(
+        make(4, [g("h", [q]) for q in range(4)], measurements=4)
+    )
+    assert estimate.factories == 0
+    assert estimate.t_states == 0
+
+
+def test_t_heavy_circuit_gets_factories():
+    gates = [g("t", [0]) for _ in range(100)]
+    estimate = estimate_physical_resources(make(1, gates))
+    assert estimate.factories >= 1
+    assert estimate.t_states == 100
+
+
+def test_paper_parameters():
+    params = SurfaceCodeParams()
+    assert params.code_distance == 13
+    assert params.physical_per_logical == 338  # [[338, 1, 13]].
+    assert params.logical_cycle_seconds == 5.2e-6
+
+
+def test_physical_qubits_scale_with_logical():
+    small = estimate_physical_resources(make(4, [g("h", [0])]))
+    large = estimate_physical_resources(make(64, [g("h", [0])]))
+    assert large.physical_qubits > small.physical_qubits
+    # Routing overhead: 2Q + ceil(sqrt(8Q)) + 1 logical tiles.
+    assert small.routed_logical_qubits == 2 * 4 + math.ceil(math.sqrt(32)) + 1
+
+
+def test_runtime_scales_with_depth():
+    shallow = estimate_physical_resources(make(2, [g("h", [0])]))
+    deep = estimate_physical_resources(
+        make(2, [g("h", [0]) for _ in range(100)])
+    )
+    assert deep.runtime_seconds > shallow.runtime_seconds
+    assert math.isclose(
+        shallow.runtime_seconds, 5.2e-6, rel_tol=1e-9
+    )
+
+
+def test_rotations_charged_t_cost():
+    params = SurfaceCodeParams()
+    estimate = estimate_physical_resources(
+        make(1, [g("rz", [0], params=[0.123])])
+    )
+    assert estimate.t_states == params.t_per_rotation
+
+
+def test_factory_cap_stretches_runtime():
+    params = SurfaceCodeParams(max_factories=1)
+    gates = [g("t", [0]) for _ in range(1000)]
+    capped = estimate_physical_resources(make(1, gates), params)
+    uncapped = estimate_physical_resources(make(1, gates))
+    assert capped.factories == 1
+    assert capped.runtime_seconds >= uncapped.runtime_seconds
+    assert capped.physical_qubits <= uncapped.physical_qubits

@@ -1,0 +1,59 @@
+"""Property tests on resource-estimation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.qcircuit.circuit import Circuit, CircuitGate
+from repro.resources import (
+    SurfaceCodeParams,
+    count_logical_resources,
+    estimate_physical_resources,
+)
+
+_GATES = ["x", "h", "s", "t", "tdg", "z"]
+
+
+@st.composite
+def random_circuit(draw):
+    num_qubits = draw(st.integers(min_value=1, max_value=6))
+    circuit = Circuit(num_qubits)
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        name = draw(st.sampled_from(_GATES))
+        target = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+        circuit.add(CircuitGate(name, (target,)))
+    return circuit
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_circuit())
+def test_counts_partition_instructions(circuit):
+    counts = count_logical_resources(circuit)
+    total = counts.t_gates + counts.rotations + counts.clifford_gates
+    assert total == len(circuit.gates)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_circuit())
+def test_depth_bounded_by_gate_count(circuit):
+    counts = count_logical_resources(circuit)
+    assert counts.logical_depth <= len(circuit.instructions)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_circuit())
+def test_estimates_are_monotone_in_t(circuit):
+    base = estimate_physical_resources(circuit)
+    extended = Circuit(circuit.num_qubits, instructions=list(circuit.instructions))
+    extended.add(CircuitGate("t", (0,)))
+    more = estimate_physical_resources(extended)
+    assert more.t_states >= base.t_states
+    assert more.runtime_seconds >= base.runtime_seconds
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_circuit(), st.integers(min_value=7, max_value=25))
+def test_runtime_scales_with_cycle_time(circuit, distance):
+    slow = SurfaceCodeParams(logical_cycle_seconds=1e-5)
+    fast = SurfaceCodeParams(logical_cycle_seconds=1e-6)
+    slow_estimate = estimate_physical_resources(circuit, slow)
+    fast_estimate = estimate_physical_resources(circuit, fast)
+    assert slow_estimate.runtime_seconds >= fast_estimate.runtime_seconds

@@ -1,0 +1,90 @@
+"""Dense linear-algebra reference model for basis translations.
+
+Builds the exact unitary a translation must implement:
+``U = sum_k |out_k><in_k| + (I - sum_k |in_k><in_k|)``
+(amplitudes preserved on the spanned subspace, identity on the
+orthogonal complement), for comparison with synthesized circuits.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.basis.basis import Basis
+from repro.basis.builtin import BuiltinBasis
+from repro.basis.literal import BasisLiteral
+from repro.basis.primitive import PrimitiveBasis
+
+_SINGLE = {
+    (PrimitiveBasis.STD, 0): np.array([1, 0], dtype=complex),
+    (PrimitiveBasis.STD, 1): np.array([0, 1], dtype=complex),
+    (PrimitiveBasis.PM, 0): np.array([1, 1], dtype=complex) / math.sqrt(2),
+    (PrimitiveBasis.PM, 1): np.array([1, -1], dtype=complex) / math.sqrt(2),
+    (PrimitiveBasis.IJ, 0): np.array([1, 1j], dtype=complex) / math.sqrt(2),
+    (PrimitiveBasis.IJ, 1): np.array([1, -1j], dtype=complex) / math.sqrt(2),
+}
+
+
+def element_vectors(element) -> list[np.ndarray]:
+    """Dense vectors of one basis element, in semantic order."""
+    if isinstance(element, BasisLiteral):
+        out = []
+        for vec in element.vectors:
+            dense = np.array([1.0], dtype=complex)
+            for bit in vec.eigenbits:
+                dense = np.kron(dense, _SINGLE[(vec.prim, bit)])
+            dense = dense * cmath.exp(1j * math.radians(vec.phase))
+            out.append(dense)
+        return out
+    assert isinstance(element, BuiltinBasis)
+    dim = 2**element.dim
+    if element.prim is PrimitiveBasis.FOURIER:
+        omega = cmath.exp(2j * cmath.pi / dim)
+        return [
+            np.array([omega ** (k * x) for x in range(dim)], dtype=complex)
+            / math.sqrt(dim)
+            for k in range(dim)
+        ]
+    out = []
+    for k in range(dim):
+        dense = np.array([1.0], dtype=complex)
+        for position in range(element.dim):
+            bit = (k >> (element.dim - 1 - position)) & 1
+            dense = np.kron(dense, _SINGLE[(element.prim, bit)])
+        out.append(dense)
+    return out
+
+
+def basis_vectors(basis: Basis) -> list[np.ndarray]:
+    """Dense vectors of a whole basis, row-major across elements."""
+    vectors = [np.array([1.0], dtype=complex)]
+    for element in basis.elements:
+        vectors = [
+            np.kron(prefix, suffix)
+            for prefix in vectors
+            for suffix in element_vectors(element)
+        ]
+    return vectors
+
+
+def translation_unitary(b_in: Basis, b_out: Basis) -> np.ndarray:
+    """The exact unitary of ``b_in >> b_out``."""
+    dim = 2**b_in.dim
+    ins = basis_vectors(b_in)
+    outs = basis_vectors(b_out)
+    unitary = np.zeros((dim, dim), dtype=complex)
+    projector = np.zeros((dim, dim), dtype=complex)
+    for vec_in, vec_out in zip(ins, outs):
+        unitary += np.outer(vec_out, vec_in.conj())
+        projector += np.outer(vec_in, vec_in.conj())
+    unitary += np.eye(dim) - projector
+    return unitary
+
+
+def assert_unitaries_close(got: np.ndarray, expected: np.ndarray) -> None:
+    assert np.allclose(got, expected, atol=1e-9), (
+        f"unitaries differ:\n{np.round(got, 3)}\nvs\n{np.round(expected, 3)}"
+    )

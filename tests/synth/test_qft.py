@@ -1,0 +1,63 @@
+"""Tests for the QFT/IQFT circuits used by Fourier standardization."""
+
+import cmath
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import unitary_of_gates
+from repro.synth.qft import iqft_gates, qft_gates
+
+
+def dft_matrix(n: int) -> np.ndarray:
+    dim = 2**n
+    omega = cmath.exp(2j * cmath.pi / dim)
+    return np.array(
+        [[omega ** (row * col) for col in range(dim)] for row in range(dim)],
+        dtype=complex,
+    ) / math.sqrt(dim)
+
+
+def test_qft_matches_dft():
+    for n in (1, 2, 3, 4):
+        got = unitary_of_gates(qft_gates(list(range(n))), n)
+        assert np.allclose(got, dft_matrix(n)), n
+
+
+def test_iqft_is_inverse():
+    for n in (1, 2, 3):
+        qft = unitary_of_gates(qft_gates(list(range(n))), n)
+        iqft = unitary_of_gates(iqft_gates(list(range(n))), n)
+        assert np.allclose(iqft @ qft, np.eye(2**n))
+
+
+def test_qft_on_offset_wires():
+    # QFT applied to wires 1..2 of a 3-qubit register.
+    got = unitary_of_gates(qft_gates([1, 2]), 3)
+    expected = np.kron(np.eye(2), dft_matrix(2))
+    assert np.allclose(got, expected)
+
+
+def test_qft_without_swaps_is_bit_reversed():
+    n = 3
+    no_swaps = unitary_of_gates(qft_gates(list(range(n)), include_swaps=False), n)
+    full = unitary_of_gates(qft_gates(list(range(n))), n)
+    # The swap layer bit-reverses the output indices.
+    perm = np.zeros((2**n, 2**n))
+    for value in range(2**n):
+        reversed_bits = int(format(value, f"0{n}b")[::-1], 2)
+        perm[reversed_bits, value] = 1
+    assert np.allclose(perm @ no_swaps, full)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=7))
+def test_qft_columns_are_fourier_states(k):
+    """QFT|k> has amplitudes omega^{kx}/sqrt(D)."""
+    n = 3
+    qft = unitary_of_gates(qft_gates(list(range(n))), n)
+    dim = 2**n
+    omega = cmath.exp(2j * cmath.pi / dim)
+    expected = np.array([omega ** (k * x) for x in range(dim)]) / math.sqrt(dim)
+    assert np.allclose(qft[:, k], expected)

@@ -1,0 +1,119 @@
+"""Unit tests for Algorithm E6 (standardization) and Algorithm E7 (alignment)."""
+
+import pytest
+
+from repro.basis import Basis, BasisLiteral, BuiltinBasis, PrimitiveBasis
+from repro.basis.basis import fourier, ij, pm, std
+from repro.errors import SynthesisError
+from repro.synth import align_translation, determine_standardizations
+
+
+def lit(*vectors):
+    return Basis.literal(*vectors)
+
+
+def std_list(entries):
+    return [(s.prim, s.offset, s.dim, s.conditional) for s in entries]
+
+
+def test_paper_fig7_conditionality():
+    # {'m'} + ij >> {'m'} + pm.
+    lstd, rstd = determine_standardizations(
+        lit("m").tensor(ij(1)), lit("m").tensor(pm(1))
+    )
+    assert std_list(lstd) == [
+        (PrimitiveBasis.PM, 0, 1, False),
+        (PrimitiveBasis.IJ, 1, 1, True),
+    ]
+    assert std_list(rstd) == [
+        (PrimitiveBasis.PM, 0, 1, False),
+        (PrimitiveBasis.PM, 1, 1, True),
+    ]
+
+
+def test_paper_figE14_padding():
+    # std + fourier[3] >> fourier[3] + std: no unconditional entries.
+    lstd, rstd = determine_standardizations(
+        std(1).tensor(fourier(3)), fourier(3).tensor(std(1))
+    )
+    assert std_list(lstd) == [
+        (PrimitiveBasis.STD, 0, 1, True),
+        (PrimitiveBasis.FOURIER, 1, 3, True),
+    ]
+    assert std_list(rstd) == [
+        (PrimitiveBasis.FOURIER, 0, 3, True),
+        (PrimitiveBasis.STD, 3, 1, True),
+    ]
+
+
+def test_matching_fourier_is_unconditional():
+    lstd, rstd = determine_standardizations(fourier(2), fourier(2))
+    assert std_list(lstd) == [(PrimitiveBasis.FOURIER, 0, 2, False)]
+    assert std_list(rstd) == [(PrimitiveBasis.FOURIER, 0, 2, False)]
+
+
+def test_separable_factoring_keeps_unconditional():
+    # pm[3] >> pm + pm[2]: same prim everywhere, split differently.
+    lstd, rstd = determine_standardizations(pm(3), pm(1).tensor(pm(2)))
+    assert all(not s.conditional for s in lstd)
+    assert all(not s.conditional for s in rstd)
+
+
+def test_align_equal_literals():
+    pairs = align_translation(lit("01", "10"), lit("10", "01"))
+    assert len(pairs) == 1
+    left, right = pairs[0]
+    assert [v.chars() for v in left.vectors] == ["01", "10"]
+    assert [v.chars() for v in right.vectors] == ["10", "01"]
+
+
+def test_align_factors_preferring_structure():
+    # Appendix F: {'1'} + std >> {'11','10'} factors rather than merges.
+    pairs = align_translation(lit("1").tensor(std(1)), lit("11", "10"))
+    assert len(pairs) == 2
+    assert [v.chars() for v in pairs[0][1].vectors] == ["1"]
+    assert [v.chars() for v in pairs[1][1].vectors] == ["1", "0"]
+
+
+def test_align_merges_when_factoring_fails():
+    # Appendix F: the right side is not a tensor product of literals.
+    pairs = align_translation(
+        lit("0", "1").tensor(lit("0", "1")),
+        lit("00", "10", "01", "11"),
+    )
+    assert len(pairs) == 1
+    left, right = pairs[0]
+    assert [v.chars() for v in left.vectors] == ["00", "01", "10", "11"]
+    assert [v.chars() for v in right.vectors] == ["00", "10", "01", "11"]
+
+
+def test_align_standardizes_prims_and_phases():
+    from repro.basis import BasisVector
+
+    phased = Basis.of(
+        BasisLiteral((BasisVector.from_chars("m", phase=45.0),))
+    )
+    pairs = align_translation(phased, lit("1"))
+    left, right = pairs[0]
+    assert left.prim is PrimitiveBasis.STD
+    assert not left.has_phases
+    assert left == right
+
+
+def test_align_builtin_vs_literal_expands():
+    pairs = align_translation(std(2), lit("01", "00", "10", "11"))
+    left, right = pairs[0]
+    assert isinstance(left, BasisLiteral)
+    assert [v.chars() for v in left.vectors] == ["00", "01", "10", "11"]
+
+
+def test_align_dimension_mismatch_rejected():
+    with pytest.raises(SynthesisError):
+        align_translation(std(2), std(3))
+
+
+def test_align_fourier_becomes_std():
+    pairs = align_translation(fourier(2), std(2))
+    left, right = pairs[0]
+    assert isinstance(left, BuiltinBasis)
+    assert left.prim is PrimitiveBasis.STD

@@ -1,0 +1,241 @@
+"""Semantic tests for basis translation synthesis (paper §6.3).
+
+Every test compares the synthesized circuit's full unitary against the
+exact translation unitary built by dense linear algebra.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.basis import Basis, BasisLiteral, BasisVector
+from repro.basis.basis import fourier, ij, pm, std
+from repro.basis.span import spans_equal
+from repro.errors import SynthesisError
+from repro.sim import unitary_of_gates
+from repro.synth import synthesize_basis_translation
+
+from tests.synth.helpers import assert_unitaries_close, translation_unitary
+
+
+def check(b_in, b_out):
+    assert spans_equal(b_in, b_out), "test translation must be well-typed"
+    gates = synthesize_basis_translation(b_in, b_out)
+    got = unitary_of_gates(gates, b_in.dim)
+    expected = translation_unitary(b_in, b_out)
+    assert_unitaries_close(got, expected)
+    return gates
+
+
+def lit(*vectors):
+    return Basis.literal(*vectors)
+
+
+def test_swap_translation():
+    # Paper §2.2: {'01','10'} >> {'10','01'} is a SWAP.
+    check(lit("01", "10"), lit("10", "01"))
+
+
+def test_std_flip_is_x():
+    gates = check(lit("0", "1"), lit("1", "0"))
+    got = unitary_of_gates(gates, 1)
+    assert np.allclose(got, [[0, 1], [1, 0]])
+
+
+def test_std_to_pm_is_h():
+    gates = check(std(1), pm(1))
+    got = unitary_of_gates(gates, 1)
+    h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+    assert np.allclose(got, h)
+
+
+def test_pm_to_std():
+    check(pm(1), std(1))
+
+
+def test_ij_roundtrips():
+    check(ij(1), std(1))
+    check(std(1), ij(1))
+    check(ij(2), pm(2))
+
+
+def test_pm_flip():
+    # pm >> {'m','p'} flips |+> and |->, i.e. a Z gate.
+    gates = check(pm(1), lit("m", "p"))
+    got = unitary_of_gates(gates, 1)
+    assert np.allclose(got, [[1, 0], [0, -1]])
+
+
+def test_paper_fig7_conditional_standardization():
+    # {'m'} + ij >> {'m'} + pm.
+    b_in = lit("m").tensor(ij(1))
+    b_out = lit("m").tensor(pm(1))
+    check(b_in, b_out)
+
+
+def test_paper_fig8_grover_diffuser():
+    # {'p'[3]} >> {-'p'[3]}: flips the sign of |+++>.
+    b_in = Basis.of(BasisLiteral((BasisVector.from_chars("ppp"),)))
+    b_out = Basis.of(
+        BasisLiteral((BasisVector.from_chars("ppp", phase=180.0),))
+    )
+    gates = check(b_in, b_out)
+    got = unitary_of_gates(gates, 3)
+    plus = np.full(8, 1 / np.sqrt(8))
+    expected = np.eye(8) - 2 * np.outer(plus, plus)
+    assert np.allclose(got, expected)
+
+
+def test_paper_fig9_permutation_with_alignment():
+    # {'01','10'} + {'0','1'} >> {'101','100','011','010'}.
+    b_in = lit("01", "10").tensor(lit("0", "1"))
+    b_out = lit("101", "100", "011", "010")
+    check(b_in, b_out)
+
+
+def test_paper_figE14_inseparable_fourier():
+    # std + fourier[3] >> fourier[3] + std.
+    check(std(1).tensor(fourier(3)), fourier(3).tensor(std(1)))
+
+
+def test_fourier_to_std_is_iqft():
+    check(fourier(2), std(2))
+    check(fourier(3), std(3))
+
+
+def test_std_to_fourier_is_qft():
+    check(std(2), fourier(2))
+
+
+def test_appendix_f_factoring_example():
+    # {'1'} + std >> {'11','10'}: factored as {'1'}+{'0','1'} >> {'1'}+{'1','0'}.
+    check(lit("1").tensor(std(1)), lit("11", "10"))
+
+
+def test_appendix_f_merging_example():
+    # {'0','1'} + {'0','1'} >> {'00','10','01','11'} cannot factor.
+    check(
+        lit("0", "1").tensor(lit("0", "1")),
+        lit("00", "10", "01", "11"),
+    )
+
+
+def test_predicated_swap():
+    # {'1'} + SWAP: a Fredkin gate.
+    b_in = lit("1").tensor(lit("01", "10"))
+    b_out = lit("1").tensor(lit("10", "01"))
+    check(b_in, b_out)
+
+
+def test_negative_polarity_predicate():
+    # Predicated on |0>.
+    b_in = lit("0").tensor(lit("0", "1"))
+    b_out = lit("0").tensor(lit("1", "0"))
+    check(b_in, b_out)
+
+
+def test_predicate_with_pm_vector():
+    # Paper Fig. 7 style: predicate in a non-std basis.
+    b_in = lit("m").tensor(std(1))
+    b_out = lit("m").tensor(pm(1))
+    check(b_in, b_out)
+
+
+def test_phase_only_translation():
+    # {'1'} >> {'1'@90}: a phase within a one-vector span.
+    b_in = lit("1")
+    b_out = Basis.of(BasisLiteral((BasisVector.from_chars("1", phase=90.0),)))
+    gates = check(b_in, b_out)
+    got = unitary_of_gates(gates, 1)
+    assert np.allclose(got, [[1, 0], [0, 1j]])
+
+
+def test_phase_under_predicate():
+    # {'1'} + {'1'} >> {'1'} + {'1'@90}: controlled phase.
+    b_in = lit("1").tensor(lit("1"))
+    b_out = Basis.of(
+        BasisLiteral.of("1"),
+        BasisLiteral((BasisVector.from_chars("1", phase=90.0),)),
+    )
+    check(b_in, b_out)
+
+
+def test_phase_on_left_side_removed():
+    # {'1'@45} >> {'1'}: the inverse of adding a 45-degree phase.
+    b_in = Basis.of(BasisLiteral((BasisVector.from_chars("1", phase=45.0),)))
+    b_out = lit("1")
+    check(b_in, b_out)
+
+
+def test_multi_vector_predicate():
+    # An identical non-spanning pair {'00','11'} predicates the flip on
+    # the last qubit: it expands to one controlled copy per pattern.
+    b_in = lit("00", "11").tensor(lit("0", "1"))
+    b_out = lit("00", "11").tensor(lit("1", "0"))
+    check(b_in, b_out)
+
+
+def test_permuted_partial_pair_acts_as_predicate():
+    # Two partial pairs, each permuted; each controls the other.
+    b_in = lit("01", "10").tensor(lit("01", "10"))
+    b_out = lit("10", "01").tensor(lit("10", "01"))
+    check(b_in, b_out)
+
+
+def test_larger_permutation():
+    # A 3-qubit cyclic rotation of basis vectors.
+    vectors = ["000", "001", "010", "011", "100", "101", "110", "111"]
+    rotated = vectors[1:] + vectors[:1]
+    check(lit(*vectors), lit(*rotated))
+
+
+def test_builtin_identity_is_empty():
+    gates = synthesize_basis_translation(std(3), std(3))
+    assert gates == []
+
+
+def test_dimension_mismatch_rejected():
+    with pytest.raises(SynthesisError):
+        synthesize_basis_translation(std(2), std(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_random_std_permutations(data):
+    """Any relabeling of a random std vector subset synthesizes correctly."""
+    dim = data.draw(st.integers(min_value=1, max_value=3))
+    universe = list(range(2**dim))
+    subset = data.draw(
+        st.sets(st.sampled_from(universe), min_size=1, max_size=2**dim)
+    )
+    subset = sorted(subset)
+    permuted = data.draw(st.permutations(subset))
+
+    def to_chars(value):
+        return format(value, f"0{dim}b")
+
+    b_in = lit(*[to_chars(v) for v in subset])
+    b_out = lit(*[to_chars(v) for v in permuted])
+    check(b_in, b_out)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_random_phases(data):
+    """Random phases on both sides synthesize correctly."""
+    dim = 2
+    subset = [0, 3]
+    phases_in = [data.draw(st.sampled_from([0.0, 45.0, 90.0, 180.0])) for _ in subset]
+    phases_out = [data.draw(st.sampled_from([0.0, 45.0, 90.0, 180.0])) for _ in subset]
+
+    def make(phases):
+        return Basis.of(
+            BasisLiteral(
+                tuple(
+                    BasisVector.from_chars(format(v, f"0{dim}b"), phase=ph)
+                    for v, ph in zip(subset, phases)
+                )
+            )
+        )
+
+    check(make(phases_in), make(phases_out))
