@@ -1,20 +1,24 @@
 """Ablation: Selinger's controlled-iX decomposition (paper §6.5, §8.3).
 
 The paper credits Selinger's scheme for ASDF's (and Q#'s) Grover win.
-This bench compiles Grover's with the scheme enabled and disabled and
-compares T counts and estimated runtimes.
+This bench compiles Grover's with the ``"default"`` and
+``"no-selinger"`` pipeline presets and compares T counts and estimated
+runtimes, plus the per-pass timing breakdown of the default compile.
 """
 
 from conftest import write_result
 
+from repro import CompileOptions
 from repro.algorithms import grover
 from repro.resources import estimate_physical_resources
 
 
 def _ablation(n=16):
     kernel = grover(n)
-    with_selinger = kernel.compile(selinger=True)
-    without = kernel.compile(selinger=False)
+    with_selinger = kernel.compile(
+        options=CompileOptions.preset("default", collect_statistics=True)
+    )
+    without = kernel.compile(pipeline="no-selinger")
 
     def t_count(circuit):
         return sum(
@@ -36,6 +40,8 @@ def _ablation(n=16):
         f"  {label:<10} T={t:>6}  runtime_us={rt:>12.1f}  kq={kq:>8.1f}"
         for label, t, rt, kq in rows
     )
+    text += "\n\nper-pass breakdown (default preset):\n"
+    text += with_selinger.statistics.report()
     write_result("ablation_selinger.txt", text)
     return rows
 

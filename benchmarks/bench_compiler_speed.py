@@ -1,13 +1,17 @@
 """Compiler throughput: wall-clock cost of each pipeline stage.
 
 Not a paper figure, but useful engineering data: how long the ASDF
-reproduction takes to compile each benchmark at a realistic size, and
-how the polynomial-time span checker scales (paper §4.1 claims
+reproduction takes to compile each benchmark at a realistic size, how
+the cost splits across passes (via the PassManager instrumentation),
+and how the polynomial-time span checker scales (paper §4.1 claims
 O(k^2 log k) instead of the naive exponential).
 """
 
 import pytest
 
+from conftest import write_result
+
+from repro import CompileOptions
 from repro.basis import Basis
 from repro.basis.span import check_span_equivalence
 from repro.evaluation import ALGORITHMS, asdf_kernel
@@ -19,6 +23,36 @@ def test_compile_speed(benchmark, algorithm):
     benchmark.pedantic(
         lambda: kernel.compile(), rounds=3, iterations=1, warmup_rounds=1
     )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_per_pass_timing_breakdown(benchmark, algorithm):
+    """Print where compile time goes, pass by pass, per benchmark."""
+    kernel = asdf_kernel(algorithm, 32)
+    options = CompileOptions.preset("default", collect_statistics=True)
+    result = benchmark.pedantic(
+        lambda: kernel.compile(options=options), rounds=1, iterations=1
+    )
+    report = result.statistics.report()
+    write_result(f"compiler_passes_{algorithm}.txt",
+                 f"{algorithm} n=32: per-pass compile breakdown\n{report}")
+    names = [entry.name for entry in result.statistics.entries]
+    assert "inline" in names and "(frontend)" in names
+
+
+def test_compile_cache_speedup(benchmark):
+    """Repeated compiles of an equivalent kernel hit the driver cache."""
+    from repro import clear_compile_cache
+
+    clear_compile_cache()
+    kernel = asdf_kernel("grover", 32)
+    cold = kernel.compile(pipeline="default", cache=True)
+    warm = benchmark.pedantic(
+        lambda: kernel.compile(pipeline="default", cache=True),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm is cold
 
 
 @pytest.mark.parametrize("k", [16, 64, 256])

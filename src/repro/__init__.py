@@ -32,11 +32,20 @@ from repro.frontend.decorators import (
     qubit,
     rev_qfunc,
 )
-from repro.pipeline import CompileResult, compile_kernel, simulate_kernel
+from repro.pipeline import (
+    PRESETS,
+    CompileOptions,
+    CompileResult,
+    clear_compile_cache,
+    compile_kernel,
+    simulate_kernel,
+)
 
 __all__ = [
     "Bits",
+    "CompileOptions",
     "CompileResult",
+    "PRESETS",
     "DimVar",
     "I",
     "J",
@@ -46,6 +55,7 @@ __all__ = [
     "bit",
     "cfunc",
     "classical",
+    "clear_compile_cache",
     "compile_kernel",
     "qfunc",
     "qpu",

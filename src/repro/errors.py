@@ -48,6 +48,10 @@ class LoweringError(QwertyError):
     """An IR-to-IR lowering step encountered unsupported input."""
 
 
+class PassPipelineError(QwertyError):
+    """A pass pipeline spec named an unknown pass or malformed options."""
+
+
 class IRVerificationError(QwertyError):
     """An IR invariant (SSA dominance, linear qubit use, types) was violated."""
 

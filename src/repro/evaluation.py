@@ -57,7 +57,9 @@ def asdf_kernel(algorithm: str, n: int):
 def compiled_circuit(algorithm: str, compiler: str, n: int) -> Circuit:
     """One benchmark through one compiler, post shared transpile."""
     if compiler == "asdf":
-        result = asdf_kernel(algorithm, n).compile()
+        result = asdf_kernel(algorithm, n).compile(
+            pipeline="default", cache=True
+        )
         return result.decomposed_circuit
     baseline = build_baseline(algorithm, compiler, n)
     return transpile_o3(baseline, style=compiler)
@@ -120,9 +122,9 @@ def table1(n: int = 4) -> list[Table1Row]:
     rows = []
     for algorithm in ALGORITHMS:
         kernel = asdf_kernel(algorithm, n)
-        noopt = kernel.compile(inline=False, to_circuit=False)
+        noopt = kernel.compile(pipeline="no-opt")
         noopt_counts = count_callable_intrinsics(noopt.qir("unrestricted"))
-        opt = kernel.compile()
+        opt = kernel.compile(pipeline="default", cache=True)
         opt_counts = count_callable_intrinsics(opt.qir("unrestricted"))
         qsharp = qsharp_callable_counts(algorithm)
         rows.append(

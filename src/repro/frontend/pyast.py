@@ -52,7 +52,18 @@ _ANNOTATION_KINDS = {"qubit", "bit", "cfunc", "qfunc", "rev_qfunc"}
 
 def parse_kernel(fn, dimvars: list[str]) -> KernelAST:
     """Retrieve and convert the Python AST of a kernel function."""
-    source = textwrap.dedent(inspect.getsource(fn))
+    return parse_kernel_source(inspect.getsource(fn), dimvars)
+
+
+def parse_kernel_source(source: str, dimvars: list[str]) -> KernelAST:
+    """Convert kernel source text directly.
+
+    Unlike :func:`parse_kernel` this never byte-compiles the source, so
+    DSL constructs that CPython flags at compile time (e.g. subscripted
+    set displays like ``{'0','1'}[64]``, a SyntaxWarning since the body
+    is never *executed* as Python) parse silently.
+    """
+    source = textwrap.dedent(source)
     tree = ast.parse(source)
     func_def = None
     for node in tree.body:

@@ -33,6 +33,18 @@ from repro.ir.printer import print_module, print_op
 from repro.ir.verifier import verify_module
 from repro.ir.rewrite import RewritePattern, apply_patterns_greedily
 from repro.ir.inline import inline_calls, inline_call_op
+from repro.ir.passmanager import (
+    FunctionPass,
+    Pass,
+    PassManager,
+    PassStatistics,
+    count_module_ops,
+    create_pass,
+    parse_pipeline,
+    parse_pipeline_spec,
+    register_pass,
+    registered_passes,
+)
 
 __all__ = [
     "ArrayType",
@@ -43,11 +55,15 @@ __all__ = [
     "CallableType",
     "F64Type",
     "FuncOp",
+    "FunctionPass",
     "FunctionType",
     "I1Type",
     "ModuleOp",
     "Operation",
     "OpResult",
+    "Pass",
+    "PassManager",
+    "PassStatistics",
     "QBundleType",
     "QubitType",
     "Region",
@@ -55,9 +71,15 @@ __all__ = [
     "Type",
     "Value",
     "apply_patterns_greedily",
+    "count_module_ops",
+    "create_pass",
     "inline_call_op",
     "inline_calls",
+    "parse_pipeline",
+    "parse_pipeline_spec",
     "print_module",
     "print_op",
+    "register_pass",
+    "registered_passes",
     "verify_module",
 ]

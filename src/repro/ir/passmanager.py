@@ -1,0 +1,364 @@
+"""MLIR-style pass management shared by every IR layer.
+
+ASDF is organized as staged IR pipelines (paper Fig. 2): Qwerty IR is
+optimized by a fixed sequence of transformations (§5.4), and the flat
+QCircuit form is cleaned up by peephole and decomposition passes
+(§6.5).  This module provides the one pass infrastructure both layers
+(and the driver in :mod:`repro.pipeline`) run on, mirroring MLIR's
+``PassManager``:
+
+* a :class:`Pass` protocol — a named transformation over one IR
+  artifact, reporting whether it changed anything;
+* a global registry (:func:`register_pass`) mapping textual names to
+  pass factories;
+* textual pipeline specs in the spirit of ``--pass-pipeline``, e.g.
+  ``"lift-lambdas,canonicalize,specialize,inline,dce"`` with per-pass
+  options in braces (``"peephole{relaxed=false}"``);
+* optional inter-pass IR verification; and
+* per-pass instrumentation — wall time, fire counts, and op-count
+  deltas — collected into a :class:`PassStatistics` report.
+
+The artifact is deliberately untyped: Qwerty-level passes run on
+:class:`~repro.ir.module.ModuleOp` and circuit-level passes on
+:class:`~repro.qcircuit.circuit.Circuit`, both mutated in place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import PassPipelineError
+
+
+class Pass:
+    """A named in-place transformation of one IR artifact.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, returning
+    True iff the artifact changed.  ``ir`` documents which artifact
+    kind the pass expects (``"qwerty"``, ``"qcircuit"`` or ``"any"``);
+    the manager itself is artifact-agnostic.
+    """
+
+    name: str = "<anonymous>"
+    ir: str = "any"
+
+    def run(self, artifact) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """Adapt a plain ``fn(artifact) -> bool | None`` into a Pass."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any], ir: str = "any"):
+        self.name = name
+        self.ir = ir
+        self._fn = fn
+
+    def run(self, artifact) -> bool:
+        return bool(self._fn(artifact))
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+#: name -> factory(options dict) -> Pass.  Factories must consume (pop)
+#: every option they understand and reject leftovers.
+PassFactory = Callable[[dict], Pass]
+
+_REGISTRY: dict[str, PassFactory] = {}
+
+
+def register_pass(name: str, factory: Optional[PassFactory] = None):
+    """Register ``factory`` as the builder for pass ``name``.
+
+    Usable directly (``register_pass("dce", make_dce)``) or as a
+    decorator (``@register_pass("dce")``).  Registering the same name
+    twice is an error — pass names are a global vocabulary shared by
+    every pipeline spec.
+    """
+
+    def _register(f: PassFactory) -> PassFactory:
+        if name in _REGISTRY:
+            raise PassPipelineError(f"pass {name!r} is already registered")
+        _REGISTRY[name] = f
+        return f
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def registered_passes() -> tuple[str, ...]:
+    """All known pass names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _load_standard_passes() -> None:
+    """Import the modules that register the built-in passes.
+
+    Registration is an import side effect; this makes name lookup
+    independent of which layer the caller happened to import first.
+    """
+    import repro.qcircuit.passes  # noqa: F401
+    import repro.qwerty_ir.pipeline  # noqa: F401
+
+
+def create_pass(name: str, options: Optional[dict] = None) -> Pass:
+    """Instantiate a registered pass by name."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        _load_standard_passes()
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(registered_passes()) or "<none>"
+        raise PassPipelineError(
+            f"unknown pass {name!r} in pipeline spec (known passes: {known})"
+        )
+    return factory(dict(options or {}))
+
+
+def expect_no_options(name: str, options: dict) -> None:
+    """Helper for factories of option-free passes."""
+    if options:
+        raise PassPipelineError(
+            f"pass {name!r} takes no options, got {sorted(options)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pipeline spec parsing.
+# ----------------------------------------------------------------------
+def _parse_option_value(text: str):
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_options(name: str, text: str) -> dict:
+    options: dict = {}
+    for item in filter(None, (part.strip() for part in text.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise PassPipelineError(
+                f"malformed option {item!r} for pass {name!r}; "
+                f"expected key=value"
+            )
+        options[key.strip()] = _parse_option_value(value.strip())
+    return options
+
+
+def parse_pipeline_spec(spec: str) -> list[tuple[str, dict]]:
+    """Parse ``"a,b{k=v},c"`` into ``[(name, options), ...]``.
+
+    Commas inside ``{...}`` option groups do not split passes.  An
+    empty spec is a valid empty pipeline.
+    """
+    entries: list[tuple[str, dict]] = []
+    segment = ""
+    depth = 0
+    for ch in spec + ",":
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise PassPipelineError(f"unbalanced '}}' in spec {spec!r}")
+        elif ch == "," and depth == 0:
+            segment = segment.strip()
+            if segment:
+                entries.append(_parse_segment(segment, spec))
+            segment = ""
+            continue
+        segment += ch
+    if depth != 0:
+        raise PassPipelineError(f"unbalanced '{{' in spec {spec!r}")
+    return entries
+
+
+def _parse_segment(segment: str, spec: str) -> tuple[str, dict]:
+    if "{" in segment:
+        name, brace, rest = segment.partition("{")
+        name = name.strip()
+        if not rest.endswith("}"):
+            raise PassPipelineError(f"malformed segment {segment!r} in {spec!r}")
+        options = _parse_options(name, rest[:-1])
+    else:
+        name, options = segment, {}
+    if not name:
+        raise PassPipelineError(f"missing pass name in segment {segment!r}")
+    return name, options
+
+
+def parse_pipeline(spec: str) -> list[Pass]:
+    """Materialize a textual pipeline spec into pass instances."""
+    return [
+        create_pass(name, options)
+        for name, options in parse_pipeline_spec(spec)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Statistics.
+# ----------------------------------------------------------------------
+@dataclass
+class PassStatistic:
+    """Aggregate instrumentation for one pass (or pseudo-stage) name."""
+
+    name: str
+    runs: int = 0
+    changes: int = 0
+    seconds: float = 0.0
+    ops_delta: int = 0
+
+    def record(self, seconds: float, changed: bool, ops_delta: int = 0) -> None:
+        self.runs += 1
+        self.changes += int(changed)
+        self.seconds += seconds
+        self.ops_delta += ops_delta
+
+
+@dataclass
+class PassStatistics:
+    """Per-pass instrumentation for one or more pipeline runs.
+
+    Entries are aggregated by pass name in first-fire order, so one
+    report can span several managers (e.g. the Qwerty IR pipeline plus
+    both circuit pipelines of a single compilation).
+    """
+
+    entries: list[PassStatistic] = field(default_factory=list)
+
+    def entry(self, name: str) -> PassStatistic:
+        for existing in self.entries:
+            if existing.name == name:
+                return existing
+        created = PassStatistic(name)
+        self.entries.append(created)
+        return created
+
+    def measure(self, name: str):
+        """Context manager timing a non-pass stage into this report."""
+        return _MeasureStage(self, name)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.entries)
+
+    def report(self) -> str:
+        """An aligned, human-readable per-pass breakdown."""
+        width = max(
+            [len(entry.name) for entry in self.entries] + [len("pass")]
+        )
+        lines = [
+            f"{'pass':<{width}}  {'runs':>5}  {'changed':>7}  "
+            f"{'Δops':>7}  {'time':>11}"
+        ]
+        for entry in self.entries:
+            lines.append(
+                f"{entry.name:<{width}}  {entry.runs:>5}  "
+                f"{entry.changes:>7}  {entry.ops_delta:>+7}  "
+                f"{entry.seconds * 1e3:>9.3f}ms"
+            )
+        lines.append(
+            f"{'total':<{width}}  {'':>5}  {'':>7}  {'':>7}  "
+            f"{self.total_seconds * 1e3:>9.3f}ms"
+        )
+        return "\n".join(lines)
+
+
+class _MeasureStage:
+    def __init__(self, statistics: PassStatistics, name: str) -> None:
+        self.statistics = statistics
+        self.name = name
+
+    def __enter__(self) -> "_MeasureStage":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.statistics.entry(self.name).record(elapsed, changed=exc is None)
+
+
+# ----------------------------------------------------------------------
+# The manager.
+# ----------------------------------------------------------------------
+class PassManager:
+    """Run a sequence of passes over one artifact, instrumented.
+
+    ``verifier`` (optional) is called on the artifact before the first
+    pass and again after every pass that reports a change — MLIR's
+    ``verifyPasses`` discipline.  ``count_ops`` (optional) sizes the
+    artifact so statistics can report per-pass op-count deltas.
+    ``statistics`` may be shared across managers to produce one unified
+    report.
+    """
+
+    def __init__(
+        self,
+        passes: Iterable[Pass] = (),
+        *,
+        verifier: Optional[Callable[[Any], None]] = None,
+        count_ops: Optional[Callable[[Any], int]] = None,
+        statistics: Optional[PassStatistics] = None,
+    ) -> None:
+        self.passes: list[Pass] = list(passes)
+        self.verifier = verifier
+        self.count_ops = count_ops
+        self.statistics = statistics if statistics is not None else PassStatistics()
+
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "PassManager":
+        """Build a manager from a textual pipeline spec."""
+        return cls(parse_pipeline(spec), **kwargs)
+
+    @property
+    def spec(self) -> str:
+        """The names of the scheduled passes, comma-joined."""
+        return ",".join(p.name for p in self.passes)
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, artifact) -> bool:
+        """Run every pass once, in order.  Returns True iff any changed."""
+        if self.verifier is not None:
+            self.verifier(artifact)
+        changed_any = False
+        for pass_ in self.passes:
+            before = self.count_ops(artifact) if self.count_ops else 0
+            start = time.perf_counter()
+            changed = bool(pass_.run(artifact))
+            elapsed = time.perf_counter() - start
+            after = self.count_ops(artifact) if self.count_ops else 0
+            self.statistics.entry(pass_.name).record(
+                elapsed, changed, after - before
+            )
+            if changed and self.verifier is not None:
+                self.verifier(artifact)
+            changed_any |= changed
+        return changed_any
+
+
+def count_module_ops(module) -> int:
+    """Total operation count across a module's functions (for stats)."""
+    from repro.ir.core import walk
+
+    return sum(1 for func in module for _ in walk(func.entry))

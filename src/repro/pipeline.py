@@ -6,23 +6,129 @@ canonicalization, specialization, inlining) -> QCircuit IR -> flat
 circuit -> peephole -> Selinger decomposition.  Each stage's artifact
 is kept on the :class:`CompileResult` for inspection, testing, and the
 backends.
+
+The optimization stages are scheduled through the unified pass
+infrastructure (:mod:`repro.ir.passmanager`): a :class:`CompileOptions`
+names one textual pipeline spec per layer, with presets matching the
+paper's Table 1 ablations (``"default"``, ``"no-opt"``,
+``"no-peephole"``, ``"no-relaxed-peephole"``, ``"no-selinger"``).  A
+per-process compile cache keyed on (kernel fingerprint, dims, pipeline
+specs) lets repeated ``simulate_kernel``/benchmark calls skip
+recompilation.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import QwertyTypeError
+from repro.errors import PassPipelineError, QwertyTypeError
 from repro.frontend.canon import canonicalize_kernel
 from repro.frontend.expand import expand_kernel
 from repro.frontend.lower_ast import AstLowering
 from repro.frontend.typecheck import TypeChecker
 from repro.ir.module import ModuleOp
+from repro.ir.passmanager import PassStatistics
 from repro.ir.verifier import verify_module
 from repro.lower import flatten_to_circuit, lower_module
-from repro.qcircuit import Circuit, decompose_multi_controlled, run_peephole
-from repro.qwerty_ir import run_qwerty_opt
+from repro.qcircuit import (
+    CIRCUIT_DECOMPOSE_SPEC,
+    CIRCUIT_OPT_SPEC,
+    Circuit,
+    copy_circuit,
+    make_circuit_pass_manager,
+)
+from repro.qwerty_ir import (
+    QWERTY_NOOPT_SPEC,
+    QWERTY_OPT_SPEC,
+    make_qwerty_pass_manager,
+)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """How to drive one compilation: a pipeline spec per layer.
+
+    ``qwerty_spec`` runs on Qwerty IR modules; ``optimize_spec``
+    produces the optimized flat circuit; ``decompose_spec`` produces
+    the hardware-ready decomposed circuit.  ``to_circuit=False`` stops
+    after QCircuit IR (required when ``qwerty_spec`` does not inline —
+    function values then survive to QIR as callables).  ``verify``
+    checks IR invariants before and after the Qwerty pipeline;
+    ``verify_each`` additionally re-verifies after every changed pass.
+    ``collect_statistics`` fills ``CompileResult.statistics`` with a
+    per-pass/per-stage breakdown.
+    """
+
+    qwerty_spec: str = QWERTY_OPT_SPEC
+    optimize_spec: str = CIRCUIT_OPT_SPEC
+    decompose_spec: str = CIRCUIT_DECOMPOSE_SPEC
+    to_circuit: bool = True
+    verify: bool = True
+    verify_each: bool = False
+    collect_statistics: bool = False
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "CompileOptions":
+        """A named pipeline preset, optionally overridden per field."""
+        base = PRESETS.get(name)
+        if base is None:
+            known = ", ".join(sorted(PRESETS))
+            raise PassPipelineError(
+                f"unknown pipeline preset {name!r} (known presets: {known})"
+            )
+        return dataclasses.replace(base, **overrides)
+
+    @classmethod
+    def from_flags(
+        cls,
+        inline: bool = True,
+        peephole: bool = True,
+        relaxed_peephole: bool = True,
+        selinger: bool = True,
+        to_circuit: bool = True,
+        verify: bool = True,
+    ) -> "CompileOptions":
+        """Translate the legacy boolean flags into pipeline specs."""
+        if peephole:
+            optimize_spec = (
+                "peephole{relaxed=true}"
+                if relaxed_peephole
+                else "peephole{relaxed=false}"
+            )
+        else:
+            optimize_spec = ""
+        scheme = "selinger" if selinger else "naive"
+        return cls(
+            qwerty_spec=QWERTY_OPT_SPEC if inline else QWERTY_NOOPT_SPEC,
+            optimize_spec=optimize_spec,
+            decompose_spec=(
+                f"decompose-multi-controlled{{scheme={scheme}}},"
+                f"peephole{{relaxed=false}}"
+            ),
+            to_circuit=to_circuit and inline,
+            verify=verify,
+        )
+
+#: Presets matching the paper's configurations: "default" is the full
+#: pipeline, "no-opt" is Table 1's "Asdf (No Opt)", and the remaining
+#: three are the §6.5/§8.3 ablations.
+PRESETS: dict[str, CompileOptions] = {
+    "default": CompileOptions(),
+    "no-opt": CompileOptions(qwerty_spec=QWERTY_NOOPT_SPEC, to_circuit=False),
+    "no-peephole": CompileOptions(optimize_spec=""),
+    "no-relaxed-peephole": CompileOptions(
+        optimize_spec="peephole{relaxed=false}"
+    ),
+    "no-selinger": CompileOptions(
+        decompose_spec=(
+            "decompose-multi-controlled{scheme=naive},"
+            "peephole{relaxed=false}"
+        )
+    ),
+}
 
 
 @dataclass
@@ -36,6 +142,9 @@ class CompileResult:
     optimized_circuit: Optional[Circuit] = None
     decomposed_circuit: Optional[Circuit] = None
     dims: dict = field(default_factory=dict)
+    options: CompileOptions = field(default_factory=CompileOptions)
+    #: Per-pass instrumentation, when compiled with collect_statistics.
+    statistics: Optional[PassStatistics] = None
 
     def qasm3(self) -> str:
         from repro.backends.qasm3 import emit_qasm3
@@ -88,56 +197,205 @@ def _build_qwerty_module(kernel) -> tuple[ModuleOp, dict]:
     return module, dims
 
 
-def compile_kernel(
-    kernel,
-    inline: bool = True,
-    peephole: bool = True,
-    relaxed_peephole: bool = True,
-    selinger: bool = True,
-    to_circuit: bool = True,
-    verify: bool = True,
-) -> CompileResult:
-    """Compile a ``@qpu`` kernel through the full pipeline.
+# ----------------------------------------------------------------------
+# The per-process compile cache (LRU-bounded).
+# ----------------------------------------------------------------------
+from collections import OrderedDict
 
-    ``inline=False`` reproduces the paper's "Asdf (No Opt)" Table 1
-    configuration; the result then has no flat circuit (function values
-    survive as QIR callables).
-    """
-    module, dims = _build_qwerty_module(kernel)
-    if verify:
-        verify_module(module)
-    run_qwerty_opt(module, inline=inline)
-    if verify:
-        verify_module(module)
+#: Upper bound on cached CompileResults; each entry holds the full IR
+#: module and three circuits, so the cache must not grow with the
+#: number of distinct kernels a long-lived process constructs.
+COMPILE_CACHE_MAX_ENTRIES = 128
 
-    qcircuit_module = lower_module(module)
-    result = CompileResult(
-        kernel.name, module, qcircuit_module, dims=dims
-    )
-    if not (inline and to_circuit):
-        return result
+_COMPILE_CACHE: "OrderedDict[tuple, CompileResult]" = OrderedDict()
 
-    circuit = flatten_to_circuit(qcircuit_module)
-    result.circuit = circuit
-    optimized = (
-        run_peephole(circuit, relaxed=relaxed_peephole)
-        if peephole
-        else circuit
-    )
-    result.optimized_circuit = optimized
-    result.decomposed_circuit = run_peephole(
-        decompose_multi_controlled(optimized, use_selinger=selinger),
-        relaxed=False,
-    )
+
+def clear_compile_cache() -> None:
+    """Drop every cached :class:`CompileResult`."""
+    _COMPILE_CACHE.clear()
+
+
+def compile_cache_info() -> dict:
+    """Observability hook: current cache size and keys."""
+    return {"entries": len(_COMPILE_CACHE), "keys": list(_COMPILE_CACHE)}
+
+
+def _cache_get(key: tuple) -> Optional[CompileResult]:
+    result = _COMPILE_CACHE.get(key)
+    if result is not None:
+        _COMPILE_CACHE.move_to_end(key)
     return result
 
 
-def simulate_kernel(kernel, shots: int = 1, seed: int = 0):
-    """Compile and simulate a kernel, returning measured Bits per shot."""
+def _cache_put(key: tuple, result: CompileResult) -> None:
+    _COMPILE_CACHE[key] = result
+    _COMPILE_CACHE.move_to_end(key)
+    while len(_COMPILE_CACHE) > COMPILE_CACHE_MAX_ENTRIES:
+        _COMPILE_CACHE.popitem(last=False)
+
+
+def _capture_fingerprint(capture) -> tuple:
+    from repro.frontend.decorators import (
+        Bits,
+        ClassicalFunction,
+        QpuKernel,
+    )
+
+    if isinstance(capture, Bits):
+        return ("bits", str(capture))
+    if isinstance(capture, ClassicalFunction):
+        return (
+            "classical",
+            capture.name,
+            _source_fingerprint(capture.python_fn),
+            tuple(sorted(capture.capture_values.items())),
+        )
+    if isinstance(capture, QpuKernel):
+        return ("qpu", _kernel_fingerprint(capture))
+    return ("opaque", repr(capture))
+
+
+def _source_fingerprint(fn) -> tuple:
+    code = getattr(fn, "__code__", None)
+    location = (
+        (code.co_filename, code.co_firstlineno) if code is not None else ()
+    )
+    try:
+        return location + (inspect.getsource(fn),)
+    except (OSError, TypeError):
+        return location
+
+
+def _kernel_fingerprint(kernel) -> tuple:
+    """Identify a kernel by name, source, and capture values — two
+    same-named kernels with different secrets must never share a cache
+    entry."""
+    return (
+        kernel.name,
+        _source_fingerprint(kernel.python_fn),
+        tuple(
+            (name, _capture_fingerprint(capture))
+            for name, capture in kernel.captures.items()
+        ),
+    )
+
+
+def compile_kernel(
+    kernel,
+    options: Optional[CompileOptions] = None,
+    *,
+    pipeline: Optional[str] = None,
+    cache: bool = False,
+    **flags,
+) -> CompileResult:
+    """Compile a ``@qpu`` kernel through the full pipeline.
+
+    The configuration comes from exactly one of: ``options`` (a
+    :class:`CompileOptions`), ``pipeline`` (a preset name such as
+    ``"no-opt"``), or the legacy boolean flags (``inline``,
+    ``peephole``, ``relaxed_peephole``, ``selinger``, ``to_circuit``,
+    ``verify``).  ``inline=False`` reproduces the paper's "Asdf (No
+    Opt)" Table 1 configuration; the result then has no flat circuit
+    (function values survive as QIR callables).
+
+    ``cache=True`` consults the per-process compile cache; the returned
+    result is shared, so treat it as read-only.
+    """
+    if sum(x is not None for x in (options, pipeline)) + bool(flags) > 1:
+        raise TypeError(
+            "pass exactly one of options=, pipeline=, or boolean flags"
+        )
+    if options is None:
+        options = (
+            CompileOptions.preset(pipeline)
+            if pipeline is not None
+            else CompileOptions.from_flags(**flags)
+        )
+
+    cache_key = None
+    if cache:
+        # The full (frozen) options participate in the key, so cached
+        # results never cross configuration boundaries — a compile
+        # requesting statistics or stricter verification is a miss,
+        # not a stale hit with statistics=None.
+        cache_key = (
+            _kernel_fingerprint(kernel),
+            tuple(sorted(kernel.infer_dims().items())),
+            options,
+        )
+        cached = _cache_get(cache_key)
+        if cached is not None:
+            return cached
+
+    statistics = PassStatistics() if options.collect_statistics else None
+
+    def staged(name: str):
+        if statistics is not None:
+            return statistics.measure(name)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    with staged("(frontend)"):
+        module, dims = _build_qwerty_module(kernel)
+    if options.verify:
+        verify_module(module)
+    make_qwerty_pass_manager(
+        options.qwerty_spec,
+        verify_each=options.verify_each,
+        statistics=statistics,
+    ).run(module)
+    if options.verify:
+        verify_module(module)
+
+    with staged("(lower)"):
+        qcircuit_module = lower_module(module)
+    result = CompileResult(
+        kernel.name,
+        module,
+        qcircuit_module,
+        dims=dims,
+        options=options,
+        statistics=statistics,
+    )
+    if not options.to_circuit:
+        if cache_key is not None:
+            _cache_put(cache_key, result)
+        return result
+
+    with staged("(flatten)"):
+        circuit = flatten_to_circuit(qcircuit_module)
+    result.circuit = circuit
+
+    optimized = copy_circuit(circuit)
+    make_circuit_pass_manager(
+        options.optimize_spec, statistics=statistics
+    ).run(optimized)
+    result.optimized_circuit = optimized
+
+    decomposed = copy_circuit(optimized)
+    make_circuit_pass_manager(
+        options.decompose_spec, statistics=statistics
+    ).run(decomposed)
+    result.decomposed_circuit = decomposed
+
+    if cache_key is not None:
+        _cache_put(cache_key, result)
+    return result
+
+
+def simulate_kernel(kernel, shots: int = 1, seed: int = 0, cache: bool = True):
+    """Compile and simulate a kernel, returning measured Bits per shot.
+
+    Compilation goes through the per-process LRU cache (bounded by
+    :data:`COMPILE_CACHE_MAX_ENTRIES`), so repeated shots and repeated
+    calls on equivalent kernels skip the compiler; pass ``cache=False``
+    to force a fresh compile.
+    """
     from repro.frontend.decorators import Bits
     from repro.sim import run_circuit
 
-    result = compile_kernel(kernel)
+    result = compile_kernel(kernel, cache=cache)
     circuit = result.optimized_circuit
     outcomes = run_circuit(circuit, shots=shots, seed=seed)
     return [Bits(outcome) for outcome in outcomes]

@@ -3,10 +3,28 @@
 from repro.qcircuit.circuit import Circuit, CircuitGate
 from repro.qcircuit.peephole import run_peephole
 from repro.qcircuit.selinger import decompose_multi_controlled
+from repro.qcircuit.passes import (
+    CIRCUIT_DECOMPOSE_SPEC,
+    CIRCUIT_OPT_SPEC,
+    CircuitPass,
+    DecomposeMultiControlledPass,
+    PeepholePass,
+    copy_circuit,
+    make_circuit_pass_manager,
+    replace_circuit,
+)
 
 __all__ = [
+    "CIRCUIT_DECOMPOSE_SPEC",
+    "CIRCUIT_OPT_SPEC",
     "Circuit",
     "CircuitGate",
+    "CircuitPass",
+    "DecomposeMultiControlledPass",
+    "PeepholePass",
+    "copy_circuit",
     "decompose_multi_controlled",
+    "make_circuit_pass_manager",
+    "replace_circuit",
     "run_peephole",
 ]

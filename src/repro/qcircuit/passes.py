@@ -1,0 +1,145 @@
+"""QCircuit-level optimizations behind the unified pass interface.
+
+Wraps the flat-circuit transformations of paper §6.5 — the
+strict/relaxed peephole optimizer and multi-controlled gate
+decomposition (Selinger's controlled-iX scheme or the textbook Toffoli
+ladder) — as registered passes so the driver schedules them through
+the same :class:`~repro.ir.passmanager.PassManager` as the Qwerty IR
+stages.  Circuit passes rewrite functionally (the underlying helpers
+return fresh circuits) and then splice the result back into the input
+:class:`~repro.qcircuit.circuit.Circuit` in place, preserving the
+mutate-in-place pass contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PassPipelineError
+from repro.ir.passmanager import (
+    Pass,
+    PassManager,
+    PassStatistics,
+    register_pass,
+)
+from repro.qcircuit.circuit import Circuit
+from repro.qcircuit.peephole import run_peephole
+from repro.qcircuit.selinger import decompose_multi_controlled
+
+#: The driver's default circuit-optimization pipeline (paper §6.5).
+CIRCUIT_OPT_SPEC = "peephole{relaxed=true}"
+
+#: The driver's default decomposition pipeline: lower multi-controlled
+#: gates, then clean up with a strict (non-relaxed) peephole sweep.
+CIRCUIT_DECOMPOSE_SPEC = (
+    "decompose-multi-controlled{scheme=selinger},peephole{relaxed=false}"
+)
+
+
+def copy_circuit(circuit: Circuit) -> Circuit:
+    """A shallow copy safe to optimize in place (instructions are
+    immutable dataclasses, so sharing them is fine)."""
+    return Circuit(
+        circuit.num_qubits,
+        circuit.num_bits,
+        list(circuit.instructions),
+        list(circuit.output_bits),
+    )
+
+
+def replace_circuit(circuit: Circuit, new: Circuit) -> bool:
+    """Overwrite ``circuit`` with ``new`` in place; True if different."""
+    changed = (
+        circuit.num_qubits != new.num_qubits
+        or circuit.num_bits != new.num_bits
+        or circuit.instructions != new.instructions
+        or circuit.output_bits != new.output_bits
+    )
+    circuit.num_qubits = new.num_qubits
+    circuit.num_bits = new.num_bits
+    circuit.instructions = list(new.instructions)
+    circuit.output_bits = list(new.output_bits)
+    return changed
+
+
+class CircuitPass(Pass):
+    """A pass over flat circuits: implement :meth:`rewrite`."""
+
+    ir = "qcircuit"
+
+    def rewrite(self, circuit: Circuit) -> Circuit:
+        raise NotImplementedError
+
+    def run(self, circuit: Circuit) -> bool:
+        return replace_circuit(circuit, self.rewrite(circuit))
+
+
+class PeepholePass(CircuitPass):
+    """Gate-level peephole to a fixpoint; ``relaxed`` additionally
+    enables the Fig. 10 MCX-on-|->-ancilla rewrite."""
+
+    def __init__(self, relaxed: bool = True) -> None:
+        self.relaxed = relaxed
+        self.name = f"peephole{{relaxed={str(relaxed).lower()}}}"
+
+    def rewrite(self, circuit: Circuit) -> Circuit:
+        return run_peephole(circuit, relaxed=self.relaxed)
+
+
+class DecomposeMultiControlledPass(CircuitPass):
+    """Lower multi-controlled gates; ``scheme`` picks Selinger's
+    controlled-iX construction or the textbook Toffoli ladder."""
+
+    def __init__(self, scheme: str = "selinger") -> None:
+        if scheme not in ("selinger", "naive"):
+            raise PassPipelineError(
+                f"decompose-multi-controlled: unknown scheme {scheme!r} "
+                f"(expected 'selinger' or 'naive')"
+            )
+        self.scheme = scheme
+        self.name = f"decompose-multi-controlled{{scheme={scheme}}}"
+
+    def rewrite(self, circuit: Circuit) -> Circuit:
+        return decompose_multi_controlled(
+            circuit, use_selinger=self.scheme == "selinger"
+        )
+
+
+def _peephole_factory(options: dict) -> PeepholePass:
+    relaxed = options.pop("relaxed", True)
+    if options:
+        raise PassPipelineError(
+            f"pass 'peephole' got unknown options {sorted(options)}"
+        )
+    return PeepholePass(relaxed=bool(relaxed))
+
+
+def _decompose_factory(options: dict) -> DecomposeMultiControlledPass:
+    scheme = options.pop("scheme", "selinger")
+    if options:
+        raise PassPipelineError(
+            f"pass 'decompose-multi-controlled' got unknown options "
+            f"{sorted(options)}"
+        )
+    return DecomposeMultiControlledPass(scheme=scheme)
+
+
+register_pass("peephole", _peephole_factory)
+register_pass("decompose-multi-controlled", _decompose_factory)
+
+
+def count_circuit_ops(circuit: Circuit) -> int:
+    return len(circuit.instructions)
+
+
+def make_circuit_pass_manager(
+    spec: str,
+    *,
+    statistics: Optional[PassStatistics] = None,
+) -> PassManager:
+    """A PassManager over flat circuits for a textual ``spec``."""
+    return PassManager.from_spec(
+        spec,
+        count_ops=count_circuit_ops if statistics is not None else None,
+        statistics=statistics,
+    )

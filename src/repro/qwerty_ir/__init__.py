@@ -19,14 +19,22 @@ from repro.qwerty_ir.specialize import (
     analyze_specializations,
     generate_specializations,
 )
-from repro.qwerty_ir.pipeline import run_qwerty_opt
+from repro.qwerty_ir.pipeline import (
+    QWERTY_NOOPT_SPEC,
+    QWERTY_OPT_SPEC,
+    make_qwerty_pass_manager,
+    run_qwerty_opt,
+)
 
 __all__ = [
+    "QWERTY_NOOPT_SPEC",
+    "QWERTY_OPT_SPEC",
     "adjoint_function",
     "analyze_specializations",
     "canonicalize",
     "generate_specializations",
     "lift_lambdas",
+    "make_qwerty_pass_manager",
     "predicate_function",
     "run_qwerty_opt",
 ]

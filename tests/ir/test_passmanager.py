@@ -1,0 +1,205 @@
+"""Tests for the unified pass infrastructure (repro.ir.passmanager)."""
+
+import pytest
+
+from repro.errors import IRVerificationError, PassPipelineError
+from repro.ir.passmanager import (
+    FunctionPass,
+    Pass,
+    PassManager,
+    PassStatistics,
+    create_pass,
+    parse_pipeline,
+    parse_pipeline_spec,
+    register_pass,
+    registered_passes,
+)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing.
+# ----------------------------------------------------------------------
+def test_parse_simple_spec():
+    assert parse_pipeline_spec("a,b,c") == [("a", {}), ("b", {}), ("c", {})]
+
+
+def test_parse_empty_spec_is_empty_pipeline():
+    assert parse_pipeline_spec("") == []
+    assert parse_pipeline_spec("  ") == []
+    assert parse_pipeline("") == []
+
+
+def test_parse_options():
+    assert parse_pipeline_spec("peephole{relaxed=false}") == [
+        ("peephole", {"relaxed": False})
+    ]
+    assert parse_pipeline_spec("p{a=1,b=2.5,c=text,d=true}") == [
+        ("p", {"a": 1, "b": 2.5, "c": "text", "d": True})
+    ]
+
+
+def test_parse_options_commas_do_not_split_passes():
+    spec = "a{x=1,y=2},b"
+    assert parse_pipeline_spec(spec) == [("a", {"x": 1, "y": 2}), ("b", {})]
+
+
+def test_parse_whitespace_tolerated():
+    assert parse_pipeline_spec(" a , b { k = v } ") == [
+        ("a", {}),
+        ("b", {"k": "v"}),
+    ]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["a{k=v", "a}b", "a{k}", "{x=1}", "a,,b{"],
+)
+def test_parse_malformed_specs_rejected(bad):
+    with pytest.raises(PassPipelineError):
+        parse_pipeline_spec(bad)
+
+
+def test_unknown_pass_name_rejected_with_known_list():
+    with pytest.raises(PassPipelineError, match="unknown pass 'nope'"):
+        parse_pipeline("nope")
+
+
+def test_unknown_option_rejected():
+    with pytest.raises(PassPipelineError, match="unknown options"):
+        create_pass("peephole", {"bogus": 1})
+
+
+def test_registered_passes_include_all_layers():
+    create_pass("canonicalize")  # Force registration imports.
+    names = registered_passes()
+    for expected in (
+        "lift-lambdas",
+        "canonicalize",
+        "specialize",
+        "inline",
+        "dce",
+        "peephole",
+        "decompose-multi-controlled",
+    ):
+        assert expected in names
+
+
+def test_duplicate_registration_rejected():
+    create_pass("dce")
+    with pytest.raises(PassPipelineError, match="already registered"):
+        register_pass("dce", lambda options: FunctionPass("dce", lambda m: False))
+
+
+# ----------------------------------------------------------------------
+# Manager behavior and statistics.
+# ----------------------------------------------------------------------
+class _Artifact:
+    def __init__(self):
+        self.ops = ["a"]
+        self.log = []
+
+
+def _appender(name, grow=1):
+    def fn(artifact):
+        artifact.log.append(name)
+        artifact.ops.extend([name] * grow)
+        return grow > 0
+
+    return FunctionPass(name, fn)
+
+
+def test_manager_runs_in_order_and_reports_changed():
+    artifact = _Artifact()
+    manager = PassManager([_appender("one"), _appender("two", grow=0)])
+    assert manager.run(artifact) is True
+    assert artifact.log == ["one", "two"]
+
+    unchanged = PassManager([_appender("noop", grow=0)])
+    assert unchanged.run(artifact) is False
+
+
+def test_statistics_runs_changes_time_and_op_deltas():
+    artifact = _Artifact()
+    stats = PassStatistics()
+    manager = PassManager(
+        [_appender("grow", grow=3), _appender("noop", grow=0)],
+        count_ops=lambda a: len(a.ops),
+        statistics=stats,
+    )
+    manager.run(artifact)
+    manager.run(artifact)
+
+    grow = stats.entry("grow")
+    assert grow.runs == 2
+    assert grow.changes == 2
+    assert grow.ops_delta == 6
+    assert grow.seconds >= 0.0
+
+    noop = stats.entry("noop")
+    assert noop.runs == 2
+    assert noop.changes == 0
+    assert noop.ops_delta == 0
+
+
+def test_statistics_report_lists_passes_and_total():
+    artifact = _Artifact()
+    manager = PassManager([_appender("grow")])
+    manager.run(artifact)
+    report = manager.statistics.report()
+    assert "grow" in report
+    assert "total" in report
+    assert "ms" in report
+
+
+def test_statistics_measure_stage():
+    stats = PassStatistics()
+    with stats.measure("(frontend)"):
+        pass
+    assert stats.entry("(frontend)").runs == 1
+    assert "(frontend)" in stats.report()
+
+
+def test_shared_statistics_across_managers():
+    artifact = _Artifact()
+    stats = PassStatistics()
+    PassManager([_appender("one")], statistics=stats).run(artifact)
+    PassManager([_appender("two")], statistics=stats).run(artifact)
+    assert [entry.name for entry in stats.entries] == ["one", "two"]
+
+
+def test_inter_pass_verifier_runs_after_changed_passes():
+    checked = []
+
+    def verifier(artifact):
+        checked.append(len(artifact.log))
+
+    artifact = _Artifact()
+    manager = PassManager(
+        [_appender("one"), _appender("noop", grow=0), _appender("two")],
+        verifier=verifier,
+    )
+    manager.run(artifact)
+    # Once before the pipeline, then after each *changed* pass.
+    assert checked == [0, 1, 3]
+
+
+def test_verifier_failure_propagates():
+    def verifier(artifact):
+        if artifact.log:
+            raise IRVerificationError("broken invariant")
+
+    manager = PassManager([_appender("bad")], verifier=verifier)
+    with pytest.raises(IRVerificationError):
+        manager.run(_Artifact())
+
+
+def test_from_spec_builds_real_passes():
+    manager = PassManager.from_spec("canonicalize,dce")
+    assert manager.spec == "canonicalize,dce"
+    assert all(isinstance(p, Pass) for p in manager.passes)
+
+
+def test_manager_add_chains():
+    manager = PassManager()
+    manager.add(_appender("a")).add(_appender("b"))
+    assert manager.spec == "a,b"
