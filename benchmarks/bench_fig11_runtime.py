@@ -8,15 +8,21 @@ circuit-oriented baselines everywhere, and ASDF/Q# beat Qiskit and
 Quipper significantly on Grover's thanks to Selinger's decomposition.
 """
 
+import math
+import time
+
 import pytest
 from conftest import format_figure_series, write_result
 
 from repro.evaluation import (
     ALGORITHMS,
     PAPER_SIZES,
+    SHOT_BACKENDS,
     compiled_circuit,
     evaluate,
     format_series,
+    format_shot_report,
+    shot_execution_report,
 )
 from repro.resources import estimate_physical_resources
 
@@ -76,3 +82,74 @@ def test_fig11_asdf_compile_and_estimate(benchmark, algorithm):
 
     estimate = benchmark.pedantic(point, rounds=1, iterations=1)
     assert estimate.runtime_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# Per-backend shot-execution timing (no pytest-benchmark fixture, so
+# the CI benchmark-smoke job can run these with plain pytest).
+# ----------------------------------------------------------------------
+def test_fig11_shot_backend_timing():
+    """Per-backend shot execution across benchmarks at a fixed size."""
+    rows = shot_execution_report(
+        algorithms=("bv", "dj", "grover"), sizes=(5,), shots=512
+    )
+    write_result("fig11_shot_backends.txt", format_shot_report(rows))
+
+    by_backend = {
+        (r.algorithm, r.backend): r for r in rows
+    }
+    for algorithm in ("bv", "dj", "grover"):
+        interp = by_backend[(algorithm, "interpreter")]
+        vector = by_backend[(algorithm, "statevector")]
+        # All three are terminal-measurement circuits: the vectorized
+        # backend must take the fast path (one evolution) and must not
+        # be slower than per-shot execution.
+        assert vector.fast_path and vector.evolutions == 1, algorithm
+        assert interp.evolutions == interp.shots, algorithm
+        assert vector.seconds <= interp.seconds, (
+            algorithm,
+            vector.seconds,
+            interp.seconds,
+        )
+
+
+def test_fig11_vectorized_speedup_smoke():
+    """Acceptance smoke: 4096 shots, one evolution, >= 20x faster."""
+    from repro.sim.backend import run_circuit_with_info
+
+    circuit = compiled_circuit("bv", "asdf", 5)
+    shots = 4096
+
+    start = time.perf_counter()
+    per_shot, interp_info = run_circuit_with_info(
+        circuit, shots=shots, seed=0, backend="interpreter"
+    )
+    interp_seconds = time.perf_counter() - start
+
+    # The vectorized run is ~10 ms; take the best of three so a
+    # scheduler stall on a contended CI runner cannot fake a slowdown.
+    vector_seconds = math.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        vectorized, vector_info = run_circuit_with_info(
+            circuit, shots=shots, seed=0, backend="statevector"
+        )
+        vector_seconds = min(vector_seconds, time.perf_counter() - start)
+
+    assert vector_info.fast_path
+    assert vector_info.evolutions == 1
+    speedup = interp_seconds / vector_seconds
+    write_result(
+        "fig11_vectorized_speedup.txt",
+        f"backends: {', '.join(SHOT_BACKENDS)}\n"
+        f"circuit: bv n=5 ({circuit.num_qubits} qubits), {shots} shots\n"
+        f"interpreter: {interp_seconds:.4f} s "
+        f"({interp_info.evolutions} evolutions)\n"
+        f"statevector: {vector_seconds:.4f} s "
+        f"({vector_info.evolutions} evolution)\n"
+        f"speedup: {speedup:.1f}x\n",
+    )
+    assert speedup >= 20.0, speedup
+    # Bernstein-Vazirani is deterministic, so both backends must agree
+    # on every single shot, not just in distribution.
+    assert per_shot == vectorized

@@ -13,6 +13,8 @@ from repro.evaluation import (
     PAPER_SIZES,
     evaluate,
     format_series,
+    format_shot_report,
+    shot_execution_report,
 )
 
 _CACHE = {}
@@ -53,3 +55,27 @@ def test_fig12_physical_qubits(benchmark):
                 by_key[(algorithm, "quipper", n)]
                 > by_key[(algorithm, "asdf", n)]
             ), (algorithm, n)
+
+
+def test_fig12_shot_backend_qubit_scaling():
+    """Per-backend shot timing as the (simulated) qubit count grows.
+
+    Fig. 12's theme at simulation scale: the interpreter pays
+    O(shots x 2^n) while the vectorized backend pays one evolution, so
+    the gap must widen — and never invert — as n grows.
+    """
+    rows = shot_execution_report(
+        algorithms=("bv",), sizes=(4, 6, 8, 10), shots=256
+    )
+    write_result("fig12_shot_backends.txt", format_shot_report(rows))
+
+    by_key = {(r.input_size, r.backend): r for r in rows}
+    for n in (4, 6, 8, 10):
+        vector = by_key[(n, "statevector")]
+        interp = by_key[(n, "interpreter")]
+        assert vector.fast_path and vector.evolutions == 1, n
+        assert vector.seconds <= interp.seconds, (
+            n,
+            vector.seconds,
+            interp.seconds,
+        )

@@ -40,12 +40,22 @@ from repro.pipeline import (
     compile_kernel,
     simulate_kernel,
 )
+from repro.sim.backend import (
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "Bits",
     "CompileOptions",
     "CompileResult",
     "PRESETS",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "DimVar",
     "I",
     "J",

@@ -11,8 +11,9 @@ inlining (§8.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.algorithms import (
     alternating_secret,
@@ -160,6 +161,82 @@ def format_table1(rows: list[Table1Row]) -> str:
             f"{row.qsharp_create:>4}  {row.qsharp_invoke:>4}   "
             f"{row.asdf_noopt_create:>4}  {row.asdf_noopt_invoke:>4}   "
             f"{row.asdf_opt_create:>4}  {row.asdf_opt_invoke:>4}"
+        )
+    return "\n".join(lines)
+
+
+#: Backends compared by the shot-execution benchmarks.
+SHOT_BACKENDS = ("interpreter", "statevector")
+
+
+@dataclass(frozen=True)
+class ShotExecutionRow:
+    """Timing of one (benchmark, backend) shot-execution run.
+
+    ``evolutions`` counts full statevector evolutions — the vectorized
+    backend's terminal-measurement fast path does exactly one per run,
+    independent of ``shots``; the per-shot interpreter does ``shots``.
+    """
+
+    algorithm: str
+    input_size: int
+    backend: str
+    shots: int
+    seconds: float
+    evolutions: int
+    fast_path: bool
+
+
+def shot_execution_report(
+    algorithms: Iterable[str] = ("bv", "grover"),
+    sizes: Iterable[int] = (5,),
+    shots: int = 256,
+    seed: int = 0,
+    backends: Sequence[str] = SHOT_BACKENDS,
+) -> list[ShotExecutionRow]:
+    """Execute compiled benchmark circuits under each backend, timed.
+
+    The evaluation harness's analogue of the paper's shot runs (§7):
+    every circuit goes through the same compiled artifact, and each
+    registered backend samples the same number of shots with the same
+    seed.  Sizes must stay within the dense-simulation qubit limit.
+    """
+    from repro.sim.backend import get_backend
+
+    rows = []
+    for algorithm in algorithms:
+        for n in sizes:
+            circuit = compiled_circuit(algorithm, "asdf", n)
+            for name in backends:
+                backend = get_backend(name)
+                start = time.perf_counter()
+                _, info = backend.run_with_info(circuit, shots, seed)
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    ShotExecutionRow(
+                        algorithm,
+                        n,
+                        name,
+                        shots,
+                        elapsed,
+                        info.evolutions,
+                        info.fast_path,
+                    )
+                )
+    return rows
+
+
+def format_shot_report(rows: Iterable[ShotExecutionRow]) -> str:
+    """Render a shot-execution report as an aligned table."""
+    lines = [
+        f"{'algorithm':<12}{'n':>4}  {'backend':<14}{'shots':>7}"
+        f"{'seconds':>12}{'evolutions':>12}  fast_path"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<12}{row.input_size:>4}  {row.backend:<14}"
+            f"{row.shots:>7}{row.seconds:>12.4f}{row.evolutions:>12}"
+            f"  {row.fast_path}"
         )
     return "\n".join(lines)
 

@@ -318,20 +318,33 @@ class QpuKernel:
 
         return compile_kernel(self, **options)
 
-    def __call__(self, shots: int = 1, seed: int = 0):
-        """Compile, simulate, and return the measured bits."""
+    def __call__(
+        self, shots: int = 1, seed: int = 0, backend: str | None = None
+    ):
+        """Compile, simulate, and return the measured bits.
+
+        ``backend`` names a simulation backend (docs/simulators.md);
+        the default vectorized backend samples all shots from one
+        statevector evolution whenever the circuit allows it.
+        """
         from repro.pipeline import simulate_kernel
 
-        results = simulate_kernel(self, shots=shots, seed=seed)
+        results = simulate_kernel(
+            self, shots=shots, seed=seed, backend=backend
+        )
         if shots == 1:
             return results[0]
         return results
 
-    def histogram(self, shots: int = 128, seed: int = 0) -> dict[str, int]:
+    def histogram(
+        self, shots: int = 128, seed: int = 0, backend: str | None = None
+    ) -> dict[str, int]:
         from repro.pipeline import simulate_kernel
 
         counts: dict[str, int] = {}
-        for result in simulate_kernel(self, shots=shots, seed=seed):
+        for result in simulate_kernel(
+            self, shots=shots, seed=seed, backend=backend
+        ):
             counts[str(result)] = counts.get(str(result), 0) + 1
         return counts
 

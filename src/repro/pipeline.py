@@ -59,7 +59,10 @@ class CompileOptions:
     checks IR invariants before and after the Qwerty pipeline;
     ``verify_each`` additionally re-verifies after every changed pass.
     ``collect_statistics`` fills ``CompileResult.statistics`` with a
-    per-pass/per-stage breakdown.
+    per-pass/per-stage breakdown.  ``sim_backend`` names the simulation
+    backend (:mod:`repro.sim.backend`) that ``simulate_kernel`` and the
+    evaluation harness use to execute the compiled circuit; it does not
+    affect compilation itself.
     """
 
     qwerty_spec: str = QWERTY_OPT_SPEC
@@ -69,6 +72,7 @@ class CompileOptions:
     verify: bool = True
     verify_each: bool = False
     collect_statistics: bool = False
+    sim_backend: Optional[str] = None
 
     @classmethod
     def preset(cls, name: str, **overrides) -> "CompileOptions":
@@ -317,11 +321,13 @@ def compile_kernel(
         # The full (frozen) options participate in the key, so cached
         # results never cross configuration boundaries — a compile
         # requesting statistics or stricter verification is a miss,
-        # not a stale hit with statistics=None.
+        # not a stale hit with statistics=None.  The simulation backend
+        # is excluded: it only affects execution, so the same compiled
+        # artifact serves every backend.
         cache_key = (
             _kernel_fingerprint(kernel),
             tuple(sorted(kernel.infer_dims().items())),
-            options,
+            dataclasses.replace(options, sim_backend=None),
         )
         cached = _cache_get(cache_key)
         if cached is not None:
@@ -384,18 +390,37 @@ def compile_kernel(
     return result
 
 
-def simulate_kernel(kernel, shots: int = 1, seed: int = 0, cache: bool = True):
+def simulate_kernel(
+    kernel,
+    shots: int = 1,
+    seed: int = 0,
+    cache: bool = True,
+    backend: Optional[str] = None,
+    options: Optional[CompileOptions] = None,
+):
     """Compile and simulate a kernel, returning measured Bits per shot.
 
     Compilation goes through the per-process LRU cache (bounded by
     :data:`COMPILE_CACHE_MAX_ENTRIES`), so repeated shots and repeated
     calls on equivalent kernels skip the compiler; pass ``cache=False``
     to force a fresh compile.
+
+    ``backend`` selects the simulation backend (docs/simulators.md);
+    it falls back to ``options.sim_backend`` and then to the registry
+    default (the vectorized ``"statevector"`` backend, which makes
+    large ``shots`` near-free on terminal-measurement circuits)::
+
+        simulate_kernel(kernel, shots=1024, backend="statevector")
     """
     from repro.frontend.decorators import Bits
-    from repro.sim import run_circuit
+    from repro.sim import get_backend
 
-    result = compile_kernel(kernel, cache=cache)
+    if options is None:
+        result = compile_kernel(kernel, cache=cache)
+        chosen = backend
+    else:
+        result = compile_kernel(kernel, options, cache=cache)
+        chosen = backend if backend is not None else options.sim_backend
     circuit = result.optimized_circuit
-    outcomes = run_circuit(circuit, shots=shots, seed=seed)
+    outcomes = get_backend(chosen).run(circuit, shots=shots, seed=seed)
     return [Bits(outcome) for outcome in outcomes]

@@ -1,18 +1,50 @@
-"""Statevector simulation (the qir-runner substitute, paper §7)."""
+"""Statevector simulation (the qir-runner substitute, paper §7).
+
+Execution is organized around pluggable backends — see
+:mod:`repro.sim.backend` and docs/simulators.md.
+"""
 
 from repro.sim.statevector import (
+    FusedGate,
     StatevectorSimulator,
+    apply_gates_to_state,
+    fuse_single_qubit_gates,
+    gate_matrix,
     run_circuit,
     unitary_of_gates,
-    apply_gates_to_state,
+)
+from repro.sim.backend import (
+    DEFAULT_BACKEND,
+    InterpreterBackend,
+    RunInfo,
+    SimBackend,
+    VectorizedStatevectorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_circuit_with_info,
+    terminal_measurement_plan,
 )
 from repro.sim.interpreter import ModuleInterpreter, interpret_module
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "FusedGate",
+    "InterpreterBackend",
     "ModuleInterpreter",
+    "RunInfo",
+    "SimBackend",
     "StatevectorSimulator",
+    "VectorizedStatevectorBackend",
     "apply_gates_to_state",
+    "available_backends",
+    "fuse_single_qubit_gates",
+    "gate_matrix",
+    "get_backend",
     "interpret_module",
+    "register_backend",
     "run_circuit",
+    "run_circuit_with_info",
+    "terminal_measurement_plan",
     "unitary_of_gates",
 ]

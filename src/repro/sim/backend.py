@@ -1,0 +1,305 @@
+"""Pluggable simulation backends (the qir-runner substitute, paper §7).
+
+A :class:`SimBackend` turns a flat :class:`~repro.qcircuit.circuit.Circuit`
+plus a shot count into sampled output bits.  Backends are registered by
+name (:func:`register_backend`) and looked up by every execution entry
+point — ``run_circuit``, ``simulate_kernel``, ``interpret_module``, and
+the evaluation harness — so a new simulation strategy plugs in without
+touching any of them.  See docs/simulators.md for the full guide.
+
+Two backends ship in-tree:
+
+``"interpreter"``
+    One independent statevector trajectory per shot, seeded
+    ``seed + shot``.  O(shots x gates x 2^n), but handles every circuit
+    and reproduces the repository's historical shot sequences exactly.
+
+``"statevector"``
+    The vectorized sampler.  For *terminal-measurement* circuits (all
+    measurements after the last gate, no classical control, no reset
+    before a measurement) it evolves the state **once** — through a
+    gate-fused, matrix-cached evolution — and draws all shots from
+    |psi|^2 with a single ``np.random.Generator.choice`` call, making
+    shot count a near-constant cost.  Circuits with genuine mid-circuit
+    measurement or classically conditioned gates fall back to
+    per-shot trajectories identical to the interpreter backend.
+
+Qubit-ordering convention (shared with the simulator): qubit 0 is the
+*leftmost* ket bit, so basis-state index ``x`` has qubit ``q`` equal to
+bit ``(x >> (n - 1 - q)) & 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    fuse_single_qubit_gates,
+)
+
+#: The backend used when callers pass ``backend=None`` to the kernel
+#: simulation entry points (``simulate_kernel`` and friends).
+DEFAULT_BACKEND = "statevector"
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Observability record for one :meth:`SimBackend.run_with_info`.
+
+    ``evolutions`` counts full statevector evolutions performed — the
+    dominant cost; the vectorized fast path does exactly one regardless
+    of shot count.  ``fused_ops`` is the post-fusion evolution step
+    count on the fast path (``None`` on trajectory execution).
+    """
+
+    backend: str
+    shots: int
+    evolutions: int
+    fast_path: bool
+    fused_ops: Optional[int] = None
+
+
+class SimBackend:
+    """Protocol for simulation backends.
+
+    Subclasses implement :meth:`run_with_info`; :meth:`run` and
+    :meth:`make_simulator` have default implementations.  Instances
+    must be stateless across calls (one backend object may serve many
+    threads of the evaluation harness).
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def run(
+        self, circuit: Circuit, shots: int = 1, seed: int = 0
+    ) -> list[tuple[int, ...]]:
+        """Sample ``shots`` output-bit tuples from ``circuit``."""
+        results, _ = self.run_with_info(circuit, shots, seed)
+        return results
+
+    def run_with_info(
+        self, circuit: Circuit, shots: int = 1, seed: int = 0
+    ) -> tuple[list[tuple[int, ...]], RunInfo]:
+        """Like :meth:`run`, also returning a :class:`RunInfo`."""
+        raise NotImplementedError
+
+    def make_simulator(
+        self, num_qubits: int, num_bits: int = 0, seed: int = 0
+    ) -> StatevectorSimulator:
+        """A step-by-step simulator for op-at-a-time execution.
+
+        Used by the module interpreter, whose control flow (callable
+        invocation, ``scf.if``) cannot be replayed as a flat circuit.
+        """
+        return StatevectorSimulator(num_qubits, num_bits, seed=seed)
+
+
+def _trajectory_run(
+    circuit: Circuit, shots: int, seed: int
+) -> list[tuple[int, ...]]:
+    """One independent trajectory per shot, seeded ``seed + shot``."""
+    results = []
+    output = circuit.output_bits or range(circuit.num_bits)
+    for shot in range(shots):
+        sim = StatevectorSimulator(
+            circuit.num_qubits, circuit.num_bits, seed=seed + shot
+        )
+        bits = sim.run(circuit)
+        results.append(tuple(bits[i] for i in output))
+    return results
+
+
+class InterpreterBackend(SimBackend):
+    """Per-shot trajectory execution (the historical ``run_circuit``)."""
+
+    name = "interpreter"
+
+    def run_with_info(
+        self, circuit: Circuit, shots: int = 1, seed: int = 0
+    ) -> tuple[list[tuple[int, ...]], RunInfo]:
+        results = _trajectory_run(circuit, shots, seed)
+        return results, RunInfo(
+            self.name, shots, evolutions=shots, fast_path=False
+        )
+
+
+def terminal_measurement_plan(
+    circuit: Circuit,
+) -> Optional[list[Measurement]]:
+    """The circuit's measurements, if sampling can be vectorized.
+
+    Returns the :class:`Measurement` list (in program order) when the
+    circuit is *terminal-measurement*: every measurement comes after
+    the last gate, no gate is classically conditioned, and no qubit is
+    measured after being reset.  Trailing resets (``qfree`` of
+    discarded qubits after the measurements) are tolerated — they
+    cannot affect the recorded bits.  Returns ``None`` when any of
+    those conditions fail; the circuit then needs per-shot trajectory
+    execution.
+    """
+    plan: list[Measurement] = []
+    measured_started = False
+    reset_qubits: set[int] = set()
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate):
+            if inst.condition is not None or measured_started:
+                return None
+        elif isinstance(inst, Reset):
+            if not measured_started:
+                # A reset mid-evolution makes the prefix non-unitary.
+                return None
+            reset_qubits.add(inst.qubit)
+        elif isinstance(inst, Measurement):
+            if inst.qubit in reset_qubits:
+                return None
+            measured_started = True
+            plan.append(inst)
+        else:
+            return None
+    return plan
+
+
+class VectorizedStatevectorBackend(SimBackend):
+    """Single-evolution, vectorized-sampling statevector backend."""
+
+    name = "statevector"
+
+    def run_with_info(
+        self, circuit: Circuit, shots: int = 1, seed: int = 0
+    ) -> tuple[list[tuple[int, ...]], RunInfo]:
+        plan = terminal_measurement_plan(circuit)
+        if plan is None:
+            results = _trajectory_run(circuit, shots, seed)
+            return results, RunInfo(
+                self.name, shots, evolutions=shots, fast_path=False
+            )
+
+        fused = fuse_single_qubit_gates(circuit.gates)
+        sim = StatevectorSimulator(circuit.num_qubits, circuit.num_bits)
+        sim.apply_fused(fused)
+        results = _sample_terminal(
+            sim.state, circuit, plan, shots, np.random.default_rng(seed)
+        )
+        return results, RunInfo(
+            self.name,
+            shots,
+            evolutions=1,
+            fast_path=True,
+            fused_ops=len(fused),
+        )
+
+
+def _sample_terminal(
+    state: np.ndarray,
+    circuit: Circuit,
+    plan: Sequence[Measurement],
+    shots: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, ...]]:
+    """Draw ``shots`` samples of the plan's measurements from |psi|^2."""
+    output = list(circuit.output_bits or range(circuit.num_bits))
+    if not plan:
+        # Nothing measured: the classical register stays all-zero.
+        return [(0,) * len(output)] * shots
+
+    measured = sorted({m.qubit for m in plan})
+    probabilities = np.abs(state) ** 2
+    unmeasured = tuple(
+        axis for axis in range(circuit.num_qubits) if axis not in measured
+    )
+    if unmeasured:
+        probabilities = probabilities.sum(axis=unmeasured)
+    probabilities = probabilities.reshape(-1)
+    # Guard against float drift; choice() requires an exact simplex.
+    probabilities = probabilities / probabilities.sum()
+
+    outcomes = rng.choice(probabilities.size, size=shots, p=probabilities)
+
+    # Marginal axis order is sorted qubit order, so the outcome's bit
+    # for qubit q sits at position pos[q] from the left (the same
+    # most-significant-first convention as full basis-state indices).
+    pos = {qubit: i for i, qubit in enumerate(measured)}
+    width = len(measured)
+    bits = np.zeros((shots, circuit.num_bits), dtype=np.int64)
+    for meas in plan:
+        bits[:, meas.bit] = (outcomes >> (width - 1 - pos[meas.qubit])) & 1
+    selected = bits[:, output]
+    return [tuple(int(b) for b in row) for row in selected]
+
+
+# ----------------------------------------------------------------------
+# The backend registry.
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], SimBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], SimBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called once per :func:`get_backend` lookup and must
+    return a fresh (or stateless shared) :class:`SimBackend`.  Re-using
+    a name raises unless ``replace=True``.
+    """
+    if not replace and name in _REGISTRY:
+        raise SimulationError(
+            f"simulation backend {name!r} is already registered; pass "
+            f"replace=True to override it"
+        )
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(backend: "str | SimBackend | None" = None) -> SimBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` resolves to :data:`DEFAULT_BACKEND`.  Unknown names raise
+    :class:`SimulationError` listing what is registered.
+    """
+    if isinstance(backend, SimBackend):
+        return backend
+    name = backend or DEFAULT_BACKEND
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(available_backends())
+        raise SimulationError(
+            f"unknown simulation backend {name!r} (registered backends: "
+            f"{known}); see docs/simulators.md for how to add one"
+        )
+    return factory()
+
+
+def run_circuit_with_info(
+    circuit: Circuit,
+    shots: int = 1,
+    seed: int = 0,
+    backend: "str | SimBackend | None" = None,
+) -> tuple[list[tuple[int, ...]], RunInfo]:
+    """Run a circuit and return ``(results, RunInfo)`` for telemetry.
+
+    Defaults to the ``"interpreter"`` backend, matching ``run_circuit``
+    — the two circuit-level entry points must stay drop-in compatible.
+    (Kernel-level entry points like ``simulate_kernel`` default to
+    :data:`DEFAULT_BACKEND` instead.)
+    """
+    return get_backend(backend or "interpreter").run_with_info(
+        circuit, shots, seed
+    )
+
+
+register_backend(InterpreterBackend.name, InterpreterBackend)
+register_backend(
+    VectorizedStatevectorBackend.name, VectorizedStatevectorBackend
+)

@@ -19,7 +19,6 @@ from repro.errors import SimulationError
 from repro.ir.core import Operation, Value
 from repro.ir.module import FuncOp, ModuleOp
 from repro.qcircuit.circuit import CircuitGate
-from repro.sim.statevector import StatevectorSimulator
 
 
 @dataclass(frozen=True)
@@ -32,11 +31,29 @@ class _Callable:
 
 
 class ModuleInterpreter:
-    """Interprets one entry-point invocation of a lowered module."""
+    """Interprets one entry-point invocation of a lowered module.
 
-    def __init__(self, module: ModuleOp, num_qubits: int = 20, seed: int = 0):
+    ``backend`` names a registered simulation backend (see
+    :mod:`repro.sim.backend`); the interpreter asks it for a
+    step-by-step simulator.  Module interpretation is inherently
+    trajectory-based (op-at-a-time, with data-dependent control flow),
+    so vectorized shot sampling never applies here — the backend only
+    chooses the simulator implementation.
+    """
+
+    def __init__(
+        self,
+        module: ModuleOp,
+        num_qubits: int = 20,
+        seed: int = 0,
+        backend: str | None = None,
+    ):
+        from repro.sim.backend import get_backend
+
         self.module = module
-        self.simulator = StatevectorSimulator(num_qubits, 0, seed=seed)
+        self.simulator = get_backend(backend).make_simulator(
+            num_qubits, 0, seed=seed
+        )
         self._free = list(range(num_qubits))
         self._gate_log: list[CircuitGate] = []
 
@@ -134,7 +151,10 @@ class ModuleInterpreter:
             if fn.adjoint or fn.controls:
                 raise SimulationError(
                     "adjoint/controlled callables require generated "
-                    "specializations; run the optimizing pipeline"
+                    "specializations, which the 'specialize' pass of the "
+                    "'default' pipeline preset produces; compile with "
+                    "pipeline='default' (or CompileOptions.preset"
+                    "('default')) instead of 'no-opt'"
                 )
             callee = self.module.get(fn.symbol)
             results = self._call_function(
@@ -171,6 +191,11 @@ def interpret_module(
     entry: str | None = None,
     num_qubits: int = 20,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[int]:
-    """Execute a lowered module; returns the measured output bits."""
-    return ModuleInterpreter(module, num_qubits, seed).run(entry)
+    """Execute a lowered module; returns the measured output bits.
+
+    ``backend`` selects the simulation backend supplying the simulator
+    (see :mod:`repro.sim.backend`).
+    """
+    return ModuleInterpreter(module, num_qubits, seed, backend).run(entry)

@@ -1,9 +1,13 @@
 """A dense statevector simulator for flat circuits.
 
-This is the reproduction's substitute for qir-runner (paper §7): it
-executes the same circuits the backends emit, including mid-circuit
-measurement, reset, classically conditioned gates, and multi-controlled
-gates with arbitrary control polarity.
+The simulation engine under the pluggable backends of
+:mod:`repro.sim.backend` (together, the reproduction's substitute for
+qir-runner, paper §7): it executes the same circuits the backends emit,
+including mid-circuit measurement, reset, classically conditioned
+gates, and multi-controlled gates with arbitrary control polarity.
+Gate matrices are cached per (name, params) and runs of adjacent
+single-qubit gates can be fused (:func:`fuse_single_qubit_gates`)
+before evolution.
 
 Convention: qubit 0 is the *leftmost* qubit of a ket, matching the
 position order of Qwerty qubit literals ('10' means qubit 0 is |1> and
@@ -14,7 +18,9 @@ bit ``(x >> (n - 1 - q)) & 1``.
 from __future__ import annotations
 
 import cmath
+import functools
 import math
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -23,7 +29,7 @@ from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
 
 
-def _gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+def _build_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
     """The unitary matrix of a known 1- or 2-qubit gate."""
     inv_sqrt2 = 1.0 / math.sqrt(2.0)
     if name == "x":
@@ -92,6 +98,93 @@ def _gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
     raise SimulationError(f"no matrix for gate {name!r}")
 
 
+@functools.lru_cache(maxsize=4096)
+def _cached_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    matrix = _build_gate_matrix(name, params)
+    # Cached matrices are shared across every simulator in the process;
+    # freeze them so no caller can corrupt the cache in place.
+    matrix.setflags(write=False)
+    return matrix
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """The (cached, read-only) unitary matrix of a known gate.
+
+    Rotation angles participate in the cache key, so circuits built
+    from a fixed gate set — e.g. after Selinger decomposition — pay the
+    trigonometry once per distinct (name, params) pair rather than once
+    per gate application.
+    """
+    return _cached_gate_matrix(name, tuple(params))
+
+
+@dataclass(frozen=True)
+class FusedGate:
+    """One fused evolution step: a raw unitary on explicit qubits.
+
+    Unlike :class:`~repro.qcircuit.circuit.CircuitGate`, the matrix is
+    arbitrary — it may be the product of a whole run of adjacent
+    single-qubit gates — so this form exists only inside the
+    simulator's evolution loop, never in circuits.
+    """
+
+    matrix: np.ndarray
+    targets: tuple[int, ...]
+    controls: tuple[int, ...] = ()
+    ctrl_states: tuple[int, ...] = ()
+
+
+def fuse_single_qubit_gates(
+    gates: Sequence[CircuitGate],
+) -> list[FusedGate]:
+    """Fuse runs of adjacent single-qubit gates into single unitaries.
+
+    Uncontrolled single-qubit gates on the same qubit are accumulated
+    into one 2x2 product until a multi-qubit or controlled gate touches
+    that qubit; single-qubit gates on *different* qubits commute, so
+    each qubit keeps its own pending product.  The result applies the
+    same unitary as the input gate list with (usually far) fewer
+    statevector sweeps.
+
+    Classically conditioned gates are rejected: whether they apply
+    depends on per-shot measurement outcomes, so their circuits must be
+    executed as trajectories, not fused evolutions.
+    """
+    fused: list[FusedGate] = []
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is not None:
+            fused.append(FusedGate(matrix, (qubit,)))
+
+    for gate in gates:
+        if gate.condition is not None:
+            raise SimulationError(
+                "cannot fuse classically conditioned gates; execute the "
+                "circuit as per-shot trajectories instead"
+            )
+        matrix = gate_matrix(gate.name, gate.params)
+        if not gate.controls and len(gate.targets) == 1:
+            qubit = gate.targets[0]
+            previous = pending.get(qubit)
+            # New gate acts after the accumulated run: left-multiply.
+            pending[qubit] = (
+                matrix if previous is None else matrix @ previous
+            )
+        else:
+            for qubit in gate.qubits:
+                flush(qubit)
+            fused.append(
+                FusedGate(
+                    matrix, gate.targets, gate.controls, gate.ctrl_states
+                )
+            )
+    for qubit in sorted(pending):
+        flush(qubit)
+    return fused
+
+
 class StatevectorSimulator:
     """Simulates a fixed number of qubits plus a classical bit register."""
 
@@ -114,8 +207,29 @@ class StatevectorSimulator:
             bit, required = gate.condition
             if self.bits[bit] != required:
                 return
-        matrix = _gate_matrix(gate.name, gate.params)
+        matrix = gate_matrix(gate.name, gate.params)
         self._apply_matrix(matrix, gate.targets, gate.controls, gate.ctrl_states)
+
+    def apply_unitary(
+        self,
+        matrix: np.ndarray,
+        targets: tuple[int, ...],
+        controls: tuple[int, ...] = (),
+        ctrl_states: tuple[int, ...] = (),
+    ) -> None:
+        """Apply a raw (possibly fused) unitary to explicit qubits."""
+        dim = 2 ** len(targets)
+        if matrix.shape != (dim, dim):
+            raise SimulationError(
+                f"unitary of shape {matrix.shape} does not act on "
+                f"{len(targets)} qubit(s)"
+            )
+        self._apply_matrix(matrix, targets, controls, ctrl_states)
+
+    def apply_fused(self, fused: Sequence[FusedGate]) -> None:
+        """Apply a fused gate list (see :func:`fuse_single_qubit_gates`)."""
+        for op in fused:
+            self._apply_matrix(op.matrix, op.targets, op.controls, op.ctrl_states)
 
     def _apply_matrix(
         self,
@@ -195,18 +309,24 @@ class StatevectorSimulator:
 
 
 def run_circuit(
-    circuit: Circuit, shots: int = 1, seed: int = 0
+    circuit: Circuit,
+    shots: int = 1,
+    seed: int = 0,
+    backend: str | None = None,
 ) -> list[tuple[int, ...]]:
-    """Run ``shots`` independent executions; returns output-bit tuples."""
-    results = []
-    for shot in range(shots):
-        sim = StatevectorSimulator(
-            circuit.num_qubits, circuit.num_bits, seed=seed + shot
-        )
-        bits = sim.run(circuit)
-        output = circuit.output_bits or range(circuit.num_bits)
-        results.append(tuple(bits[i] for i in output))
-    return results
+    """Run ``shots`` executions of ``circuit``; returns output-bit tuples.
+
+    ``backend`` names a registered simulation backend (see
+    :mod:`repro.sim.backend` and docs/simulators.md).  The default is
+    the ``"interpreter"`` backend, which runs one independent trajectory
+    per shot seeded ``seed + shot`` — bit-for-bit the historical
+    behavior.  Pass ``backend="statevector"`` for the vectorized
+    sampler, which evolves terminal-measurement circuits once and draws
+    every shot from |psi|^2.
+    """
+    from repro.sim.backend import get_backend
+
+    return get_backend(backend or "interpreter").run(circuit, shots, seed)
 
 
 def apply_gates_to_state(

@@ -45,8 +45,11 @@ def test_deutsch_jozsa_constant_is_zero():
 
 
 def test_grover_finds_all_ones():
-    histogram = grover(3).histogram(shots=50)
-    assert histogram.get("111", 0) > 45
+    # Success probability is sin^2(5 theta) ~ 0.945; at 400 shots the
+    # 90% threshold sits ~4 sigma below the mean, so the fixed-seed
+    # draw is robust for any correctly sampling backend.
+    histogram = grover(3).histogram(shots=400)
+    assert histogram.get("111", 0) > 360
 
 
 def test_grover_two_qubits_deterministic():

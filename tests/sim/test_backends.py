@@ -1,0 +1,393 @@
+"""Tests for the pluggable simulation backends (repro.sim.backend).
+
+Covers the registry, terminal-measurement detection, single-qubit gate
+fusion, the gate-matrix cache, and — most importantly — statistical
+equivalence between vectorized sampling and per-shot execution.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.sim import (
+    InterpreterBackend,
+    SimBackend,
+    StatevectorSimulator,
+    VectorizedStatevectorBackend,
+    apply_gates_to_state,
+    available_backends,
+    fuse_single_qubit_gates,
+    gate_matrix,
+    get_backend,
+    register_backend,
+    run_circuit,
+    run_circuit_with_info,
+    terminal_measurement_plan,
+)
+from repro.sim.backend import _REGISTRY
+
+
+def g(name, targets, controls=(), params=(), ctrl_states=(), condition=None):
+    return CircuitGate(
+        name,
+        tuple(targets),
+        tuple(controls),
+        tuple(params),
+        tuple(ctrl_states),
+        condition,
+    )
+
+
+def histogram(results):
+    counts = {}
+    for outcome in results:
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts
+
+
+def total_variation(results_a, results_b):
+    ha, hb = histogram(results_a), histogram(results_b)
+    keys = set(ha) | set(hb)
+    na, nb = len(results_a), len(results_b)
+    return 0.5 * sum(
+        abs(ha.get(k, 0) / na - hb.get(k, 0) / nb) for k in keys
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+def test_both_backends_registered():
+    names = available_backends()
+    assert "interpreter" in names
+    assert "statevector" in names
+
+
+def test_get_backend_resolves_names_and_instances():
+    assert isinstance(get_backend("interpreter"), InterpreterBackend)
+    assert isinstance(get_backend("statevector"), VectorizedStatevectorBackend)
+    instance = InterpreterBackend()
+    assert get_backend(instance) is instance
+
+
+def test_unknown_backend_lists_registered():
+    with pytest.raises(SimulationError, match="interpreter"):
+        get_backend("tensor-network")
+
+
+def test_register_backend_rejects_duplicates():
+    with pytest.raises(SimulationError, match="already registered"):
+        register_backend("interpreter", InterpreterBackend)
+
+
+def test_register_custom_backend():
+    class EchoBackend(SimBackend):
+        name = "echo-test"
+
+        def run_with_info(self, circuit, shots=1, seed=0):
+            from repro.sim.backend import RunInfo
+
+            results = [(0,) * len(circuit.output_bits or range(circuit.num_bits))] * shots
+            return results, RunInfo(self.name, shots, 0, False)
+
+    register_backend("echo-test", EchoBackend)
+    try:
+        circuit = Circuit(num_qubits=1, num_bits=1)
+        circuit.add(g("x", [0]))
+        circuit.add(Measurement(0, 0))
+        assert run_circuit(circuit, shots=3, backend="echo-test") == [(0,)] * 3
+    finally:
+        del _REGISTRY["echo-test"]
+
+
+# ----------------------------------------------------------------------
+# Terminal-measurement detection.
+# ----------------------------------------------------------------------
+def test_terminal_plan_simple():
+    circuit = Circuit(num_qubits=2, num_bits=2)
+    circuit.add(g("h", [0]))
+    circuit.add(g("x", [1], controls=[0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    plan = terminal_measurement_plan(circuit)
+    assert plan is not None and len(plan) == 2
+
+
+def test_terminal_plan_allows_trailing_resets():
+    # Simon-style: measure half the register, discard (reset) the rest.
+    circuit = Circuit(num_qubits=2, num_bits=1)
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Reset(1))
+    assert terminal_measurement_plan(circuit) is not None
+
+
+def test_terminal_plan_rejects_measure_after_reset():
+    circuit = Circuit(num_qubits=1, num_bits=2)
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Reset(0))
+    circuit.add(Measurement(0, 1))
+    assert terminal_measurement_plan(circuit) is None
+
+
+def test_terminal_plan_rejects_mid_circuit_measurement():
+    circuit = Circuit(num_qubits=1, num_bits=2)
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 1))
+    assert terminal_measurement_plan(circuit) is None
+
+
+def test_terminal_plan_rejects_conditioned_gates():
+    circuit = Circuit(num_qubits=2, num_bits=2)
+    circuit.add(Measurement(0, 0))
+    circuit.add(g("x", [1], condition=(0, 1)))
+    circuit.add(Measurement(1, 1))
+    assert terminal_measurement_plan(circuit) is None
+
+
+def test_terminal_plan_rejects_reset_mid_evolution():
+    circuit = Circuit(num_qubits=1, num_bits=1)
+    circuit.add(g("h", [0]))
+    circuit.add(Reset(0))
+    circuit.add(Measurement(0, 0))
+    assert terminal_measurement_plan(circuit) is None
+
+
+# ----------------------------------------------------------------------
+# Gate fusion and the matrix cache.
+# ----------------------------------------------------------------------
+def test_gate_matrix_is_cached_and_frozen():
+    assert gate_matrix("h") is gate_matrix("h")
+    assert gate_matrix("rz", (0.25,)) is gate_matrix("rz", (0.25,))
+    with pytest.raises(ValueError):
+        gate_matrix("h")[0, 0] = 7
+
+
+def test_fusion_collapses_single_qubit_runs():
+    gates = [
+        g("h", [0]),
+        g("t", [0]),
+        g("x", [1]),
+        g("x", [1], controls=[0]),
+        g("h", [1]),
+        g("s", [1]),
+    ]
+    fused = fuse_single_qubit_gates(gates)
+    # h;t on qubit 0 and x on qubit 1 fuse, then CX, then h;s fuse.
+    assert len(fused) == 4
+    assert np.allclose(fused[0].matrix, gate_matrix("t") @ gate_matrix("h"))
+
+    sim = StatevectorSimulator(2)
+    sim.apply_fused(fused)
+    assert np.allclose(
+        sim.statevector(), apply_gates_to_state(gates, 2)
+    )
+
+
+def test_fusion_preserves_program_order_across_controls():
+    gates = [
+        g("h", [0]),
+        g("x", [1], controls=[0]),
+        g("h", [0]),
+    ]
+    fused = fuse_single_qubit_gates(gates)
+    assert len(fused) == 3
+    sim = StatevectorSimulator(2)
+    sim.apply_fused(fused)
+    assert np.allclose(sim.statevector(), apply_gates_to_state(gates, 2))
+
+
+def test_fusion_rejects_conditioned_gates():
+    with pytest.raises(SimulationError, match="conditioned"):
+        fuse_single_qubit_gates([g("x", [0], condition=(0, 1))])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fusion_matches_unfused_on_random_circuits(seed):
+    rng = np.random.default_rng(seed)
+    names = ["h", "t", "s", "x", "rz", "rx"]
+    gates = []
+    for _ in range(30):
+        name = names[rng.integers(len(names))]
+        qubit = int(rng.integers(3))
+        params = (float(rng.uniform(0, math.pi)),) if name in ("rz", "rx") else ()
+        if rng.random() < 0.3:
+            other = int(rng.integers(3))
+            if other != qubit:
+                gates.append(g("x", [qubit], controls=[other]))
+                continue
+        gates.append(g(name, [qubit], params=params))
+    fused = fuse_single_qubit_gates(gates)
+    assert len(fused) <= len(gates)
+    sim = StatevectorSimulator(3)
+    sim.apply_fused(fused)
+    assert np.allclose(sim.statevector(), apply_gates_to_state(gates, 3))
+
+
+# ----------------------------------------------------------------------
+# Vectorized sampling vs per-shot execution.
+# ----------------------------------------------------------------------
+def teleport_circuit():
+    """Teleport an rx(0.7)-rotated state; corrections are classically
+    conditioned, so this must take the trajectory fallback path."""
+    circuit = Circuit(num_qubits=3, num_bits=3, output_bits=[2])
+    circuit.add(g("rx", [0], params=[0.7]))
+    circuit.add(g("h", [1]))
+    circuit.add(g("x", [2], controls=[1]))
+    circuit.add(g("x", [1], controls=[0]))
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    circuit.add(g("x", [2], condition=(1, 1)))
+    circuit.add(g("z", [2], condition=(0, 1)))
+    circuit.add(Measurement(2, 2))
+    return circuit
+
+
+def test_teleportation_histograms_match():
+    circuit = teleport_circuit()
+    shots = 2000
+    per_shot, interp_info = run_circuit_with_info(
+        circuit, shots=shots, seed=7, backend="interpreter"
+    )
+    sampled, vector_info = run_circuit_with_info(
+        circuit, shots=shots, seed=7, backend="statevector"
+    )
+    # Conditioned gates force the fallback: trajectory execution with
+    # the same per-shot seeding, hence bit-identical results.
+    assert not vector_info.fast_path
+    assert vector_info.evolutions == shots
+    assert per_shot == sampled
+    # And the physics holds: P(1) = sin^2(0.35).
+    ones = sum(outcome[0] for outcome in sampled)
+    expected = math.sin(0.35) ** 2
+    sigma = math.sqrt(expected * (1 - expected) * shots)
+    assert abs(ones - expected * shots) < 5 * sigma
+
+
+def test_grover_histograms_match():
+    from repro.algorithms import grover
+
+    circuit = grover(3).compile(cache=True).optimized_circuit
+    shots = 2000
+    per_shot, _ = run_circuit_with_info(
+        circuit, shots=shots, seed=11, backend="interpreter"
+    )
+    sampled, info = run_circuit_with_info(
+        circuit, shots=shots, seed=11, backend="statevector"
+    )
+    assert info.fast_path and info.evolutions == 1
+    assert total_variation(per_shot, sampled) < 0.05
+    # Both concentrate on the marked item.
+    assert histogram(sampled)[(1, 1, 1)] > 0.9 * shots
+    assert histogram(per_shot)[(1, 1, 1)] > 0.9 * shots
+
+
+def test_mid_circuit_measurement_takes_fallback_and_matches():
+    circuit = Circuit(num_qubits=1, num_bits=2, output_bits=[0, 1])
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(g("h", [0]))
+    circuit.add(Measurement(0, 1))
+    shots = 1500
+    per_shot, _ = run_circuit_with_info(
+        circuit, shots=shots, seed=3, backend="interpreter"
+    )
+    sampled, info = run_circuit_with_info(
+        circuit, shots=shots, seed=3, backend="statevector"
+    )
+    assert not info.fast_path
+    assert per_shot == sampled
+    # All four outcomes occur: the second measurement is a fresh coin.
+    assert len(histogram(sampled)) == 4
+
+
+def test_ghz_sampling_matches_exact_distribution():
+    circuit = Circuit(num_qubits=3, num_bits=3)
+    circuit.add(g("h", [0]))
+    circuit.add(g("x", [1], controls=[0]))
+    circuit.add(g("x", [2], controls=[1]))
+    for qubit in range(3):
+        circuit.add(Measurement(qubit, qubit))
+    shots = 4000
+    sampled, info = run_circuit_with_info(
+        circuit, shots=shots, seed=5, backend="statevector"
+    )
+    assert info.fast_path and info.evolutions == 1
+    counts = histogram(sampled)
+    assert set(counts) == {(0, 0, 0), (1, 1, 1)}
+    sigma = math.sqrt(shots * 0.25)
+    assert abs(counts[(0, 0, 0)] - shots / 2) < 5 * sigma
+
+
+def test_vectorized_respects_output_bits_and_duplicate_measures():
+    circuit = Circuit(num_qubits=2, num_bits=3, output_bits=[2, 0])
+    circuit.add(g("x", [0]))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(0, 2))
+    circuit.add(Measurement(1, 1))
+    (outcome,) = run_circuit(circuit, backend="statevector")
+    assert outcome == (1, 1)
+
+
+def test_vectorized_no_measurements():
+    circuit = Circuit(num_qubits=1, num_bits=2)
+    circuit.add(g("h", [0]))
+    results = run_circuit(circuit, shots=5, backend="statevector")
+    assert results == [(0, 0)] * 5
+
+
+# ----------------------------------------------------------------------
+# Backend threading through the driver entry points.
+# ----------------------------------------------------------------------
+def test_simulate_kernel_backend_kwarg():
+    from repro.algorithms import bernstein_vazirani
+    from repro.pipeline import simulate_kernel
+
+    kernel = bernstein_vazirani("1011")
+    by_vector = simulate_kernel(kernel, shots=4, backend="statevector")
+    by_shot = simulate_kernel(kernel, shots=4, backend="interpreter")
+    assert [str(b) for b in by_vector] == ["1011"] * 4
+    assert [str(b) for b in by_shot] == ["1011"] * 4
+
+
+def test_compile_options_sim_backend_default():
+    from repro.algorithms import bernstein_vazirani
+    from repro.pipeline import CompileOptions, simulate_kernel
+
+    kernel = bernstein_vazirani("101")
+    options = CompileOptions(sim_backend="interpreter")
+    results = simulate_kernel(kernel, shots=2, options=options)
+    assert [str(b) for b in results] == ["101"] * 2
+    # An explicit backend= overrides the options' default.
+    results = simulate_kernel(
+        kernel, shots=2, options=options, backend="statevector"
+    )
+    assert [str(b) for b in results] == ["101"] * 2
+
+
+def test_interpret_module_backend_kwarg():
+    from repro.algorithms import bernstein_vazirani
+    from repro.sim import interpret_module
+
+    result = bernstein_vazirani("1001").compile(cache=True)
+    bits = interpret_module(
+        result.qcircuit_module, num_qubits=12, backend="statevector"
+    )
+    assert bits == [1, 0, 0, 1]
+
+
+def test_kernel_call_backend_kwarg():
+    from repro.algorithms import bernstein_vazirani
+
+    kernel = bernstein_vazirani("110")
+    assert str(kernel(backend="interpreter")) == "110"
+    assert str(kernel(backend="statevector")) == "110"
+    hist = kernel.histogram(shots=16, backend="statevector")
+    assert hist == {"110": 16}
