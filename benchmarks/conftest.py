@@ -7,10 +7,20 @@ to ``benchmarks/out/`` so EXPERIMENTS.md can reference them.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
+import pytest
+
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag everything under benchmarks/ with the ``benchmarks`` marker
+    (registered in pyproject.toml) so runs can select or deselect the
+    harness with ``-m benchmarks`` / ``-m 'not benchmarks'``."""
+    for item in items:
+        if Path(__file__).parent in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmarks)
 
 
 def write_result(name: str, text: str) -> None:

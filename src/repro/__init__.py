@@ -16,6 +16,12 @@ Public API::
     print(kernel())
 """
 
+from repro.errors import (
+    Diagnostic,
+    Note,
+    QwertyError,
+    SourceSpan,
+)
 from repro.frontend.decorators import (
     Bits,
     DimVar,
@@ -51,8 +57,12 @@ __all__ = [
     "Bits",
     "CompileOptions",
     "CompileResult",
+    "Diagnostic",
+    "Note",
     "PRESETS",
+    "QwertyError",
     "SimBackend",
+    "SourceSpan",
     "available_backends",
     "get_backend",
     "register_backend",

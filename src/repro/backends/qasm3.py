@@ -66,8 +66,17 @@ def _gate_call(gate: CircuitGate) -> str:
     return f"{prefix}{name}{params} {operands};"
 
 
-def emit_qasm3(circuit: Circuit, name: str = "kernel") -> str:
-    """Render the circuit as an OpenQASM 3 program."""
+def emit_qasm3(
+    circuit: Circuit, name: str = "kernel", source_comments: bool = False
+) -> str:
+    """Render the circuit as an OpenQASM 3 program.
+
+    ``source_comments=True`` appends ``// line N`` provenance comments
+    mapping each instruction back to the Qwerty source line it lowered
+    from (instructions with unknown provenance get no comment).  The
+    comment only changes when the line changes, so runs of gates from
+    one expression stay readable.
+    """
     out = StringIO()
     out.write("OPENQASM 3.0;\n")
     out.write('include "stdgates.inc";\n')
@@ -76,19 +85,25 @@ def emit_qasm3(circuit: Circuit, name: str = "kernel") -> str:
         out.write(f"qubit[{circuit.num_qubits}] q;\n")
     if circuit.num_bits:
         out.write(f"bit[{circuit.num_bits}] c;\n")
+    last_line: int | None = None
     for inst in circuit.instructions:
         if isinstance(inst, CircuitGate):
             line = _gate_call(inst)
             if inst.condition is not None:
                 bit, value = inst.condition
                 line = f"if (c[{bit}] == {value}) {{ {line} }}"
-            out.write(line + "\n")
         elif isinstance(inst, Measurement):
-            out.write(f"c[{inst.bit}] = measure q[{inst.qubit}];\n")
+            line = f"c[{inst.bit}] = measure q[{inst.qubit}];"
         elif isinstance(inst, Reset):
-            out.write(f"reset q[{inst.qubit}];\n")
+            line = f"reset q[{inst.qubit}];"
         else:
             raise BackendError(f"unknown instruction {inst!r}")
+        if source_comments:
+            loc = inst.loc
+            if loc is not None and not loc.is_unknown and loc.line != last_line:
+                line += f"  // line {loc.line}"
+                last_line = loc.line
+        out.write(line + "\n")
     return out.getvalue()
 
 
@@ -102,7 +117,11 @@ def parse_qasm3(text: str) -> Circuit:
     circuit = Circuit(0, 0)
     for raw_line in text.splitlines():
         line = raw_line.strip()
-        if not line or line.startswith("//") or line.startswith("OPENQASM"):
+        if "//" in line:
+            # Drop trailing provenance comments (emit_qasm3's
+            # source_comments mode); full-comment lines become empty.
+            line = line.split("//", 1)[0].rstrip()
+        if not line or line.startswith("OPENQASM"):
             continue
         if line.startswith("include"):
             continue

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.errors import LoweringError, SourceSpan
 from repro.ir.core import Operation, Value
 from repro.ir.module import Builder
 from repro.ir.types import ArrayType, CallableType, I1, QubitType, Type
-from repro.errors import LoweringError
 
 QALLOC = "qcirc.qalloc"
 QFREE = "qcirc.qfree"
@@ -30,6 +30,8 @@ CALLABLE_INVOKE = "qcirc.callable_invoke"
 
 _QUBIT = QubitType()
 _CALLABLE = CallableType()
+
+Loc = Optional[SourceSpan]
 
 #: Gates the dialect understands, with parameter counts.
 GATE_PARAM_COUNTS = {
@@ -67,24 +69,26 @@ ADJOINT_PAIRS = {
 GATE_NUM_TARGETS = {"swap": 2}
 
 
-def qalloc(builder: Builder) -> Value:
+def qalloc(builder: Builder, loc: Loc = None) -> Value:
     """Allocate a qubit in state |0>."""
-    return builder.create(QALLOC, [], [_QUBIT]).result
+    return builder.create(QALLOC, [], [_QUBIT], loc=loc).result
 
 
-def qfree(builder: Builder, qubit: Value) -> Operation:
+def qfree(builder: Builder, qubit: Value, loc: Loc = None) -> Operation:
     """Reset and free a qubit."""
-    return builder.create(QFREE, [qubit], [])
+    return builder.create(QFREE, [qubit], [], loc=loc)
 
 
-def qfreez(builder: Builder, qubit: Value) -> Operation:
+def qfreez(builder: Builder, qubit: Value, loc: Loc = None) -> Operation:
     """Free a qubit assumed to be |0> (skips the reset)."""
-    return builder.create(QFREEZ, [qubit], [])
+    return builder.create(QFREEZ, [qubit], [], loc=loc)
 
 
-def measure(builder: Builder, qubit: Value) -> tuple[Value, Value]:
+def measure(
+    builder: Builder, qubit: Value, loc: Loc = None
+) -> tuple[Value, Value]:
     """Measure in the standard basis: yields (new qubit state, i1)."""
-    op = builder.create(MEASURE, [qubit], [_QUBIT, I1])
+    op = builder.create(MEASURE, [qubit], [_QUBIT, I1], loc=loc)
     return op.results[0], op.results[1]
 
 
@@ -95,6 +99,7 @@ def gate(
     targets: Sequence[Value],
     params: Sequence[float] = (),
     ctrl_states: Optional[Sequence[int]] = None,
+    loc: Loc = None,
 ) -> list[Value]:
     """``gate G [%c1,...,%cM] %q1,...,%qN``: a (multi-)controlled gate.
 
@@ -128,6 +133,7 @@ def gate(
             "params": tuple(float(p) for p in params),
             "ctrl_states": states,
         },
+        loc=loc,
     )
     return list(op.results)
 
@@ -139,16 +145,18 @@ def gate_targets(op: Operation) -> tuple[Value, ...]:
     return op.operands[op.attrs["num_controls"]:]
 
 
-def arrpack(builder: Builder, values: Sequence[Value], element: Type) -> Value:
+def arrpack(
+    builder: Builder, values: Sequence[Value], element: Type, loc: Loc = None
+) -> Value:
     return builder.create(
-        ARRPACK, list(values), [ArrayType(element, len(values))]
+        ARRPACK, list(values), [ArrayType(element, len(values))], loc=loc
     ).result
 
 
-def arrunpack(builder: Builder, array: Value) -> list[Value]:
+def arrunpack(builder: Builder, array: Value, loc: Loc = None) -> list[Value]:
     array_type = array.type
     op = builder.create(
-        ARRUNPACK, [array], [array_type.element] * array_type.n
+        ARRUNPACK, [array], [array_type.element] * array_type.n, loc=loc
     )
     return list(op.results)
 
@@ -158,30 +166,39 @@ def call(
     callee: str,
     args: Sequence[Value],
     result_types: Sequence[Type],
+    loc: Loc = None,
 ) -> Operation:
-    return builder.create(CALL, list(args), list(result_types), {"callee": callee})
+    return builder.create(
+        CALL, list(args), list(result_types), {"callee": callee}, loc=loc
+    )
 
 
-def callable_create(builder: Builder, callee: str) -> Value:
+def callable_create(builder: Builder, callee: str, loc: Loc = None) -> Value:
     """Create a callable value backed by a function's specialization
     table (lowered to ``__quantum__rt__callable_create``)."""
     return builder.create(
-        CALLABLE_CREATE, [], [_CALLABLE], {"callee": callee}
+        CALLABLE_CREATE, [], [_CALLABLE], {"callee": callee}, loc=loc
     ).result
 
 
-def callable_adjoint(builder: Builder, fn: Value) -> Value:
+def callable_adjoint(builder: Builder, fn: Value, loc: Loc = None) -> Value:
     """Mark a callable to run its adjoint specialization."""
-    return builder.create(CALLABLE_ADJOINT, [fn], [_CALLABLE]).result
+    return builder.create(CALLABLE_ADJOINT, [fn], [_CALLABLE], loc=loc).result
 
 
-def callable_control(builder: Builder, fn: Value) -> Value:
+def callable_control(builder: Builder, fn: Value, loc: Loc = None) -> Value:
     """Mark a callable to run its controlled specialization."""
-    return builder.create(CALLABLE_CONTROL, [fn], [_CALLABLE]).result
+    return builder.create(CALLABLE_CONTROL, [fn], [_CALLABLE], loc=loc).result
 
 
 def callable_invoke(
-    builder: Builder, fn: Value, args: Sequence[Value], result_types: Sequence[Type]
+    builder: Builder,
+    fn: Value,
+    args: Sequence[Value],
+    result_types: Sequence[Type],
+    loc: Loc = None,
 ) -> Operation:
     """Invoke a callable (lowered to ``__quantum__rt__callable_invoke``)."""
-    return builder.create(CALLABLE_INVOKE, [fn, *args], list(result_types))
+    return builder.create(
+        CALLABLE_INVOKE, [fn, *args], list(result_types), loc=loc
+    )

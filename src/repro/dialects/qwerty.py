@@ -6,6 +6,12 @@ pack/unpack ops and function-value ops (``func_const``, ``func_adj``,
 ``func_pred``, ``call``, ``call_indirect``, ``lambda``).  Bases appear
 as compile-time attributes (the paper's BasisAttr et al.), reusing the
 :mod:`repro.basis` data model.
+
+Every builder accepts an optional ``loc`` — the :class:`SourceSpan` of
+the Qwerty expression the op implements — defaulting to the builder's
+current location (see :class:`repro.ir.module.Builder`), so lowering
+code sets the location once per expression and every op it emits
+inherits it.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Optional, Sequence
 
 from repro.basis import Basis
 from repro.basis.primitive import PrimitiveBasis
+from repro.errors import LoweringError, SourceSpan
 from repro.ir.core import Block, Operation, Region, Value
 from repro.ir.module import Builder
 from repro.ir.types import (
@@ -24,7 +31,6 @@ from repro.ir.types import (
     QubitType,
     Type,
 )
-from repro.errors import LoweringError
 
 QBPREP = "qwerty.qbprep"
 QBUNPREP = "qwerty.qbunprep"
@@ -47,9 +53,14 @@ RETURN = "func.return"
 
 _QUBIT = QubitType()
 
+Loc = Optional[SourceSpan]
+
 
 def qbprep(
-    builder: Builder, prim: PrimitiveBasis, eigenbits: Sequence[int]
+    builder: Builder,
+    prim: PrimitiveBasis,
+    eigenbits: Sequence[int],
+    loc: Loc = None,
 ) -> Value:
     """Prepare a qbundle in the given primitive basis and eigenstate,
     e.g. ``qbprep std<PLUS>[3]`` prepares |000>."""
@@ -59,27 +70,36 @@ def qbprep(
         [],
         [QBundleType(len(bits))],
         {"prim": prim, "eigenbits": bits},
+        loc=loc,
     ).result
 
 
 def qbunprep(
-    builder: Builder, qb: Value, prim: PrimitiveBasis, eigenbits: Sequence[int]
+    builder: Builder,
+    qb: Value,
+    prim: PrimitiveBasis,
+    eigenbits: Sequence[int],
+    loc: Loc = None,
 ) -> Operation:
     """Consume a qbundle known to be in the given eigenstate (the adjoint
     of ``qbprep``, used when reversing blocks that allocate ancillas)."""
     return builder.create(
-        QBUNPREP, [qb], [], {"prim": prim, "eigenbits": tuple(eigenbits)}
+        QBUNPREP,
+        [qb],
+        [],
+        {"prim": prim, "eigenbits": tuple(eigenbits)},
+        loc=loc,
     )
 
 
-def qbdiscard(builder: Builder, qb: Value) -> Operation:
+def qbdiscard(builder: Builder, qb: Value, loc: Loc = None) -> Operation:
     """Reset each qubit in the bundle and return it to the ancilla pool."""
-    return builder.create(QBDISCARD, [qb], [])
+    return builder.create(QBDISCARD, [qb], [], loc=loc)
 
 
-def qbdiscardz(builder: Builder, qb: Value) -> Operation:
+def qbdiscardz(builder: Builder, qb: Value, loc: Loc = None) -> Operation:
     """Like ``qbdiscard`` but assumes the qubits are |0> (no reset)."""
-    return builder.create(QBDISCARDZ, [qb], [])
+    return builder.create(QBDISCARDZ, [qb], [], loc=loc)
 
 
 def qbtrans(
@@ -89,6 +109,7 @@ def qbtrans(
     b_out: Basis,
     phase_operands: Sequence[Value] = (),
     phase_slots: Sequence[tuple[str, int]] = (),
+    loc: Loc = None,
 ) -> Value:
     """Perform the basis translation ``b_in >> b_out`` on a qbundle.
 
@@ -107,54 +128,63 @@ def qbtrans(
         [qb, *phase_operands],
         [QBundleType(n)],
         {"bin": b_in, "bout": b_out, "phase_slots": tuple(phase_slots)},
+        loc=loc,
     ).result
 
 
-def qbmeas(builder: Builder, qb: Value, basis: Basis) -> Value:
+def qbmeas(builder: Builder, qb: Value, basis: Basis, loc: Loc = None) -> Value:
     """Measure the qbundle in ``basis``, yielding a bitbundle."""
     n = basis.dim
     return builder.create(
-        QBMEAS, [qb], [BitBundleType(n)], {"basis": basis}
+        QBMEAS, [qb], [BitBundleType(n)], {"basis": basis}, loc=loc
     ).result
 
 
-def qbpack(builder: Builder, qubits: Sequence[Value]) -> Value:
+def qbpack(builder: Builder, qubits: Sequence[Value], loc: Loc = None) -> Value:
     return builder.create(
-        QBPACK, list(qubits), [QBundleType(len(qubits))]
+        QBPACK, list(qubits), [QBundleType(len(qubits))], loc=loc
     ).result
 
 
-def qbunpack(builder: Builder, qb: Value) -> list[Value]:
+def qbunpack(builder: Builder, qb: Value, loc: Loc = None) -> list[Value]:
     n = qb.type.n
-    op = builder.create(QBUNPACK, [qb], [_QUBIT] * n)
+    op = builder.create(QBUNPACK, [qb], [_QUBIT] * n, loc=loc)
     return list(op.results)
 
 
-def bitpack(builder: Builder, bits: Sequence[Value]) -> Value:
+def bitpack(builder: Builder, bits: Sequence[Value], loc: Loc = None) -> Value:
     return builder.create(
-        BITPACK, list(bits), [BitBundleType(len(bits))]
+        BITPACK, list(bits), [BitBundleType(len(bits))], loc=loc
     ).result
 
 
-def bitunpack(builder: Builder, bb: Value) -> list[Value]:
+def bitunpack(builder: Builder, bb: Value, loc: Loc = None) -> list[Value]:
     n = bb.type.n
-    op = builder.create(BITUNPACK, [bb], [I1] * n)
+    op = builder.create(BITUNPACK, [bb], [I1] * n, loc=loc)
     return list(op.results)
 
 
-def func_const(builder: Builder, callee: str, type: FunctionType) -> Value:
-    return builder.create(FUNC_CONST, [], [type], {"callee": callee}).result
+def func_const(
+    builder: Builder, callee: str, type: FunctionType, loc: Loc = None
+) -> Value:
+    return builder.create(
+        FUNC_CONST, [], [type], {"callee": callee}, loc=loc
+    ).result
 
 
-def func_adj(builder: Builder, fn: Value) -> Value:
+def func_adj(builder: Builder, fn: Value, loc: Loc = None) -> Value:
     type = fn.type
     adj_type = FunctionType(type.outputs, type.inputs, type.reversible)
-    return builder.create(FUNC_ADJ, [fn], [adj_type]).result
+    return builder.create(FUNC_ADJ, [fn], [adj_type], loc=loc).result
 
 
-def func_pred(builder: Builder, fn: Value, basis: Basis) -> Value:
+def func_pred(
+    builder: Builder, fn: Value, basis: Basis, loc: Loc = None
+) -> Value:
     pred_type = predicated_type(fn.type, basis.dim)
-    return builder.create(FUNC_PRED, [fn], [pred_type], {"basis": basis}).result
+    return builder.create(
+        FUNC_PRED, [fn], [pred_type], {"basis": basis}, loc=loc
+    ).result
 
 
 def predicated_type(type: FunctionType, m: int) -> FunctionType:
@@ -177,6 +207,7 @@ def call(
     result_types: Sequence[Type],
     adj: bool = False,
     pred: Optional[Basis] = None,
+    loc: Loc = None,
 ) -> Operation:
     """Direct call, optionally marked adjoint or predicated
     (``call adj @f()``, ``call pred (b) @f()``)."""
@@ -185,28 +216,29 @@ def call(
         list(args),
         list(result_types),
         {"callee": callee, "adj": adj, "pred": pred},
+        loc=loc,
     )
 
 
 def call_indirect(
-    builder: Builder, fn: Value, args: Sequence[Value]
+    builder: Builder, fn: Value, args: Sequence[Value], loc: Loc = None
 ) -> Operation:
     result_types = list(fn.type.outputs)
-    return builder.create(CALL_INDIRECT, [fn, *args], result_types)
+    return builder.create(CALL_INDIRECT, [fn, *args], result_types, loc=loc)
 
 
-def lambda_op(builder: Builder, type: FunctionType) -> Operation:
+def lambda_op(builder: Builder, type: FunctionType, loc: Loc = None) -> Operation:
     """A lambda: a function value with an inline single-block body.
 
     The body block's arguments match the function inputs and must end
     with ``func.return``.
     """
     region = Region([Block(list(type.inputs))])
-    return builder.create(LAMBDA, [], [type], regions=[region])
+    return builder.create(LAMBDA, [], [type], regions=[region], loc=loc)
 
 
 def embed(
-    builder: Builder, qb: Value, network, kind: str
+    builder: Builder, qb: Value, network, kind: str, loc: Loc = None
 ) -> Value:
     """Apply a synthesized classical embedding (paper §6.4).
 
@@ -218,12 +250,15 @@ def embed(
     """
     n = qb.type.n
     return builder.create(
-        EMBED, [qb], [QBundleType(n)], {"network": network, "kind": kind}
+        EMBED, [qb], [QBundleType(n)], {"network": network, "kind": kind},
+        loc=loc,
     ).result
 
 
-def return_op(builder: Builder, values: Sequence[Value]) -> Operation:
-    return builder.create(RETURN, list(values), [])
+def return_op(
+    builder: Builder, values: Sequence[Value], loc: Loc = None
+) -> Operation:
+    return builder.create(RETURN, list(values), [], loc=loc)
 
 
 def is_quantum_op(op: Operation) -> bool:

@@ -1,64 +1,296 @@
-"""Exception hierarchy for the Qwerty/ASDF reproduction.
+"""Diagnostics: source spans, the diagnostic engine, and exceptions.
 
 Every user-facing failure raised by the compiler derives from
 :class:`QwertyError` so that callers can catch compiler diagnostics
 separately from programming errors in the compiler itself.
+
+Mirroring MLIR (where every operation carries a ``Location`` and
+verifier/pass failures point back at user source), each error carries a
+:class:`Diagnostic`: a severity, a stable error code (``QW101``), a
+primary :class:`SourceSpan`, and secondary notes.  Rendering follows
+the rustc style — a header line, a ``-->`` file:line:col pointer, the
+offending source line, and a caret underline::
+
+    error[QW121]: pipe type mismatch: value is qubit[2], function takes qubit[3]
+      --> kernel.py:12:16
+       |
+    12 |     return '00' | std[3].measure
+       |                   ^^^^^^^^^^^^^^
+       = note: while type checking @kernel
+
+Spans originate in the frontend (:mod:`repro.frontend.pyast` reads them
+off the decorated function's Python AST) and are threaded onto every
+Qwerty AST node, every IR :class:`~repro.ir.core.Operation` (its
+``loc``), and every flat-circuit instruction, so failures at any layer
+of the Fig. 2 pipeline can point at the Qwerty expression that produced
+the failing construct.  See docs/diagnostics.md for the error-code
+registry and the guide to attaching spans in new passes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
 
+
+# ----------------------------------------------------------------------
+# Source spans.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of user source code.
+
+    ``line``/``col`` are 1-based (column 0 or line 0 means "unknown").
+    ``snippet`` is the text of the first spanned source line, used by
+    the renderer to print the line under the ``-->`` pointer.
+    """
+
+    file: str = "<unknown>"
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+    snippet: str = ""
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.line <= 0
+
+    def caret_width(self) -> int:
+        """Length of the caret underline on the first spanned line."""
+        if self.end_line == self.line and self.end_col > self.col:
+            return self.end_col - self.col
+        remainder = len(self.snippet.rstrip()) - (self.col - 1)
+        return max(remainder, 1)
+
+    def __str__(self) -> str:
+        if self.is_unknown:
+            return "<unknown location>"
+        return f"{self.file}:{self.line}:{self.col}"
+
+
+#: The "no location" sentinel, analogous to MLIR's UnknownLoc.
+UNKNOWN_SPAN = SourceSpan()
+
+
+# ----------------------------------------------------------------------
+# Diagnostics.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Note:
+    """A secondary message attached to a diagnostic, optionally spanned."""
+
+    message: str
+    span: SourceSpan = UNKNOWN_SPAN
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured compiler diagnostic (severity, code, span, notes)."""
+
+    message: str
+    code: str = "QW000"
+    severity: str = "error"  # 'error' | 'warning' | 'note'
+    span: SourceSpan = UNKNOWN_SPAN
+    notes: tuple[Note, ...] = ()
+
+    def render(self) -> str:
+        """The rustc-style multi-line rendering of this diagnostic."""
+        lines = [f"{self.severity}[{self.code}]: {self.message}"]
+        lines.extend(_render_span_block(self.span))
+        for note in self.notes:
+            lines.append(f"  = note: {note.message}")
+            lines.extend(_render_span_block(note.span, indent="    "))
+        return "\n".join(lines)
+
+
+def _render_span_block(span: SourceSpan, indent: str = "  ") -> list[str]:
+    if span.is_unknown:
+        return []
+    lines = [f"{indent}--> {span}"]
+    if span.snippet:
+        gutter = str(span.line)
+        pad = " " * len(gutter)
+        lines.append(f"{indent}{pad} |")
+        lines.append(f"{indent}{gutter} | {span.snippet}")
+        caret = " " * max(span.col - 1, 0) + "^" * span.caret_width()
+        lines.append(f"{indent}{pad} | {caret}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# The exception hierarchy.
+# ----------------------------------------------------------------------
 class QwertyError(Exception):
-    """Base class for all compiler diagnostics."""
+    """Base class for all compiler diagnostics.
+
+    Carries a :class:`Diagnostic`.  ``span``, ``notes``, and ``code``
+    are keyword-only so every historical ``raise XError("message")``
+    site keeps working; layers that know a location attach it either at
+    construction or later via :meth:`attach_span` (the frontend and the
+    pass manager do this for errors bubbling out of span-less helpers
+    such as the basis library).
+    """
+
+    #: Default error code for this class; see docs/diagnostics.md.
+    code = "QW000"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        span: Optional[SourceSpan] = None,
+        notes: tuple[Note, ...] | list[Note] = (),
+        code: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = str(message)
+        self.span = span if span is not None else UNKNOWN_SPAN
+        self.notes: list[Note] = list(notes)
+        if code is not None:
+            self.code = code
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            self.message,
+            code=self.code,
+            severity="error",
+            span=self.span,
+            notes=tuple(self.notes),
+        )
+
+    def attach_span(self, span: Optional[SourceSpan]) -> "QwertyError":
+        """Set the primary span if none is attached yet (innermost wins)."""
+        if span is not None and not span.is_unknown and self.span.is_unknown:
+            self.span = span
+        return self
+
+    def with_note(
+        self, message: str, span: Optional[SourceSpan] = None
+    ) -> "QwertyError":
+        """Append a secondary note and return self (for re-raising).
+
+        Deliberately not named ``add_note``: Python 3.11's builtin
+        ``Exception.add_note`` has different semantics (``__notes__``,
+        returns None), and shadowing it would break both conventions.
+        """
+        self.notes.append(Note(message, span or UNKNOWN_SPAN))
+        return self
+
+    def render(self) -> str:
+        """The full caret rendering (also what ``str()`` returns once a
+        span or note is attached)."""
+        return self.diagnostic.render()
+
+    def __str__(self) -> str:
+        if self.span.is_unknown and not self.notes:
+            return self.message
+        return self.render()
 
 
 class QwertySyntaxError(QwertyError):
     """The Python AST did not match any recognized Qwerty construct."""
 
+    code = "QW101"
+
 
 class QwertyTypeError(QwertyError):
     """A Qwerty type rule was violated (including linearity)."""
+
+    code = "QW121"
 
 
 class SpanCheckError(QwertyTypeError):
     """A basis translation failed span equivalence checking (paper §4.1)."""
 
+    code = "QW122"
+
 
 class BasisError(QwertyTypeError):
     """A basis literal or basis expression is malformed (paper §2.2)."""
+
+    code = "QW123"
 
 
 class DimVarError(QwertyError):
     """A dimension variable could not be inferred or was inconsistent."""
 
+    code = "QW124"
+
 
 class ReversibilityError(QwertyTypeError):
     """An irreversible construct appeared where a reversible one is required."""
+
+    code = "QW125"
 
 
 class LinearityError(QwertyTypeError):
     """A qubit value was duplicated or discarded without ``discard``."""
 
+    code = "QW126"
+
 
 class SynthesisError(QwertyError):
     """Circuit synthesis for a basis translation or oracle failed."""
+
+    code = "QW201"
 
 
 class LoweringError(QwertyError):
     """An IR-to-IR lowering step encountered unsupported input."""
 
+    code = "QW202"
+
 
 class PassPipelineError(QwertyError):
     """A pass pipeline spec named an unknown pass or malformed options."""
+
+    code = "QW301"
 
 
 class IRVerificationError(QwertyError):
     """An IR invariant (SSA dominance, linear qubit use, types) was violated."""
 
+    code = "QW302"
+
 
 class BackendError(QwertyError):
     """Code generation for OpenQASM 3 or QIR failed."""
 
+    code = "QW401"
+
 
 class SimulationError(QwertyError):
     """The statevector simulator was given an invalid circuit."""
+
+    code = "QW501"
+
+
+def _collect_error_codes(
+    cls: type[QwertyError],
+) -> dict[str, type[QwertyError]]:
+    """Walk the exception hierarchy so the registry stays complete (and
+    collision-free) by construction as new classes are added.
+
+    A class appears under a code only if it *declares* one (subclasses
+    that inherit the parent's code share the parent's entry); two
+    classes declaring the same code is an import-time error.
+    """
+    registry: dict[str, type[QwertyError]] = {}
+    if "code" in vars(cls) or cls is QwertyError:
+        registry[cls.code] = cls
+    for subclass in cls.__subclasses__():
+        for code, owner in _collect_error_codes(subclass).items():
+            existing = registry.get(code)
+            if existing is not None and existing is not owner:
+                raise RuntimeError(
+                    f"error code {code} claimed by both "
+                    f"{existing.__name__} and {owner.__name__}"
+                )
+            registry[code] = owner
+    return registry
+
+
+#: Stable code -> exception class registry (rendered in docs/diagnostics.md).
+ERROR_CODES: dict[str, type[QwertyError]] = _collect_error_codes(QwertyError)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.errors import DimVarError
+from repro.errors import DimVarError, SourceSpan
 from repro.frontend.types import QwertyType
 
 # ----------------------------------------------------------------------
@@ -56,6 +56,10 @@ def eval_dim(dim: DimExpr, env: dict[str, int]) -> int:
 @dataclass
 class Expr:
     type: Optional[QwertyType] = field(default=None, init=False, repr=False)
+    #: Where this expression came from in the user's Python source,
+    #: stamped by the converter (repro.frontend.pyast) and preserved by
+    #: expansion/canonicalization so every layer can point back at it.
+    span: Optional[SourceSpan] = field(default=None, init=False, repr=False)
 
 
 @dataclass
@@ -187,7 +191,7 @@ class CondExpr(Expr):
 # ----------------------------------------------------------------------
 @dataclass
 class Stmt:
-    pass
+    span: Optional[SourceSpan] = field(default=None, init=False, repr=False)
 
 
 @dataclass
@@ -233,3 +237,4 @@ class KernelAST:
     return_annotation: Optional[ParamAnnotation]
     body: list[Stmt]
     dimvars: list[str]
+    span: Optional[SourceSpan] = None

@@ -37,17 +37,33 @@ def canonicalize_kernel(kernel: KernelAST) -> KernelAST:
     body: list[Stmt] = []
     for stmt in kernel.body:
         if isinstance(stmt, AssignStmt):
-            body.append(AssignStmt(stmt.targets, _rewrite(stmt.value)))
+            rewritten: Stmt = AssignStmt(stmt.targets, _rewrite(stmt.value))
         elif isinstance(stmt, ReturnStmt):
-            body.append(ReturnStmt(_rewrite(stmt.value)))
+            rewritten = ReturnStmt(_rewrite(stmt.value))
         else:
             body.append(stmt)
+            continue
+        rewritten.span = stmt.span
+        body.append(rewritten)
     return KernelAST(
-        kernel.name, kernel.params, kernel.return_annotation, body, kernel.dimvars
+        kernel.name,
+        kernel.params,
+        kernel.return_annotation,
+        body,
+        kernel.dimvars,
+        kernel.span,
     )
 
 
 def _rewrite(node: Expr) -> Expr:
+    rewritten = _rewrite_node(node)
+    # Rewritten expressions inherit the span of what they replace.
+    if rewritten is not node and rewritten.span is None:
+        rewritten.span = node.span
+    return rewritten
+
+
+def _rewrite_node(node: Expr) -> Expr:
     node = _rewrite_children(node)
 
     # ~~f -> f.
@@ -61,6 +77,7 @@ def _rewrite(node: Expr) -> Expr:
             swapped.resolved_in = inner.resolved_out
             swapped.resolved_out = inner.resolved_in
         swapped.type = None if inner.type is None else _flip_func_type(inner.type)
+        swapped.span = node.span
         return swapped
     if isinstance(node, PredExpr):
         # std[N] & f -> id[N] + f.
@@ -68,8 +85,11 @@ def _rewrite(node: Expr) -> Expr:
             isinstance(node.basis, BuiltinBasisExpr)
             and node.basis.prim == "std"
         ):
-            tensor = TensorExpr([IdExpr(node.basis.dim), node.fn])
+            id_expr = IdExpr(node.basis.dim)
+            id_expr.span = node.basis.span
+            tensor = TensorExpr([id_expr, node.fn])
             tensor.type = node.type
+            tensor.span = node.span
             return tensor
         # b3 & (b1 >> b2) -> b3 + b1 >> b3 + b2.
         if isinstance(node.fn, TranslationExpr):
@@ -86,6 +106,7 @@ def _rewrite(node: Expr) -> Expr:
                     inner.resolved_out
                 )
             combined.type = node.type
+            combined.span = node.span
             return combined
     return node
 

@@ -280,7 +280,8 @@ class QpuKernel:
         if missing and not allow_unbound:
             raise DimVarError(
                 f"could not infer dimension variables {missing} of "
-                f"@{self.name}; bind them with kernel{missing}"
+                f"@{self.name}; bind them with kernel{missing}",
+                span=self.kernel_ast.span,
             )
         return dims
 

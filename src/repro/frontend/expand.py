@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import copy
 
-from repro.errors import DimVarError
+from repro.errors import DimVarError, QwertyError
 from repro.frontend.ast_nodes import (
     AssignStmt,
     BasisLiteralExpr,
@@ -49,6 +49,7 @@ def expand_kernel(kernel: KernelAST, dims: dict[str, int]) -> KernelAST:
         kernel.return_annotation,
         body,
         kernel.dimvars,
+        kernel.span,
     )
     return expanded
 
@@ -67,14 +68,31 @@ class _Expander:
                     out.extend(self.stmts(copy.deepcopy(stmt.body)))
                 self.dims.pop(stmt.var, None)
             elif isinstance(stmt, AssignStmt):
-                out.append(AssignStmt(stmt.targets, self.expr(stmt.value)))
+                expanded = AssignStmt(stmt.targets, self.expr(stmt.value))
+                expanded.span = stmt.span
+                out.append(expanded)
             elif isinstance(stmt, ReturnStmt):
-                out.append(ReturnStmt(self.expr(stmt.value)))
+                expanded = ReturnStmt(self.expr(stmt.value))
+                expanded.span = stmt.span
+                out.append(expanded)
             else:
                 out.append(stmt)
         return out
 
     def expr(self, node: Expr) -> Expr:
+        """Expand one expression; expanded nodes inherit the span of the
+        node they came from, and dimension errors are annotated with it."""
+        try:
+            expanded = self._expand(node)
+        except QwertyError as error:
+            raise error.attach_span(getattr(node, "span", None))
+        if getattr(expanded, "span", None) is None and isinstance(
+            expanded, Expr
+        ):
+            expanded.span = node.span
+        return expanded
+
+    def _expand(self, node: Expr) -> Expr:
         if isinstance(node, BroadcastExpr):
             operand = self.expr(node.operand)
             count = eval_dim(node.count, self.dims)

@@ -11,6 +11,8 @@ everything (§5.4).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.basis import Basis
 from repro.basis.primitive import CHAR_TO_PRIM_EIGENBIT
 from repro.dialects import qwerty, scf
@@ -72,6 +74,23 @@ def ir_type(qtype: QwertyType) -> tuple[Type, ...]:
     raise LoweringError(f"no IR type for {qtype}")
 
 
+@contextmanager
+def _expr_loc(builder: Builder, node: Expr):
+    """Scope the builder's location to one expression's span.
+
+    Ops emitted while lowering the expression carry its source span;
+    the builder's location is restored afterwards so sibling
+    expressions are not attributed to this one.
+    """
+    previous = builder.loc
+    if node.span is not None:
+        builder.loc = node.span
+    try:
+        yield
+    finally:
+        builder.loc = previous
+
+
 class AstLowering:
     """Lowers one kernel into a module, given resolved captures.
 
@@ -91,6 +110,7 @@ class AstLowering:
         env: dict[str, Value] = {}
 
         for stmt in kernel.body:
+            builder.loc = stmt.span
             if isinstance(stmt, AssignStmt):
                 if isinstance(stmt.value.type, FuncType):
                     # A function value bound to a name.
@@ -152,6 +172,12 @@ class AstLowering:
     def values_of(
         self, node: Expr, builder: Builder, env: dict[str, Value]
     ) -> list[Value]:
+        with _expr_loc(builder, node):
+            return self._values_of(node, builder, env)
+
+    def _values_of(
+        self, node: Expr, builder: Builder, env: dict[str, Value]
+    ) -> list[Value]:
         if isinstance(node, QubitLiteralExpr):
             return [self._prep_literal(node, builder)]
         if isinstance(node, VariableExpr):
@@ -201,6 +227,12 @@ class AstLowering:
     # Function-typed expressions become function values (paper §5.1).
     # ------------------------------------------------------------------
     def function_of(
+        self, node: Expr, builder: Builder, env: dict[str, Value]
+    ) -> Value:
+        with _expr_loc(builder, node):
+            return self._function_of(node, builder, env)
+
+    def _function_of(
         self, node: Expr, builder: Builder, env: dict[str, Value]
     ) -> Value:
         if isinstance(node, TranslationExpr):
@@ -277,7 +309,7 @@ class AstLowering:
     ) -> Value:
         (lambda_type,) = ir_type(fn_type)
         lam = qwerty.lambda_op(builder, lambda_type)
-        body = Builder(lam.regions[0].entry)
+        body = Builder(lam.regions[0].entry, loc=builder.loc)
         results = build_body(body, list(lam.regions[0].entry.args))
         qwerty.return_op(body, results)
         return lam.result
@@ -292,7 +324,7 @@ class AstLowering:
         ]
         (lambda_type,) = ir_type(node.type)
         lam = qwerty.lambda_op(builder, lambda_type)
-        body = Builder(lam.regions[0].entry)
+        body = Builder(lam.regions[0].entry, loc=builder.loc)
         (arg,) = lam.regions[0].entry.args
         qubits = qwerty.qbunpack(body, arg)
 
@@ -352,10 +384,10 @@ class AstLowering:
         (cond_bit,) = qwerty.bitunpack(builder, cond_bundle)
         (fn_ir_type,) = ir_type(node.type)
         if_op = scf.if_op(builder, cond_bit, [fn_ir_type])
-        then_builder = Builder(scf.then_block(if_op))
+        then_builder = Builder(scf.then_block(if_op), loc=builder.loc)
         then_value = self.function_of(node.then_fn, then_builder, env)
         scf.yield_op(then_builder, [then_value])
-        else_builder = Builder(scf.else_block(if_op))
+        else_builder = Builder(scf.else_block(if_op), loc=builder.loc)
         else_value = self.function_of(node.else_fn, else_builder, env)
         scf.yield_op(else_builder, [else_value])
         return if_op.results[0]

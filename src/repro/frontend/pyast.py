@@ -13,8 +13,9 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
+from typing import Optional
 
-from repro.errors import QwertySyntaxError
+from repro.errors import QwertyError, QwertySyntaxError, SourceSpan
 from repro.frontend.ast_nodes import (
     AdjointExpr,
     AssignStmt,
@@ -50,20 +51,92 @@ _BUILTIN_BASES = {"std", "pm", "ij", "fourier"}
 _ANNOTATION_KINDS = {"qubit", "bit", "cfunc", "qfunc", "rev_qfunc"}
 
 
+class SourceMap:
+    """Maps positions in a parsed (dedented) kernel source back to the
+    user's file, producing :class:`SourceSpan` objects.
+
+    ``line_offset`` is added to 1-based parse line numbers to obtain
+    file line numbers; ``col_offset`` re-adds the indentation stripped
+    by :func:`textwrap.dedent`.  ``lines`` holds the *original*
+    (pre-dedent) source lines so rendered snippets match the file.
+    """
+
+    def __init__(
+        self, file: str, line_offset: int, col_offset: int, lines: list[str]
+    ) -> None:
+        self.file = file
+        self.line_offset = line_offset
+        self.col_offset = col_offset
+        self.lines = lines
+
+    def span(self, node: ast.AST) -> Optional[SourceSpan]:
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return None
+        end_lineno = getattr(node, "end_lineno", None) or lineno
+        col = getattr(node, "col_offset", 0)
+        end_col = getattr(node, "end_col_offset", None)
+        if end_col is None:
+            end_col = col
+        index = lineno - 1
+        snippet = self.lines[index] if 0 <= index < len(self.lines) else ""
+        return SourceSpan(
+            self.file,
+            lineno + self.line_offset,
+            col + self.col_offset + 1,
+            end_lineno + self.line_offset,
+            end_col + self.col_offset + 1,
+            snippet,
+        )
+
+
 def parse_kernel(fn, dimvars: list[str]) -> KernelAST:
     """Retrieve and convert the Python AST of a kernel function."""
-    return parse_kernel_source(inspect.getsource(fn), dimvars)
+    source = inspect.getsource(fn)
+    try:
+        file = inspect.getsourcefile(fn) or "<unknown>"
+    except TypeError:
+        file = "<unknown>"
+    code = getattr(fn, "__code__", None)
+    line_offset = code.co_firstlineno - 1 if code is not None else 0
+    return parse_kernel_source(
+        source, dimvars, file=file, line_offset=line_offset
+    )
 
 
-def parse_kernel_source(source: str, dimvars: list[str]) -> KernelAST:
+def parse_kernel_source(
+    source: str,
+    dimvars: list[str],
+    *,
+    file: str = "<string>",
+    line_offset: int = 0,
+) -> KernelAST:
     """Convert kernel source text directly.
 
     Unlike :func:`parse_kernel` this never byte-compiles the source, so
     DSL constructs that CPython flags at compile time (e.g. subscripted
     set displays like ``{'0','1'}[64]``, a SyntaxWarning since the body
     is never *executed* as Python) parse silently.
+
+    ``file`` and ``line_offset`` place the source in the user's file so
+    the :class:`SourceSpan` stamped on every AST node (and rendered in
+    diagnostics) uses real file coordinates.
     """
+    original_lines = source.splitlines()
     source = textwrap.dedent(source)
+    # The dedent margin comes from comparing dedent's actual output with
+    # the original, so the column offset matches exactly what was
+    # stripped (whatever dedent's common-prefix rules did).
+    margin = next(
+        (
+            len(original) - len(dedented)
+            for original, dedented in zip(
+                original_lines, source.splitlines()
+            )
+            if dedented.strip()
+        ),
+        0,
+    )
     tree = ast.parse(source)
     func_def = None
     for node in tree.body:
@@ -73,7 +146,8 @@ def parse_kernel_source(source: str, dimvars: list[str]) -> KernelAST:
     if func_def is None:
         raise QwertySyntaxError("could not find the kernel function definition")
 
-    converter = _Converter(dimvars)
+    source_map = SourceMap(file, line_offset, margin, original_lines)
+    converter = _Converter(dimvars, source_map)
     params = [
         KernelParam(arg.arg, converter.annotation(arg.annotation))
         for arg in func_def.args.args
@@ -82,12 +156,20 @@ def parse_kernel_source(source: str, dimvars: list[str]) -> KernelAST:
         converter.annotation(func_def.returns) if func_def.returns else None
     )
     body = [converter.stmt(node) for node in func_def.body]
-    return KernelAST(func_def.name, params, return_annotation, body, dimvars)
+    kernel = KernelAST(func_def.name, params, return_annotation, body, dimvars)
+    kernel.span = source_map.span(func_def)
+    return kernel
 
 
 class _Converter:
-    def __init__(self, dimvars: list[str]) -> None:
+    def __init__(
+        self, dimvars: list[str], source_map: Optional[SourceMap] = None
+    ) -> None:
         self.dimvars = set(dimvars)
+        self.source_map = source_map
+
+    def span_of(self, node: ast.AST) -> Optional[SourceSpan]:
+        return self.source_map.span(node) if self.source_map else None
 
     # ------------------------------------------------------------------
     # Dimension expressions.
@@ -113,6 +195,13 @@ class _Converter:
         )
 
     def annotation(self, node: ast.expr) -> ParamAnnotation:
+        span = self.span_of(node)
+        try:
+            return self._annotation(node)
+        except QwertyError as error:
+            raise error.attach_span(span)
+
+    def _annotation(self, node: ast.expr) -> ParamAnnotation:
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             # String annotations ("cfunc[N, 1]") parse as expressions.
             node = ast.parse(node.value, mode="eval").body
@@ -138,6 +227,18 @@ class _Converter:
     # Statements.
     # ------------------------------------------------------------------
     def stmt(self, node: ast.stmt) -> Stmt:
+        """Convert one statement, stamping its source span; errors from
+        the conversion are annotated with the span before re-raising."""
+        span = self.span_of(node)
+        try:
+            converted = self._stmt(node)
+        except QwertyError as error:
+            raise error.attach_span(span)
+        if converted.span is None:
+            converted.span = span
+        return converted
+
+    def _stmt(self, node: ast.stmt) -> Stmt:
         if isinstance(node, ast.Return):
             if node.value is None:
                 raise QwertySyntaxError("kernels must return a value")
@@ -177,6 +278,18 @@ class _Converter:
     # Expressions.
     # ------------------------------------------------------------------
     def expr(self, node: ast.expr) -> Expr:
+        """Convert one expression, stamping its source span (innermost
+        span wins when a conversion returns a child node unchanged)."""
+        span = self.span_of(node)
+        try:
+            converted = self._expr(node)
+        except QwertyError as error:
+            raise error.attach_span(span)
+        if converted.span is None:
+            converted.span = span
+        return converted
+
+    def _expr(self, node: ast.expr) -> Expr:
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             return QubitLiteralExpr(node.value)
         if isinstance(node, ast.Set):

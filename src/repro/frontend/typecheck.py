@@ -16,6 +16,7 @@ from repro.basis.span import check_span_equivalence
 from repro.errors import (
     BasisError,
     LinearityError,
+    QwertyError,
     QwertyTypeError,
     ReversibilityError,
 )
@@ -152,18 +153,26 @@ class TypeChecker:
             self.scope.define(name, type)
         return_type: QwertyType | None = None
         for index, stmt in enumerate(kernel.body):
-            if isinstance(stmt, ReturnStmt):
-                if index != len(kernel.body) - 1:
-                    raise QwertyTypeError("return must be the final statement")
-                return_type = self.expr(stmt.value)
-            elif isinstance(stmt, AssignStmt):
-                value_type = self.expr(stmt.value)
-                self._bind_targets(stmt.targets, value_type)
-            else:
-                raise QwertyTypeError(f"unsupported statement {stmt!r}")
-        if return_type is None:
-            raise QwertyTypeError("kernel has no return statement")
-        self.scope.check_all_consumed()
+            try:
+                if isinstance(stmt, ReturnStmt):
+                    if index != len(kernel.body) - 1:
+                        raise QwertyTypeError(
+                            "return must be the final statement"
+                        )
+                    return_type = self.expr(stmt.value)
+                elif isinstance(stmt, AssignStmt):
+                    value_type = self.expr(stmt.value)
+                    self._bind_targets(stmt.targets, value_type)
+                else:
+                    raise QwertyTypeError(f"unsupported statement {stmt!r}")
+            except QwertyError as error:
+                raise error.attach_span(stmt.span)
+        try:
+            if return_type is None:
+                raise QwertyTypeError("kernel has no return statement")
+            self.scope.check_all_consumed()
+        except QwertyError as error:
+            raise error.attach_span(kernel.span)
         return return_type
 
     def _bind_targets(self, targets: list[str], value_type: QwertyType) -> None:
@@ -191,7 +200,14 @@ class TypeChecker:
     # ------------------------------------------------------------------
     def expr(self, node: Expr) -> QwertyType:
         method = getattr(self, "_check_" + type(node).__name__)
-        node.type = method(node)
+        try:
+            node.type = method(node)
+        except QwertyError as error:
+            # Attach the nearest enclosing expression's span to errors
+            # escaping span-less helpers (basis resolution, span
+            # checking); inner expressions have already attached their
+            # own tighter span via the recursive call.
+            raise error.attach_span(node.span)
         return node.type
 
     def _check_QubitLiteralExpr(self, node: QubitLiteralExpr) -> QwertyType:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
+from repro.errors import SourceSpan
 from repro.ir.types import Type
 
 
@@ -78,9 +79,14 @@ class Operation:
         result_types: list[Type] | tuple[Type, ...] = (),
         attrs: Optional[dict[str, Any]] = None,
         regions: Optional[list["Region"]] = None,
+        loc: Optional[SourceSpan] = None,
     ) -> None:
         self.name = name
         self.attrs: dict[str, Any] = dict(attrs or {})
+        #: The user-source location this op came from (MLIR's Location).
+        #: ``None`` means unknown; transformations must propagate it —
+        #: fused/rewritten ops inherit the span of the op they replace.
+        self.loc: Optional[SourceSpan] = loc
         self.parent_block: Optional[Block] = None
         self._operands: list[Value] = []
         for value in operands:
@@ -173,6 +179,7 @@ class Operation:
             operands,
             [result.type for result in self.results],
             dict(self.attrs),
+            loc=self.loc,
         )
         for region in self.regions:
             clone.regions.append(region.clone(value_map, parent_op=clone))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from repro.errors import SourceSpan
 from repro.ir.core import Block, Operation, Region, Value
 from repro.ir.types import FunctionType, Type
 
@@ -82,20 +83,34 @@ class ModuleOp:
 
 
 class Builder:
-    """Appends ops at an insertion point, mirroring MLIR's OpBuilder."""
+    """Appends ops at an insertion point, mirroring MLIR's OpBuilder.
 
-    def __init__(self, block: Block) -> None:
+    The builder also carries the *current source location* (``loc``),
+    mirroring how MLIR builders thread a ``Location`` into every op
+    they create: :meth:`create` stamps it on each op unless the caller
+    passes an explicit override.  :meth:`before` inherits the anchor
+    op's location, so rewrite patterns that build replacements with
+    ``Builder.before(op)`` preserve locations automatically.
+    """
+
+    def __init__(
+        self, block: Block, loc: Optional[SourceSpan] = None
+    ) -> None:
         self.block = block
         self.insert_before_op: Optional[Operation] = None
+        #: Location stamped on created ops (None = unknown).
+        self.loc: Optional[SourceSpan] = loc
 
     @classmethod
     def before(cls, op: Operation) -> "Builder":
-        builder = cls(op.parent_block)
+        builder = cls(op.parent_block, loc=op.loc)
         builder.insert_before_op = op
         return builder
 
     def insert(self, op: Operation) -> Operation:
         """Insert an already-constructed op at the insertion point."""
+        if op.loc is None:
+            op.loc = self.loc
         if self.insert_before_op is not None:
             self.block.insert_before(self.insert_before_op, op)
         else:
@@ -109,8 +124,16 @@ class Builder:
         result_types: Iterable[Type] = (),
         attrs: Optional[dict[str, Any]] = None,
         regions: Optional[list[Region]] = None,
+        loc: Optional[SourceSpan] = None,
     ) -> Operation:
-        op = Operation(name, list(operands), list(result_types), attrs, regions)
+        op = Operation(
+            name,
+            list(operands),
+            list(result_types),
+            attrs,
+            regions,
+            loc=loc if loc is not None else self.loc,
+        )
         if self.insert_before_op is not None:
             self.block.insert_before(self.insert_before_op, op)
         else:

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
-from repro.errors import PassPipelineError
+from repro.errors import PassPipelineError, QwertyError
 
 
 class Pass:
@@ -339,22 +339,41 @@ class PassManager:
 
     def run(self, artifact) -> bool:
         """Run every pass once, in order.  Returns True iff any changed."""
-        if self.verifier is not None:
-            self.verifier(artifact)
+        self._verify(artifact, after=None)
         changed_any = False
         for pass_ in self.passes:
             before = self.count_ops(artifact) if self.count_ops else 0
             start = time.perf_counter()
-            changed = bool(pass_.run(artifact))
+            try:
+                changed = bool(pass_.run(artifact))
+            except QwertyError as error:
+                raise error.with_note(f"while running pass '{pass_.name}'")
             elapsed = time.perf_counter() - start
             after = self.count_ops(artifact) if self.count_ops else 0
             self.statistics.entry(pass_.name).record(
                 elapsed, changed, after - before
             )
-            if changed and self.verifier is not None:
-                self.verifier(artifact)
+            if changed:
+                self._verify(artifact, after=pass_.name)
             changed_any |= changed
         return changed_any
+
+    def _verify(self, artifact, after: Optional[str]) -> None:
+        """Run the inter-pass verifier, annotating failures with the
+        pass that produced the broken IR (the op location rides on the
+        :class:`~repro.errors.IRVerificationError` itself)."""
+        if self.verifier is None:
+            return
+        try:
+            self.verifier(artifact)
+        except QwertyError as error:
+            if after is None:
+                raise error.with_note(
+                    "IR was invalid before the first pass ran"
+                )
+            raise error.with_note(
+                f"IR verification failed after pass '{after}'"
+            )
 
 
 def count_module_ops(module) -> int:

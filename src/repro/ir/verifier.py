@@ -11,7 +11,7 @@ from typing import Callable
 
 from repro.ir.core import Block, Operation, Value
 from repro.ir.module import FuncOp, ModuleOp
-from repro.errors import IRVerificationError
+from repro.errors import IRVerificationError, QwertyError
 
 #: Per-op verifiers registered by dialects, keyed by op name.
 OP_VERIFIERS: dict[str, Callable[[Operation], None]] = {}
@@ -43,7 +43,8 @@ def _verify_block(block: Block, visible: set[int]) -> None:
         for operand in op.operands:
             if id(operand) not in defined:
                 raise IRVerificationError(
-                    f"operand of {op.name} used before definition"
+                    f"operand of {op.name} used before definition",
+                    span=op.loc,
                 )
         for result in op.results:
             defined.add(id(result))
@@ -52,7 +53,12 @@ def _verify_block(block: Block, visible: set[int]) -> None:
                 _verify_block(inner, defined)
         verifier = OP_VERIFIERS.get(op.name)
         if verifier is not None:
-            verifier(op)
+            try:
+                verifier(op)
+            except QwertyError as error:
+                # Dialect verifiers need not thread locations; the
+                # walker knows which op failed.
+                raise error.attach_span(op.loc)
 
 
 def _branch_path(op: Operation) -> tuple[tuple[int, int], ...]:
@@ -85,7 +91,7 @@ def _uses_mutually_exclusive(op_a: Operation, op_b: Operation) -> bool:
 def _verify_linearity(func: FuncOp) -> None:
     from repro.ir.core import walk
 
-    def check(value: Value, desc: str) -> None:
+    def check(value: Value, desc: str, loc=None) -> None:
         if not _is_linear(value):
             return
         uses = value.uses
@@ -94,7 +100,8 @@ def _verify_linearity(func: FuncOp) -> None:
         if len(uses) == 0:
             raise IRVerificationError(
                 f"linear value {desc} in @{func.name} has 0 uses "
-                f"(expected exactly 1)"
+                f"(expected exactly 1)",
+                span=loc,
             )
         ops = [op for op, _ in uses]
         for i in range(len(ops)):
@@ -102,7 +109,8 @@ def _verify_linearity(func: FuncOp) -> None:
                 if not _uses_mutually_exclusive(ops[i], ops[j]):
                     raise IRVerificationError(
                         f"linear value {desc} in @{func.name} has "
-                        f"{len(uses)} non-exclusive uses (expected exactly 1)"
+                        f"{len(uses)} non-exclusive uses (expected exactly 1)",
+                        span=loc,
                     )
 
     for block in func.body.blocks:
@@ -110,7 +118,7 @@ def _verify_linearity(func: FuncOp) -> None:
             check(arg, f"block argument #{arg.index}")
     for op in walk(func.entry):
         for result in op.results:
-            check(result, f"result of {op.name}")
+            check(result, f"result of {op.name}", loc=op.loc)
 
 
 def _verify_terminator(func: FuncOp) -> None:
@@ -119,12 +127,14 @@ def _verify_terminator(func: FuncOp) -> None:
     terminator = func.entry.terminator
     if terminator.name not in RETURN_OPS:
         raise IRVerificationError(
-            f"@{func.name} ends with {terminator.name}, not a return"
+            f"@{func.name} ends with {terminator.name}, not a return",
+            span=terminator.loc,
         )
     got = tuple(operand.type for operand in terminator.operands)
     if got != func.type.outputs:
         raise IRVerificationError(
-            f"@{func.name} returns {got}, expected {func.type.outputs}"
+            f"@{func.name} returns {got}, expected {func.type.outputs}",
+            span=terminator.loc,
         )
 
 

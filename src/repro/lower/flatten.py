@@ -52,7 +52,7 @@ def _flatten_block(
         elif name in (qcircuit.QFREE, qcircuit.QFREEZ):
             qubit = state.qubit_of[id(op.operands[0])]
             if name == qcircuit.QFREE:
-                state.circuit.add(Reset(qubit))
+                state.circuit.add(Reset(qubit, loc=op.loc))
             state.free_qubits.append(qubit)
         elif name == qcircuit.GATE:
             num_controls = op.attrs["num_controls"]
@@ -64,16 +64,19 @@ def _flatten_block(
                 op.attrs["params"],
                 op.attrs["ctrl_states"],
                 condition,
+                loc=op.loc,
             )
             state.circuit.add(gate)
             for value, qubit in zip(op.results, physical):
                 state.qubit_of[id(value)] = qubit
         elif name == qcircuit.MEASURE:
             if condition is not None:
-                raise LoweringError("measurement inside a conditional block")
+                raise LoweringError(
+                    "measurement inside a conditional block", span=op.loc
+                )
             qubit = state.qubit_of[id(op.operands[0])]
             bit = state.alloc_bit()
-            state.circuit.add(Measurement(qubit, bit))
+            state.circuit.add(Measurement(qubit, bit, loc=op.loc))
             state.qubit_of[id(op.results[0])] = qubit
             state.bit_of[id(op.results[1])] = bit
         elif name == qcircuit.ARRPACK:
@@ -81,7 +84,9 @@ def _flatten_block(
         elif name == qcircuit.ARRUNPACK:
             source = state.arrays.get(id(op.operands[0]))
             if source is None:
-                raise LoweringError("arrunpack of an unknown array value")
+                raise LoweringError(
+                    "arrunpack of an unknown array value", span=op.loc
+                )
             for result, origin in zip(op.results, source):
                 # Alias the unpacked values to the packed ones.
                 if id(origin) in state.qubit_of:
@@ -102,7 +107,8 @@ def _flatten_block(
             pass
         else:
             raise LoweringError(
-                f"cannot flatten op {name}; inlining may have failed"
+                f"cannot flatten op {name}; inlining may have failed",
+                span=op.loc,
             )
     return terminator_operands
 
@@ -127,11 +133,15 @@ def _flatten_if(
     op: Operation, state: _State, condition: tuple[int, int] | None
 ) -> None:
     if condition is not None:
-        raise LoweringError("nested conditionals are not supported")
+        raise LoweringError(
+            "nested conditionals are not supported", span=op.loc
+        )
     cond_value = op.operands[0]
     bit = state.bit_of.get(id(cond_value))
     if bit is None:
-        raise LoweringError("scf.if condition is not a measurement result")
+        raise LoweringError(
+            "scf.if condition is not a measurement result", span=op.loc
+        )
 
     then_yield = _flatten_block(
         scf.then_block(op).ops, state, condition=(bit, 1)

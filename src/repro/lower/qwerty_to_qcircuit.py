@@ -159,6 +159,9 @@ class _FuncLowering:
         from repro.synth import synthesize_basis_translation
 
         for op in list(block.ops):
+            # Every op emitted while converting this op inherits its
+            # source location (synthesized gate sequences included).
+            builder.loc = op.loc
             handler = getattr(self, "_op_" + op.name.replace(".", "_"), None)
             if handler is not None:
                 handler(op, builder)
@@ -173,6 +176,7 @@ class _FuncLowering:
             operands,
             [convert_type(r.type) for r in op.results],
             dict(op.attrs),
+            loc=op.loc,
         )
         builder.insert(clone)
         for region in op.regions:

@@ -150,12 +150,18 @@ class CompileResult:
     #: Per-pass instrumentation, when compiled with collect_statistics.
     statistics: Optional[PassStatistics] = None
 
-    def qasm3(self) -> str:
+    def qasm3(self, source_comments: bool = False) -> str:
+        """OpenQASM 3 text; ``source_comments=True`` adds ``// line N``
+        provenance comments from the gates' source spans."""
         from repro.backends.qasm3 import emit_qasm3
 
         if self.optimized_circuit is None:
             raise QwertyTypeError("OpenQASM 3 export requires inlining")
-        return emit_qasm3(self.optimized_circuit, name=self.name)
+        return emit_qasm3(
+            self.optimized_circuit,
+            name=self.name,
+            source_comments=source_comments,
+        )
 
     def qir(self, profile: str = "unrestricted") -> str:
         from repro.backends.qir import emit_qir

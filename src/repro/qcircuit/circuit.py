@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SourceSpan
 
 #: Gate names understood by the circuit layer.
 KNOWN_GATES = {
@@ -48,6 +48,11 @@ class CircuitGate:
     ``condition`` is an optional ``(classical bit, required value)``
     pair; the gate only runs when the bit holds that value (used for
     measurement-dependent circuits such as teleportation).
+
+    ``loc`` records the Qwerty source span the gate originated from
+    (threaded all the way from the decorated function's Python AST);
+    it is provenance metadata only, so it is excluded from equality —
+    two gates that act identically compare equal regardless of origin.
     """
 
     name: str
@@ -56,6 +61,7 @@ class CircuitGate:
     params: tuple[float, ...] = ()
     ctrl_states: tuple[int, ...] = ()
     condition: Optional[tuple[int, int]] = None
+    loc: Optional[SourceSpan] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.name not in KNOWN_GATES:
@@ -143,6 +149,7 @@ class Measurement:
 
     qubit: int
     bit: int
+    loc: Optional[SourceSpan] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -150,6 +157,7 @@ class Reset:
     """Reset ``qubit`` to |0> (emitted by ``qfree``)."""
 
     qubit: int
+    loc: Optional[SourceSpan] = field(default=None, compare=False)
 
 
 @dataclass

@@ -63,7 +63,8 @@ def _merge(a: CircuitGate, b: CircuitGate) -> CircuitGate | None:
     if a.name == b.name and a.name in {"p", "rx", "ry", "rz"}:
         angle = (a.params[0] + b.params[0]) % _TWO_PI
         return CircuitGate(
-            a.name, a.targets, a.controls, (angle,), a.ctrl_states, a.condition
+            a.name, a.targets, a.controls, (angle,), a.ctrl_states, a.condition,
+            loc=a.loc,
         )
     return None
 
@@ -194,6 +195,7 @@ class _Window:
                 prev.controls,
                 (),
                 prev.ctrl_states,
+                loc=prev.loc,
             )
         )
         return True
@@ -246,21 +248,23 @@ def _mcz_from_mcx(mcx: CircuitGate) -> list[CircuitGate]:
                 tuple(c for c, _ in rest),
                 (),
                 tuple(s for _, s in rest),
+                loc=mcx.loc,
             )
         ]
     # All negative controls: X-conjugate one of them.
     target = mcx.controls[0]
     rest = list(zip(mcx.controls, mcx.ctrl_states))[1:]
     return [
-        CircuitGate("x", (target,)),
+        CircuitGate("x", (target,), loc=mcx.loc),
         CircuitGate(
             "z",
             (target,),
             tuple(c for c, _ in rest),
             (),
             tuple(s for _, s in rest),
+            loc=mcx.loc,
         ),
-        CircuitGate("x", (target,)),
+        CircuitGate("x", (target,), loc=mcx.loc),
     ]
 
 
@@ -395,9 +399,9 @@ def compact_qubits(circuit: Circuit) -> Circuit:
         if isinstance(inst, CircuitGate):
             new.add(inst.remapped(mapping))
         elif isinstance(inst, Measurement):
-            new.add(Measurement(mapping[inst.qubit], inst.bit))
+            new.add(Measurement(mapping[inst.qubit], inst.bit, loc=inst.loc))
         else:
-            new.add(Reset(mapping[inst.qubit]))
+            new.add(Reset(mapping[inst.qubit], loc=inst.loc))
     return new
 
 

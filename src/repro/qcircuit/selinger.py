@@ -12,6 +12,7 @@ textbook ladder built from full 7-T Toffolis, which is kept here as the
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 from repro.errors import SynthesisError
 from repro.qcircuit.circuit import Circuit, CircuitGate
@@ -263,15 +264,17 @@ def decompose_multi_controlled(
             decomposer.out = []
             decomposer.emit(inst)
             for gate in decomposer.out:
-                if inst.condition is not None:
-                    gate = CircuitGate(
-                        gate.name,
-                        gate.targets,
-                        gate.controls,
-                        gate.params,
-                        gate.ctrl_states,
-                        inst.condition,
-                    )
+                # Decomposed gates inherit the source gate's condition
+                # and provenance span.
+                gate = replace(
+                    gate,
+                    condition=(
+                        inst.condition
+                        if inst.condition is not None
+                        else gate.condition
+                    ),
+                    loc=gate.loc if gate.loc is not None else inst.loc,
+                )
                 new.add(gate)
         else:
             new.add(inst)

@@ -212,8 +212,11 @@ def _adjoint_ops_into(
         if build is None:
             raise ReversibilityError(
                 f"op {op.name} is not adjointable; reversible functions "
-                f"cannot contain it"
+                f"cannot contain it",
+                span=op.loc,
             )
+        # Adjoint ops inherit the location of the op they invert.
+        builder.loc = op.loc
         build(op, builder, amap)
 
     return [amap.get(value) for value in source_inputs]

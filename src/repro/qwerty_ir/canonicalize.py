@@ -165,6 +165,8 @@ def _push_into_scf_if(op: Operation, module: ModuleOp) -> bool:
         yield_op = block.terminator
         inner_value = yield_op.operands[result_index]
         inner_builder = Builder.before(yield_op)
+        # The pushed op keeps its own location, not the yield's.
+        inner_builder.loc = op.loc
         if op.name == qwerty.CALL_INDIRECT:
             inner = qwerty.call_indirect(
                 inner_builder, inner_value, list(op.operands[1:])

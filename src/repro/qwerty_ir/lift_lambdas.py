@@ -27,11 +27,13 @@ def _rematerialize(
     if op is None or not is_stationary(op):
         raise LoweringError(
             "lambda captures a value that is not re-materializable "
-            f"(defined by {op.name if op else 'a block argument'})"
+            f"(defined by {op.name if op else 'a block argument'})",
+            span=op.loc if op is not None else None,
         )
     operands = [_rematerialize(operand, builder, cache) for operand in op.operands]
     clone = Operation(
-        op.name, operands, [r.type for r in op.results], dict(op.attrs)
+        op.name, operands, [r.type for r in op.results], dict(op.attrs),
+        loc=op.loc,
     )
     builder.insert(clone)
     for old, new in zip(op.results, clone.results):

@@ -271,8 +271,11 @@ def predicate_function(
         if build is None:
             raise ReversibilityError(
                 f"op {op.name} is not predicatable; reversible functions "
-                f"cannot contain it"
+                f"cannot contain it",
+                span=op.loc,
             )
+        # Predicated ops inherit the location of the op they replace.
+        builder.loc = op.loc
         build(op, builder, state)
 
     terminator = func.entry.terminator

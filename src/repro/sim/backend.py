@@ -43,8 +43,12 @@ from repro.sim.statevector import (
     fuse_single_qubit_gates,
 )
 
-#: The backend used when callers pass ``backend=None`` to the kernel
-#: simulation entry points (``simulate_kernel`` and friends).
+#: The one default-backend decision for the whole execution layer: every
+#: entry point — ``run_circuit``, ``run_circuit_with_info``,
+#: ``simulate_kernel`` / ``kernel()``, and ``interpret_module`` —
+#: resolves ``backend=None`` here (via :func:`get_backend`), so changing
+#: this name (or registering a replacement backend under it) retargets
+#: all of them at once.
 DEFAULT_BACKEND = "statevector"
 
 
@@ -289,14 +293,10 @@ def run_circuit_with_info(
 ) -> tuple[list[tuple[int, ...]], RunInfo]:
     """Run a circuit and return ``(results, RunInfo)`` for telemetry.
 
-    Defaults to the ``"interpreter"`` backend, matching ``run_circuit``
-    — the two circuit-level entry points must stay drop-in compatible.
-    (Kernel-level entry points like ``simulate_kernel`` default to
-    :data:`DEFAULT_BACKEND` instead.)
+    ``backend=None`` resolves to :data:`DEFAULT_BACKEND`, the same
+    single resolution point every execution entry point consults.
     """
-    return get_backend(backend or "interpreter").run_with_info(
-        circuit, shots, seed
-    )
+    return get_backend(backend).run_with_info(circuit, shots, seed)
 
 
 register_backend(InterpreterBackend.name, InterpreterBackend)

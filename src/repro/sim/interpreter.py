@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.dialects import arith, qcircuit, qwerty, scf
-from repro.errors import SimulationError
+from repro.errors import QwertyError, SimulationError
 from repro.ir.core import Operation, Value
 from repro.ir.module import FuncOp, ModuleOp
 from repro.qcircuit.circuit import CircuitGate
@@ -92,7 +92,12 @@ class ModuleInterpreter:
         for op in ops:
             if op.name in (qwerty.RETURN, scf.YIELD):
                 return [env[id(v)] for v in op.operands]
-            self._step(op, env)
+            try:
+                self._step(op, env)
+            except QwertyError as error:
+                # Runtime failures point at the Qwerty expression whose
+                # op was executing.
+                raise error.attach_span(op.loc)
         return []
 
     def _step(self, op: Operation, env: dict[int, object]) -> None:

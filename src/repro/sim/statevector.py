@@ -317,16 +317,16 @@ def run_circuit(
     """Run ``shots`` executions of ``circuit``; returns output-bit tuples.
 
     ``backend`` names a registered simulation backend (see
-    :mod:`repro.sim.backend` and docs/simulators.md).  The default is
-    the ``"interpreter"`` backend, which runs one independent trajectory
-    per shot seeded ``seed + shot`` — bit-for-bit the historical
-    behavior.  Pass ``backend="statevector"`` for the vectorized
-    sampler, which evolves terminal-measurement circuits once and draws
-    every shot from |psi|^2.
+    :mod:`repro.sim.backend` and docs/simulators.md).  ``None`` resolves
+    to the one shared :data:`~repro.sim.backend.DEFAULT_BACKEND` — the
+    vectorized ``"statevector"`` sampler — like every other execution
+    entry point (``simulate_kernel``, ``kernel()``,
+    ``interpret_module``).  Pass ``backend="interpreter"`` for one
+    independent trajectory per shot seeded ``seed + shot``.
     """
     from repro.sim.backend import get_backend
 
-    return get_backend(backend or "interpreter").run(circuit, shots, seed)
+    return get_backend(backend).run(circuit, shots, seed)
 
 
 def apply_gates_to_state(

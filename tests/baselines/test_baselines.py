@@ -32,11 +32,13 @@ def test_bv_transpiled_still_correct():
 
 
 def test_grover_baselines_find_marked_item():
+    # 400 shots / 90% threshold: robust margin below the ~94.5% success
+    # probability under any correctly-sampling backend.
     for style in ("qiskit", "qsharp"):
         circuit = transpile_o3(build_baseline("grover", style, 3), style)
-        results = run_circuit(circuit, shots=20)
+        results = run_circuit(circuit, shots=400)
         hits = sum(1 for r in results if r == (1, 1, 1))
-        assert hits >= 18, style
+        assert hits >= 360, style
 
 
 def test_quipper_uses_more_ancillas_for_xor():

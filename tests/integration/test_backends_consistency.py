@@ -28,10 +28,12 @@ def test_bv_consistent_across_all_representations():
 
 
 def test_grover_decomposed_still_finds_item():
+    # 400 shots with a 90% threshold is ~4 sigma below the ~94.5%
+    # success probability, robust under any correctly-sampling backend.
     result = grover(3).compile()
-    results = run_circuit(result.decomposed_circuit, shots=10, seed=5)
+    results = run_circuit(result.decomposed_circuit, shots=400, seed=5)
     hits = sum(1 for r in results if r == (1, 1, 1))
-    assert hits >= 9
+    assert hits >= 360
 
 
 def test_period_finding_decomposed_samples_valid():
