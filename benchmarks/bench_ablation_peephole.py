@@ -7,7 +7,9 @@ with the ``"default"`` and ``"no-relaxed-peephole"`` pipeline presets
 and reports the per-pass timing breakdown of the default compile.
 """
 
-from conftest import write_result
+import time
+
+from conftest import bench_record, write_bench_json, write_result
 
 from repro import CompileOptions
 from repro.algorithms import bernstein_vazirani, alternating_secret
@@ -15,10 +17,23 @@ from repro.algorithms import bernstein_vazirani, alternating_secret
 
 def _ablation(n=32):
     kernel = bernstein_vazirani(alternating_secret(n))
+    start = time.perf_counter()
     with_relaxed = kernel.compile(
         options=CompileOptions.preset("default", collect_statistics=True)
     )
+    relaxed_seconds = time.perf_counter() - start
+    start = time.perf_counter()
     without = kernel.compile(pipeline="no-relaxed-peephole")
+    disabled_seconds = time.perf_counter() - start
+    write_bench_json(
+        "ablation_peephole",
+        [
+            bench_record("bv-n32-compile", "relaxed", relaxed_seconds * 1e3),
+            bench_record(
+                "bv-n32-compile", "disabled", disabled_seconds * 1e3
+            ),
+        ],
+    )
     rows = [
         ("relaxed", with_relaxed.optimized_circuit.num_qubits,
          len(with_relaxed.optimized_circuit.gates)),

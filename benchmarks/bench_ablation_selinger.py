@@ -6,7 +6,9 @@ This bench compiles Grover's with the ``"default"`` and
 runtimes, plus the per-pass timing breakdown of the default compile.
 """
 
-from conftest import write_result
+import time
+
+from conftest import bench_record, write_bench_json, write_result
 
 from repro import CompileOptions
 from repro.algorithms import grover
@@ -15,10 +17,25 @@ from repro.resources import estimate_physical_resources
 
 def _ablation(n=16):
     kernel = grover(n)
+    start = time.perf_counter()
     with_selinger = kernel.compile(
         options=CompileOptions.preset("default", collect_statistics=True)
     )
+    selinger_seconds = time.perf_counter() - start
+    start = time.perf_counter()
     without = kernel.compile(pipeline="no-selinger")
+    naive_seconds = time.perf_counter() - start
+    write_bench_json(
+        "ablation_selinger",
+        [
+            bench_record(
+                "grover-n16-compile", "selinger", selinger_seconds * 1e3
+            ),
+            bench_record(
+                "grover-n16-compile", "naive", naive_seconds * 1e3
+            ),
+        ],
+    )
 
     def t_count(circuit):
         return sum(

@@ -6,7 +6,9 @@ This bench compares ASDF's Bennett embedding against the Quipper-style
 ancilla-per-XOR baseline on the Deutsch-Jozsa oracle.
 """
 
-from conftest import write_result
+import time
+
+from conftest import bench_record, write_bench_json, write_result
 
 from repro.baselines import build_baseline, transpile_o3
 from repro.evaluation import compiled_circuit
@@ -14,8 +16,21 @@ from repro.resources import estimate_physical_resources
 
 
 def _ablation(n=32):
+    start = time.perf_counter()
     asdf = compiled_circuit("dj", "asdf", n)
+    asdf_seconds = time.perf_counter() - start
+    start = time.perf_counter()
     quipper = transpile_o3(build_baseline("dj", "quipper", n), "quipper")
+    quipper_seconds = time.perf_counter() - start
+    write_bench_json(
+        "ablation_xor",
+        [
+            bench_record("dj-n32-synthesis", "asdf-xag", asdf_seconds * 1e3),
+            bench_record(
+                "dj-n32-synthesis", "quipper-xor", quipper_seconds * 1e3
+            ),
+        ],
+    )
     rows = []
     for label, circuit in (("asdf-xag", asdf), ("quipper-xor", quipper)):
         estimate = estimate_physical_resources(circuit)

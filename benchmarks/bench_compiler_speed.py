@@ -7,9 +7,11 @@ and how the polynomial-time span checker scales (paper §4.1 claims
 O(k^2 log k) instead of the naive exponential).
 """
 
+import time
+
 import pytest
 
-from conftest import write_result
+from conftest import bench_record, write_bench_json, write_result
 
 from repro import CompileOptions
 from repro.basis import Basis
@@ -36,6 +38,16 @@ def test_per_pass_timing_breakdown(benchmark, algorithm):
     report = result.statistics.report()
     write_result(f"compiler_passes_{algorithm}.txt",
                  f"{algorithm} n=32: per-pass compile breakdown\n{report}")
+    write_bench_json(
+        "compiler_speed",
+        [
+            bench_record(
+                f"compile-{algorithm}-n32",
+                "default",
+                result.statistics.total_seconds * 1e3,
+            )
+        ],
+    )
     names = [entry.name for entry in result.statistics.entries]
     assert "inline" in names and "(frontend)" in names
 
@@ -46,11 +58,28 @@ def test_compile_cache_speedup(benchmark):
 
     clear_compile_cache()
     kernel = asdf_kernel("grover", 32)
+    start = time.perf_counter()
     cold = kernel.compile(pipeline="default", cache=True)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
     warm = benchmark.pedantic(
         lambda: kernel.compile(pipeline="default", cache=True),
         rounds=3,
         iterations=1,
+    )
+    warm_seconds = time.perf_counter() - start
+    write_bench_json(
+        "compiler_speed",
+        [
+            bench_record(
+                "compile-grover-n32-cache", "cold", cold_seconds * 1e3
+            ),
+            bench_record(
+                "compile-grover-n32-cache",
+                "warm-3rounds",
+                warm_seconds * 1e3,
+            ),
+        ],
     )
     assert warm is cold
 

@@ -12,7 +12,12 @@ import math
 import time
 
 import pytest
-from conftest import format_figure_series, write_result
+from conftest import (
+    bench_record,
+    format_figure_series,
+    write_bench_json,
+    write_result,
+)
 
 from repro.evaluation import (
     ALGORITHMS,
@@ -23,6 +28,7 @@ from repro.evaluation import (
     format_series,
     format_shot_report,
     shot_execution_report,
+    trajectory_execution_report,
 )
 from repro.resources import estimate_physical_resources
 
@@ -94,6 +100,19 @@ def test_fig11_shot_backend_timing():
         algorithms=("bv", "dj", "grover"), sizes=(5,), shots=512
     )
     write_result("fig11_shot_backends.txt", format_shot_report(rows))
+    write_bench_json(
+        "fig11_runtime",
+        [
+            bench_record(
+                f"{row.algorithm}-n{row.input_size}",
+                row.backend,
+                row.seconds * 1e3,
+                shots=row.shots,
+                evolutions=row.evolutions,
+            )
+            for row in rows
+        ],
+    )
 
     by_backend = {
         (r.algorithm, r.backend): r for r in rows
@@ -149,7 +168,112 @@ def test_fig11_vectorized_speedup_smoke():
         f"({vector_info.evolutions} evolution)\n"
         f"speedup: {speedup:.1f}x\n",
     )
+    write_bench_json(
+        "fig11_runtime",
+        [
+            bench_record(
+                "bv-n5-4096shots", "interpreter", interp_seconds * 1e3,
+                shots=shots, evolutions=interp_info.evolutions,
+            ),
+            bench_record(
+                "bv-n5-4096shots", "statevector", vector_seconds * 1e3,
+                shots=shots, evolutions=vector_info.evolutions,
+            ),
+        ],
+    )
     assert speedup >= 20.0, speedup
     # Bernstein-Vazirani is deterministic, so both backends must agree
     # on every single shot, not just in distribution.
     assert per_shot == vectorized
+
+
+def test_fig11_batched_teleport_speedup_smoke():
+    """Acceptance smoke for the batched trajectory engine: teleportation
+    (mid-circuit measurement + classically conditioned corrections) at
+    4096 shots must run as ONE batched sweep and beat the per-shot
+    interpreter by >= 5x wall-clock."""
+    from repro.qcircuit import teleport_circuit
+    from repro.sim.backend import run_circuit_with_info
+
+    circuit = teleport_circuit()
+    shots = 4096
+
+    start = time.perf_counter()
+    _, interp_info = run_circuit_with_info(
+        circuit, shots=shots, seed=0, backend="interpreter"
+    )
+    interp_seconds = time.perf_counter() - start
+    assert interp_info.evolutions == shots and not interp_info.batched
+
+    # Best of three, like the terminal-path smoke, so a scheduler stall
+    # on a contended CI runner cannot fake a slowdown.
+    batched_seconds = math.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        _, batched_info = run_circuit_with_info(
+            circuit, shots=shots, seed=0, backend="statevector"
+        )
+        batched_seconds = min(
+            batched_seconds, time.perf_counter() - start
+        )
+
+    assert batched_info.batched and not batched_info.fast_path
+    assert batched_info.evolutions == 1
+    speedup = interp_seconds / batched_seconds
+    write_result(
+        "fig11_batched_teleport_speedup.txt",
+        f"circuit: teleportation ({circuit.num_qubits} qubits, "
+        f"mid-circuit measurement + conditioned gates), {shots} shots\n"
+        f"interpreter: {interp_seconds:.4f} s "
+        f"({interp_info.evolutions} evolutions)\n"
+        f"statevector (batched): {batched_seconds:.4f} s "
+        f"({batched_info.evolutions} batched sweep)\n"
+        f"speedup: {speedup:.1f}x\n",
+    )
+    write_bench_json(
+        "fig11_runtime",
+        [
+            bench_record(
+                "teleport-4096shots", "interpreter", interp_seconds * 1e3,
+                shots=shots, evolutions=interp_info.evolutions,
+            ),
+            bench_record(
+                "teleport-4096shots", "statevector-batched",
+                batched_seconds * 1e3,
+                shots=shots, evolutions=batched_info.evolutions,
+            ),
+        ],
+    )
+    assert speedup >= 5.0, speedup
+
+
+def test_fig11_trajectory_workloads_batched_never_slower():
+    """The batched engine must win on every non-terminal workload."""
+    rows = trajectory_execution_report(shots=1024)
+    write_result(
+        "fig11_trajectory_backends.txt", format_shot_report(rows)
+    )
+    write_bench_json(
+        "fig11_runtime",
+        [
+            bench_record(
+                row.algorithm,
+                row.backend + ("-batched" if row.batched else ""),
+                row.seconds * 1e3,
+                shots=row.shots,
+                evolutions=row.evolutions,
+            )
+            for row in rows
+        ],
+    )
+    by_key = {(r.algorithm, r.backend): r for r in rows}
+    for label in ("teleport", "cond-fanout", "qubit-reuse"):
+        interp = by_key[(label, "interpreter")]
+        batched = by_key[(label, "statevector")]
+        assert batched.batched and batched.evolutions == 1, label
+        assert interp.evolutions == interp.shots, label
+        assert batched.seconds <= interp.seconds, (
+            label,
+            batched.seconds,
+            interp.seconds,
+        )

@@ -6,7 +6,12 @@ size; Quipper pays extra qubits wherever its oracle synthesis allocates
 one ancilla per XOR (BV, DJ, Simon, period finding).
 """
 
-from conftest import format_figure_series, write_result
+from conftest import (
+    bench_record,
+    format_figure_series,
+    write_bench_json,
+    write_result,
+)
 
 from repro.evaluation import (
     ALGORITHMS,
@@ -15,6 +20,7 @@ from repro.evaluation import (
     format_series,
     format_shot_report,
     shot_execution_report,
+    trajectory_execution_report,
 )
 
 _CACHE = {}
@@ -68,6 +74,19 @@ def test_fig12_shot_backend_qubit_scaling():
         algorithms=("bv",), sizes=(4, 6, 8, 10), shots=256
     )
     write_result("fig12_shot_backends.txt", format_shot_report(rows))
+    write_bench_json(
+        "fig12_qubits",
+        [
+            bench_record(
+                f"{row.algorithm}-n{row.input_size}",
+                row.backend,
+                row.seconds * 1e3,
+                shots=row.shots,
+                evolutions=row.evolutions,
+            )
+            for row in rows
+        ],
+    )
 
     by_key = {(r.input_size, r.backend): r for r in rows}
     for n in (4, 6, 8, 10):
@@ -77,5 +96,50 @@ def test_fig12_shot_backend_qubit_scaling():
         assert vector.seconds <= interp.seconds, (
             n,
             vector.seconds,
+            interp.seconds,
+        )
+
+
+def test_fig12_qubit_reuse_trajectory_scaling():
+    """Fig. 12's qubit-reuse theme at simulation scale: a reused qubit
+    measured and reset round after round keeps the batched engine at
+    one sweep while the interpreter pays one evolution per shot."""
+    from repro.qcircuit import qubit_reuse_circuit
+
+    shots = 512
+    rounds_axis = (2, 4, 8)
+    rows = trajectory_execution_report(
+        circuits={
+            f"qubit-reuse-r{rounds}": qubit_reuse_circuit(rounds)
+            for rounds in rounds_axis
+        },
+        shots=shots,
+    )
+    write_result(
+        "fig12_qubit_reuse_backends.txt", format_shot_report(rows)
+    )
+    write_bench_json(
+        "fig12_qubits",
+        [
+            bench_record(
+                row.algorithm,
+                row.backend + ("-batched" if row.batched else ""),
+                row.seconds * 1e3,
+                shots=row.shots,
+                evolutions=row.evolutions,
+            )
+            for row in rows
+        ],
+    )
+    by_key = {(r.algorithm, r.backend): r for r in rows}
+    for rounds in rounds_axis:
+        label = f"qubit-reuse-r{rounds}"
+        batched = by_key[(label, "statevector")]
+        interp = by_key[(label, "interpreter")]
+        assert batched.batched and batched.evolutions == 1, label
+        assert interp.evolutions == shots, label
+        assert batched.seconds <= interp.seconds, (
+            label,
+            batched.seconds,
             interp.seconds,
         )

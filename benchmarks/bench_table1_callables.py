@@ -6,15 +6,23 @@ Q# and ASDF-no-opt emit nonzero callable create/invoke counts; fully
 inlined ASDF emits zero for every benchmark.
 """
 
-from conftest import write_result
+import time
+
+from conftest import bench_record, write_bench_json, write_result
 
 from repro.evaluation import format_table1, table1
 
 
 def _generate():
+    start = time.perf_counter()
     rows = table1(n=4)
+    elapsed = time.perf_counter() - start
     text = format_table1(rows)
     write_result("table1.txt", text)
+    write_bench_json(
+        "table1_callables",
+        [bench_record("table1-n4", "all-compilers", elapsed * 1e3)],
+    )
     return rows
 
 

@@ -1,17 +1,32 @@
 """Shared helpers for the benchmark harness.
 
 Each bench regenerates one of the paper's tables or figures.  Results
-are printed (visible with ``pytest benchmarks/ -s``) and also written
-to ``benchmarks/out/`` so EXPERIMENTS.md can reference them.
+are printed (visible with ``pytest benchmarks/ -s``), written to
+``benchmarks/out/`` so EXPERIMENTS.md can reference them, and — for
+the machine-readable perf trajectory — appended to repo-root
+``BENCH_<name>.json`` files (one per bench module) that CI uploads as
+an artifact, so future PRs can chart wall-clock over time.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: Keys every BENCH_*.json record carries (None where inapplicable).
+BENCH_RECORD_KEYS = ("benchmark", "config", "wall_ms", "shots", "evolutions")
+
+
+def pytest_sessionstart(session) -> None:
+    """Drop stale BENCH_*.json files so a harness run regenerates the
+    whole perf trajectory from scratch (records append within a run)."""
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        path.unlink()
 
 
 def pytest_collection_modifyitems(items) -> None:
@@ -27,6 +42,47 @@ def write_result(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / name).write_text(text)
     print(f"\n--- {name} ---\n{text}")
+
+
+def bench_record(
+    benchmark: str,
+    config: str,
+    wall_ms: float,
+    shots: "int | None" = None,
+    evolutions: "int | None" = None,
+) -> dict:
+    """One machine-readable perf record for :func:`write_bench_json`."""
+    return {
+        "benchmark": benchmark,
+        "config": config,
+        "wall_ms": round(float(wall_ms), 4),
+        "shots": shots,
+        "evolutions": evolutions,
+    }
+
+
+def write_bench_json(name: str, records: "list[dict]") -> None:
+    """Append perf records to repo-root ``BENCH_<name>.json``.
+
+    ``name`` is the bench module's short name (e.g. ``fig11_runtime``);
+    several tests of one module may call this and their records
+    accumulate within a run (stale files are removed at session start).
+    """
+    for record in records:
+        missing = [key for key in BENCH_RECORD_KEYS if key not in record]
+        if missing:
+            raise ValueError(f"bench record missing {missing}: {record}")
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    existing = []
+    if path.exists():
+        existing = json.loads(path.read_text())["records"]
+    payload = {
+        "schema": "repro-bench-v1",
+        "name": name,
+        "records": existing + list(records),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n--- BENCH_{name}.json: {len(records)} record(s) appended ---")
 
 
 def format_figure_series(series, metric_label: str) -> str:

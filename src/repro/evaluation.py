@@ -173,9 +173,11 @@ SHOT_BACKENDS = ("interpreter", "statevector")
 class ShotExecutionRow:
     """Timing of one (benchmark, backend) shot-execution run.
 
-    ``evolutions`` counts full statevector evolutions — the vectorized
+    ``evolutions`` counts statevector evolution sweeps — the vectorized
     backend's terminal-measurement fast path does exactly one per run,
-    independent of ``shots``; the per-shot interpreter does ``shots``.
+    independent of ``shots``; the per-shot interpreter does ``shots``;
+    the batched trajectory engine (``batched`` True) does one batched
+    sweep per memory-envelope chunk, usually 1.
     """
 
     algorithm: str
@@ -185,6 +187,7 @@ class ShotExecutionRow:
     seconds: float
     evolutions: int
     fast_path: bool
+    batched: bool = False
 
 
 def shot_execution_report(
@@ -221,8 +224,61 @@ def shot_execution_report(
                         elapsed,
                         info.evolutions,
                         info.fast_path,
+                        info.batched,
                     )
                 )
+    return rows
+
+
+def trajectory_execution_report(
+    circuits: "dict[str, Circuit] | None" = None,
+    shots: int = 1024,
+    seed: int = 0,
+    backends: Sequence[str] = SHOT_BACKENDS,
+) -> list[ShotExecutionRow]:
+    """Time *non-terminal* circuits (mid-circuit measurement, classical
+    conditioning, mid-evolution reset) under each backend.
+
+    These are the workloads the terminal-measurement fast path cannot
+    touch; on the ``statevector`` backend they run on the batched
+    trajectory engine (one sweep over all shots), while ``interpreter``
+    pays one full evolution per shot.  ``circuits`` maps a label to a
+    flat circuit; the default set is teleportation, the conditioned
+    fan-out, and the Fig. 12-style qubit-reuse loop from
+    :mod:`repro.qcircuit.examples`.
+    """
+    from repro.qcircuit.examples import (
+        conditioned_fanout_circuit,
+        qubit_reuse_circuit,
+        teleport_circuit,
+    )
+    from repro.sim.backend import get_backend
+
+    if circuits is None:
+        circuits = {
+            "teleport": teleport_circuit(),
+            "cond-fanout": conditioned_fanout_circuit(),
+            "qubit-reuse": qubit_reuse_circuit(),
+        }
+    rows = []
+    for label, circuit in circuits.items():
+        for name in backends:
+            backend = get_backend(name)
+            start = time.perf_counter()
+            _, info = backend.run_with_info(circuit, shots, seed)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                ShotExecutionRow(
+                    label,
+                    circuit.num_qubits,
+                    name,
+                    shots,
+                    elapsed,
+                    info.evolutions,
+                    info.fast_path,
+                    info.batched,
+                )
+            )
     return rows
 
 
@@ -230,13 +286,13 @@ def format_shot_report(rows: Iterable[ShotExecutionRow]) -> str:
     """Render a shot-execution report as an aligned table."""
     lines = [
         f"{'algorithm':<12}{'n':>4}  {'backend':<14}{'shots':>7}"
-        f"{'seconds':>12}{'evolutions':>12}  fast_path"
+        f"{'seconds':>12}{'evolutions':>12}  {'fast_path':<11}batched"
     ]
     for row in rows:
         lines.append(
             f"{row.algorithm:<12}{row.input_size:>4}  {row.backend:<14}"
             f"{row.shots:>7}{row.seconds:>12.4f}{row.evolutions:>12}"
-            f"  {row.fast_path}"
+            f"  {str(row.fast_path):<11}{row.batched}"
         )
     return "\n".join(lines)
 

@@ -1,6 +1,12 @@
 """Flat quantum circuits plus QCircuit-level optimizations (paper §6, §6.5)."""
 
 from repro.qcircuit.circuit import Circuit, CircuitGate
+from repro.qcircuit.examples import (
+    conditioned_fanout_circuit,
+    qubit_reuse_circuit,
+    repeat_until_success_circuit,
+    teleport_circuit,
+)
 from repro.qcircuit.peephole import run_peephole
 from repro.qcircuit.selinger import decompose_multi_controlled
 from repro.qcircuit.passes import (
@@ -22,9 +28,13 @@ __all__ = [
     "CircuitPass",
     "DecomposeMultiControlledPass",
     "PeepholePass",
+    "conditioned_fanout_circuit",
     "copy_circuit",
     "decompose_multi_controlled",
     "make_circuit_pass_manager",
+    "qubit_reuse_circuit",
+    "repeat_until_success_circuit",
     "replace_circuit",
     "run_peephole",
+    "teleport_circuit",
 ]

@@ -1,0 +1,90 @@
+"""Canonical non-terminal example circuits (mid-circuit measurement).
+
+The benchmark algorithms (:mod:`repro.algorithms`) all measure at the
+end, so they never exercise the trajectory engines.  These builders are
+the shared workloads for everything that does: the batched-trajectory
+tests, the teleportation speedup smoke in ``benchmarks/``, and the
+docs.  Each returns a fresh flat :class:`~repro.qcircuit.circuit.Circuit`.
+"""
+
+from __future__ import annotations
+
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+
+
+def teleport_circuit(theta: float = 0.7) -> Circuit:
+    """Teleport an rx(theta)-rotated qubit (mid-circuit measurement +
+    classically conditioned X/Z corrections).  Output bit 2 reads 1
+    with probability sin^2(theta / 2)."""
+    circuit = Circuit(num_qubits=3, num_bits=3, output_bits=[2])
+    circuit.add(CircuitGate("rx", (0,), params=(theta,)))
+    circuit.add(CircuitGate("h", (1,)))
+    circuit.add(CircuitGate("x", (2,), controls=(1,)))
+    circuit.add(CircuitGate("x", (1,), controls=(0,)))
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    circuit.add(CircuitGate("x", (2,), condition=(1, 1)))
+    circuit.add(CircuitGate("z", (2,), condition=(0, 1)))
+    circuit.add(Measurement(2, 2))
+    return circuit
+
+
+def conditioned_fanout_circuit() -> Circuit:
+    """A coin toss classically fanned out through conditioned gates:
+    measure a Hadamard coin, then apply X to qubit 1 only when it read
+    1 and to qubit 2 only when it read 0, so the output is '110' or
+    '001' with equal probability."""
+    circuit = Circuit(num_qubits=3, num_bits=3)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(CircuitGate("x", (1,), condition=(0, 1)))
+    circuit.add(CircuitGate("x", (2,), condition=(0, 0)))
+    circuit.add(Measurement(1, 1))
+    circuit.add(Measurement(2, 2))
+    return circuit
+
+
+def qubit_reuse_circuit(rounds: int = 3) -> Circuit:
+    """A Fig. 12-style qubit-reuse layout: one qubit is measured and
+    reset ``rounds`` times, recording an independent Hadamard coin into
+    a fresh classical bit each round (mid-evolution reset)."""
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    circuit = Circuit(num_qubits=1, num_bits=rounds)
+    for round_index in range(rounds):
+        circuit.add(CircuitGate("h", (0,)))
+        circuit.add(Measurement(0, round_index))
+        circuit.add(Reset(0))
+    return circuit
+
+
+def repeat_until_success_circuit(attempts: int = 2) -> Circuit:
+    """A bounded repeat-until-success pattern: each attempt entangles a
+    work qubit with a flag qubit, measures the flag, and retries (reset
+    + re-prepare, conditioned on failure) up to ``attempts`` times.
+    The final bit records the work qubit."""
+    if attempts < 1:
+        raise ValueError("need at least one attempt")
+    circuit = Circuit(num_qubits=2, num_bits=attempts + 1)
+    for attempt in range(attempts):
+        if attempt == 0:
+            circuit.add(CircuitGate("h", (0,)))
+            circuit.add(CircuitGate("x", (1,), controls=(0,)))
+        else:
+            # Retry only the shots whose previous flag read 0: re-prepare
+            # the work qubit and re-entangle the (freshly reset) flag.
+            # The controlled-X is both quantum-controlled and classically
+            # conditioned — the combined path trajectory engines must get
+            # right.
+            previous = attempt - 1
+            circuit.add(CircuitGate("h", (0,), condition=(previous, 0)))
+            circuit.add(
+                CircuitGate(
+                    "x", (1,), controls=(0,), condition=(previous, 0)
+                )
+            )
+        circuit.add(Measurement(1, attempt))
+        circuit.add(Reset(1))
+    circuit.add(Measurement(0, attempts))
+    return circuit

@@ -8,10 +8,17 @@ from repro.sim.statevector import (
     FusedGate,
     StatevectorSimulator,
     apply_gates_to_state,
+    apply_matrix_inplace,
     fuse_single_qubit_gates,
     gate_matrix,
     run_circuit,
     unitary_of_gates,
+)
+from repro.sim.batched import (
+    MAX_BATCH_BYTES,
+    BatchedStatevector,
+    batch_chunk_size,
+    batched_run,
 )
 from repro.sim.backend import (
     DEFAULT_BACKEND,
@@ -29,6 +36,8 @@ from repro.sim.interpreter import ModuleInterpreter, interpret_module
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "MAX_BATCH_BYTES",
+    "BatchedStatevector",
     "FusedGate",
     "InterpreterBackend",
     "ModuleInterpreter",
@@ -37,7 +46,10 @@ __all__ = [
     "StatevectorSimulator",
     "VectorizedStatevectorBackend",
     "apply_gates_to_state",
+    "apply_matrix_inplace",
     "available_backends",
+    "batch_chunk_size",
+    "batched_run",
     "fuse_single_qubit_gates",
     "gate_matrix",
     "get_backend",

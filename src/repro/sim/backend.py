@@ -21,8 +21,11 @@ Two backends ship in-tree:
     gate-fused, matrix-cached evolution — and draws all shots from
     |psi|^2 with a single ``np.random.Generator.choice`` call, making
     shot count a near-constant cost.  Circuits with genuine mid-circuit
-    measurement or classically conditioned gates fall back to
-    per-shot trajectories identical to the interpreter backend.
+    measurement, classically conditioned gates, or mid-evolution reset
+    run on the **batched trajectory engine**
+    (:mod:`repro.sim.batched`): all shots evolve simultaneously as one
+    ``(shots, 2, ..., 2)`` array, so teleportation at 4096 shots is one
+    batched sweep instead of 4096 Python evolutions.
 
 Qubit-ordering convention (shared with the simulator): qubit 0 is the
 *leftmost* ket bit, so basis-state index ``x`` has qubit ``q`` equal to
@@ -38,6 +41,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.sim.batched import batched_run
 from repro.sim.statevector import (
     StatevectorSimulator,
     fuse_single_qubit_gates,
@@ -56,16 +60,23 @@ DEFAULT_BACKEND = "statevector"
 class RunInfo:
     """Observability record for one :meth:`SimBackend.run_with_info`.
 
-    ``evolutions`` counts full statevector evolutions performed — the
-    dominant cost; the vectorized fast path does exactly one regardless
-    of shot count.  ``fused_ops`` is the post-fusion evolution step
-    count on the fast path (``None`` on trajectory execution).
+    ``evolutions`` counts full statevector evolution sweeps performed —
+    the dominant cost.  The terminal-measurement fast path does exactly
+    one regardless of shot count; the batched trajectory engine does
+    one *batched* sweep per memory-envelope chunk (usually 1 — see
+    :data:`repro.sim.batched.MAX_BATCH_BYTES`); per-shot trajectory
+    execution does ``shots``.  ``batched`` is True when the batched
+    engine ran (so an ``evolutions`` of 1 means one sweep over all
+    shots at once, not one single-shot evolution).  ``fused_ops`` is
+    the post-fusion evolution step count on the fast path (``None``
+    otherwise).
     """
 
     backend: str
     shots: int
     evolutions: int
     fast_path: bool
+    batched: bool = False
     fused_ops: Optional[int] = None
 
 
@@ -171,7 +182,12 @@ def terminal_measurement_plan(
 
 
 class VectorizedStatevectorBackend(SimBackend):
-    """Single-evolution, vectorized-sampling statevector backend."""
+    """Vectorized statevector backend.
+
+    Terminal-measurement circuits: one evolution + vectorized sampling.
+    Everything else: the shot-batched trajectory engine
+    (:mod:`repro.sim.batched`), which evolves all shots as one array.
+    """
 
     name = "statevector"
 
@@ -180,9 +196,16 @@ class VectorizedStatevectorBackend(SimBackend):
     ) -> tuple[list[tuple[int, ...]], RunInfo]:
         plan = terminal_measurement_plan(circuit)
         if plan is None:
-            results = _trajectory_run(circuit, shots, seed)
+            # Non-terminal circuit: evolve all shots simultaneously on
+            # the batched trajectory engine (repro.sim.batched) rather
+            # than one Python evolution per shot.
+            results, sweeps = batched_run(circuit, shots, seed)
             return results, RunInfo(
-                self.name, shots, evolutions=shots, fast_path=False
+                self.name,
+                shots,
+                evolutions=sweeps,
+                fast_path=False,
+                batched=True,
             )
 
         fused = fuse_single_qubit_gates(circuit.gates)

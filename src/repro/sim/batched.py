@@ -1,0 +1,240 @@
+"""Shot-batched statevector trajectories for non-terminal circuits.
+
+The terminal-measurement fast path (:mod:`repro.sim.backend`) cannot
+touch circuits with mid-circuit measurement, classically conditioned
+gates, or mid-evolution reset — teleportation, repeat-until-success
+patterns, and the qubit-reuse layouts of Fig. 12 — because each shot's
+evolution depends on its own measurement outcomes.  Historically those
+circuits dropped to a Python loop doing one full statevector evolution
+per shot (``RunInfo.evolutions == shots``), the single largest
+remaining hot path of the shot runner.
+
+This module executes *all shots simultaneously* instead.  The state is
+one ``(shots, 2, 2, ..., 2)`` complex array — axis 0 is the shot, axis
+``1 + q`` is qubit ``q`` — and:
+
+- gates apply via one :func:`~repro.sim.statevector.apply_matrix_inplace`
+  sweep over the whole batch (the shot axis rides along in the matmul's
+  column dimension);
+- a :class:`~repro.qcircuit.circuit.Measurement` computes every shot's
+  ``p(1)`` with one einsum, draws all outcomes from a single
+  ``rng.random(shots)`` call, zeroes the complementary slice per shot,
+  and renormalizes each row;
+- classically conditioned gates apply the unitary only to the
+  boolean-masked sub-batch whose condition bit matches;
+- :class:`~repro.qcircuit.circuit.Reset` composes a measurement with a
+  masked X on the shots that collapsed to |1>.
+
+Memory envelope: the batch array holds ``shots x 2^n`` complex128
+amplitudes (16 bytes each).  When that exceeds
+:data:`MAX_BATCH_BYTES`, the shots are split into chunks and each chunk
+runs as its own batched sweep — ``RunInfo.evolutions`` reports the
+number of sweeps honestly (1 for teleportation at 4096 shots; more
+only for very wide circuits at very high shot counts).
+
+The per-shot RNG streams differ from the ``interpreter`` backend's
+``seed + shot`` convention (here one ``Generator(seed)`` drives every
+measurement of the batch), so results agree in distribution, not bit
+for bit; the interpreter backend remains the bit-exact per-shot
+reference.  See docs/simulators.md ("Batched trajectory engine").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.sim.statevector import (
+    apply_matrix_inplace,
+    control_sliced_view,
+    gate_matrix,
+)
+
+#: Memory envelope for one batched state array, in bytes.  A batch of
+#: ``shots`` trajectories on ``n`` qubits holds ``shots * 2^n``
+#: complex128 amplitudes; shot counts that would exceed this envelope
+#: are chunked into multiple batched sweeps.
+MAX_BATCH_BYTES = 1 << 28  # 256 MiB
+
+_BYTES_PER_AMPLITUDE = 16  # complex128
+
+
+def batch_chunk_size(
+    num_qubits: int, max_batch_bytes: int = MAX_BATCH_BYTES
+) -> int:
+    """Largest shot count whose batch state fits the memory envelope."""
+    dim = 2 ** max(num_qubits, 1)
+    return max(1, max_batch_bytes // (dim * _BYTES_PER_AMPLITUDE))
+
+
+class BatchedStatevector:
+    """``shots`` statevector trajectories evolved as one array.
+
+    The dual of :class:`~repro.sim.statevector.StatevectorSimulator`
+    with a leading shot axis: same qubit-ordering convention (qubit 0
+    is the leftmost ket bit), same instruction semantics, but every
+    operation is vectorized across the batch.  ``bits`` is the
+    ``(shots, num_bits)`` classical register.
+    """
+
+    def __init__(
+        self,
+        shots: int,
+        num_qubits: int,
+        num_bits: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_qubits > 24:
+            raise SimulationError(
+                f"{num_qubits} qubits exceeds the dense-simulation limit"
+            )
+        if shots < 1:
+            raise SimulationError("a batch needs at least one shot")
+        self.shots = shots
+        self.num_qubits = num_qubits
+        axes = max(num_qubits, 1)
+        self.state = np.zeros((shots,) + (2,) * axes, dtype=complex)
+        self.state[(slice(None),) + (0,) * axes] = 1.0
+        self.bits = np.zeros((shots, num_bits), dtype=np.int64)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # Gate application.
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate: CircuitGate) -> None:
+        matrix = gate_matrix(gate.name, gate.params)
+        if gate.condition is None:
+            self._apply(self.state, matrix, gate)
+            return
+        bit, required = gate.condition
+        self._apply_to_masked(self.bits[:, bit] == required, matrix, gate)
+
+    def _apply(
+        self, states: np.ndarray, matrix: np.ndarray, gate: CircuitGate
+    ) -> None:
+        """Apply ``matrix`` on ``gate``'s qubits across a batch array."""
+        # axis_offset=1: the shot axis 0 always survives the control
+        # slicing; qubit q lives on axis 1 + q.
+        view, axes = control_sliced_view(
+            states, gate.targets, gate.controls, gate.ctrl_states,
+            axis_offset=1,
+        )
+        apply_matrix_inplace(view, matrix, axes)
+
+    def _apply_to_masked(
+        self, mask: np.ndarray, matrix: np.ndarray, gate: CircuitGate
+    ) -> None:
+        """Apply ``matrix`` only to the trajectories ``mask`` selects.
+
+        Fancy indexing copies the selected trajectories out, so the
+        sub-batch must be scattered back after the gate.
+        """
+        if not mask.any():
+            return
+        if mask.all():
+            self._apply(self.state, matrix, gate)
+            return
+        sub = self.state[mask]
+        self._apply(sub, matrix, gate)
+        self.state[mask] = sub
+
+    # ------------------------------------------------------------------
+    # Non-unitary operations.
+    # ------------------------------------------------------------------
+    def probability_one(self, qubit: int) -> np.ndarray:
+        """Each shot's probability that ``qubit`` reads 1."""
+        index: list = [slice(None)] * self.state.ndim
+        index[1 + qubit] = 1
+        flat = self.state[tuple(index)].reshape(self.shots, -1)
+        return np.einsum("si,si->s", flat, flat.conj()).real
+
+    def measure(self, qubit: int) -> np.ndarray:
+        """Measure ``qubit`` on every shot; returns the outcome vector.
+
+        One ``rng.random(shots)`` draw decides all outcomes (the same
+        ``outcome = random() < p(1)`` convention as the single-shot
+        simulator); the complementary slice of each shot is zeroed and
+        each row renormalized by its own outcome probability.
+        """
+        p_one = self.probability_one(qubit)
+        outcomes = (self.rng.random(self.shots) < p_one).astype(np.int64)
+        ones = outcomes == 1
+
+        index: list = [slice(None)] * self.state.ndim
+        index[1 + qubit] = 0
+        self.state[tuple(index)][ones] = 0.0
+        index[1 + qubit] = 1
+        self.state[tuple(index)][~ones] = 0.0
+
+        # outcome 1 is only drawn when p(1) > 0, and outcome 0 only
+        # when random() >= p(1) (so p(0) > 0): both branches are
+        # strictly positive, the batched analogue of _project's guard.
+        probability = np.where(ones, p_one, 1.0 - p_one)
+        if np.any(probability <= 0.0):
+            raise SimulationError("projection onto zero-probability outcome")
+        norm = (1.0 / np.sqrt(probability)).reshape(
+            (self.shots,) + (1,) * (self.state.ndim - 1)
+        )
+        self.state *= norm
+        return outcomes
+
+    def reset(self, qubit: int) -> None:
+        """Reset ``qubit`` to |0> on every shot: measure + masked X."""
+        outcomes = self.measure(qubit)
+        self._apply_to_masked(
+            outcomes == 1, gate_matrix("x"), CircuitGate("x", (qubit,))
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-circuit execution.
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Execute the circuit; returns the (shots, num_bits) register."""
+        for inst in circuit.instructions:
+            if isinstance(inst, CircuitGate):
+                self.apply_gate(inst)
+            elif isinstance(inst, Measurement):
+                self.bits[:, inst.bit] = self.measure(inst.qubit)
+            elif isinstance(inst, Reset):
+                self.reset(inst.qubit)
+            else:
+                raise SimulationError(f"unknown instruction {inst!r}")
+        return self.bits
+
+
+def batched_run(
+    circuit: Circuit,
+    shots: int,
+    seed: int = 0,
+    max_batch_bytes: int = MAX_BATCH_BYTES,
+) -> tuple[list[tuple[int, ...]], int]:
+    """Run ``shots`` trajectories batched; returns ``(results, sweeps)``.
+
+    ``sweeps`` is the number of batched evolutions performed: 1 when
+    all shots fit the :data:`MAX_BATCH_BYTES` envelope, more when the
+    shot count had to be chunked.  One ``Generator(seed)`` drives every
+    chunk in order, so results are deterministic per
+    ``(circuit, shots, seed, max_batch_bytes)``.
+    """
+    output = list(circuit.output_bits or range(circuit.num_bits))
+    rng = np.random.default_rng(seed)
+    chunk = batch_chunk_size(circuit.num_qubits, max_batch_bytes)
+    results: list[tuple[int, ...]] = []
+    sweeps = 0
+    done = 0
+    while done < shots:
+        size = min(chunk, shots - done)
+        engine = BatchedStatevector(
+            size, circuit.num_qubits, circuit.num_bits, rng
+        )
+        bits = engine.run(circuit)
+        selected = bits[:, output]
+        results.extend(
+            tuple(int(bit) for bit in row) for row in selected
+        )
+        sweeps += 1
+        done += size
+    return results, sweeps

@@ -26,7 +26,7 @@ class _Callable:
     """A runtime callable value: a symbol plus functor markers."""
 
     symbol: str
-    adjoint: bool = 0
+    adjoint: bool = False
     controls: int = 0
 
 

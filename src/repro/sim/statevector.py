@@ -118,6 +118,71 @@ def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     return _cached_gate_matrix(name, tuple(params))
 
 
+@functools.lru_cache(maxsize=4096)
+def _axis_permutation(
+    num_axes: int, targets: tuple[int, ...]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Cached (perm, inverse) moving ``targets`` to the leading axes."""
+    rest = tuple(axis for axis in range(num_axes) if axis not in targets)
+    perm = targets + rest
+    inverse = tuple(int(axis) for axis in np.argsort(perm))
+    return perm, inverse
+
+
+def apply_matrix_inplace(
+    state: np.ndarray, matrix: np.ndarray, targets: tuple[int, ...]
+) -> None:
+    """Apply a 2^k x 2^k ``matrix`` to ``state``'s target axes, in place.
+
+    ``state`` is any complex array whose ``targets`` axes each have
+    length 2; every other axis — including a leading shot axis in the
+    batched engine, or the surviving axes of a control-sliced view —
+    rides along in the matmul's column dimension.  The axis permutation
+    is computed once per ``(ndim, targets)`` pair (LRU-cached), the
+    permuted state is flattened to one ``(2^k, rest)`` block, and a
+    single matmul applies the unitary before the inverse permutation
+    writes the result back into ``state``'s own buffer.  This replaces
+    the historical tensordot + moveaxis + copy-back sweep.
+    """
+    k = len(targets)
+    perm, inverse = _axis_permutation(state.ndim, targets)
+    permuted_shape = tuple(state.shape[axis] for axis in perm)
+    block = state.transpose(perm).reshape(2**k, -1)
+    updated = np.matmul(matrix, block)
+    state[...] = updated.reshape(permuted_shape).transpose(inverse)
+
+
+def control_sliced_view(
+    state: np.ndarray,
+    targets: tuple[int, ...],
+    controls: tuple[int, ...],
+    ctrl_states: tuple[int, ...],
+    axis_offset: int = 0,
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """The control-sliced view of ``state`` plus renumbered target axes.
+
+    Indexing each control qubit's axis at its required polarity yields
+    the sub-array a controlled unitary acts on; the surviving target
+    axes shrink by one for every removed control axis below them.
+    ``axis_offset`` maps qubit numbers to array axes (0 for a bare
+    statevector, 1 when axis 0 is the shot axis of a batch).  Shared by
+    the single-shot simulator and the batched trajectory engine so
+    control handling cannot diverge between them.
+    """
+    view = state
+    if controls:
+        index: list = [slice(None)] * state.ndim
+        for qubit, required in zip(controls, ctrl_states):
+            index[axis_offset + qubit] = required
+        view = state[tuple(index)]
+        removed = sorted(controls)
+        targets = tuple(
+            target - sum(1 for r in removed if r < target)
+            for target in targets
+        )
+    return view, tuple(axis_offset + target for target in targets)
+
+
 @dataclass(frozen=True)
 class FusedGate:
     """One fused evolution step: a raw unitary on explicit qubits.
@@ -238,26 +303,10 @@ class StatevectorSimulator:
         controls: tuple[int, ...] = (),
         ctrl_states: tuple[int, ...] = (),
     ) -> None:
-        view = self.state
-        if controls:
-            index: list = [slice(None)] * self.num_qubits
-            for qubit, state in zip(controls, ctrl_states):
-                index[qubit] = state
-            view = self.state[tuple(index)]
-            # Axis numbers shrink for every removed (indexed) axis.
-            removed = sorted(controls)
-            adjusted = []
-            for target in targets:
-                shift = sum(1 for r in removed if r < target)
-                adjusted.append(target - shift)
-            targets = tuple(adjusted)
-
-        k = len(targets)
-        tensor = matrix.reshape((2,) * (2 * k))
-        moved = np.tensordot(tensor, view, axes=(range(k, 2 * k), targets))
-        # tensordot puts the contracted axes first; move them back.
-        result = np.moveaxis(moved, range(k), targets)
-        view[...] = result
+        view, axes = control_sliced_view(
+            self.state, tuple(targets), controls, ctrl_states
+        )
+        apply_matrix_inplace(view, matrix, axes)
 
     # ------------------------------------------------------------------
     # Non-unitary operations.

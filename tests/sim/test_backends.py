@@ -233,25 +233,10 @@ def test_fusion_matches_unfused_on_random_circuits(seed):
 # ----------------------------------------------------------------------
 # Vectorized sampling vs per-shot execution.
 # ----------------------------------------------------------------------
-def teleport_circuit():
-    """Teleport an rx(0.7)-rotated state; corrections are classically
-    conditioned, so this must take the trajectory fallback path."""
-    circuit = Circuit(num_qubits=3, num_bits=3, output_bits=[2])
-    circuit.add(g("rx", [0], params=[0.7]))
-    circuit.add(g("h", [1]))
-    circuit.add(g("x", [2], controls=[1]))
-    circuit.add(g("x", [1], controls=[0]))
-    circuit.add(g("h", [0]))
-    circuit.add(Measurement(0, 0))
-    circuit.add(Measurement(1, 1))
-    circuit.add(g("x", [2], condition=(1, 1)))
-    circuit.add(g("z", [2], condition=(0, 1)))
-    circuit.add(Measurement(2, 2))
-    return circuit
-
-
 def test_teleportation_histograms_match():
-    circuit = teleport_circuit()
+    from repro.qcircuit import teleport_circuit
+
+    circuit = teleport_circuit(theta=0.7)
     shots = 2000
     per_shot, interp_info = run_circuit_with_info(
         circuit, shots=shots, seed=7, backend="interpreter"
@@ -259,16 +244,20 @@ def test_teleportation_histograms_match():
     sampled, vector_info = run_circuit_with_info(
         circuit, shots=shots, seed=7, backend="statevector"
     )
-    # Conditioned gates force the fallback: trajectory execution with
-    # the same per-shot seeding, hence bit-identical results.
+    # Conditioned gates rule out the terminal fast path; the batched
+    # trajectory engine evolves all shots in one sweep instead.
     assert not vector_info.fast_path
-    assert vector_info.evolutions == shots
-    assert per_shot == sampled
-    # And the physics holds: P(1) = sin^2(0.35).
-    ones = sum(outcome[0] for outcome in sampled)
+    assert vector_info.batched
+    assert vector_info.evolutions == 1
+    assert interp_info.evolutions == shots and not interp_info.batched
+    # RNG streams differ between engines, so compare distributions.
+    assert total_variation(per_shot, sampled) < 0.05
+    # And the physics holds on both: P(1) = sin^2(0.35).
     expected = math.sin(0.35) ** 2
     sigma = math.sqrt(expected * (1 - expected) * shots)
-    assert abs(ones - expected * shots) < 5 * sigma
+    for results in (per_shot, sampled):
+        ones = sum(outcome[0] for outcome in results)
+        assert abs(ones - expected * shots) < 5 * sigma
 
 
 def test_grover_histograms_match():
@@ -289,7 +278,7 @@ def test_grover_histograms_match():
     assert histogram(per_shot)[(1, 1, 1)] > 0.9 * shots
 
 
-def test_mid_circuit_measurement_takes_fallback_and_matches():
+def test_mid_circuit_measurement_takes_batched_path_and_matches():
     circuit = Circuit(num_qubits=1, num_bits=2, output_bits=[0, 1])
     circuit.add(g("h", [0]))
     circuit.add(Measurement(0, 0))
@@ -303,7 +292,8 @@ def test_mid_circuit_measurement_takes_fallback_and_matches():
         circuit, shots=shots, seed=3, backend="statevector"
     )
     assert not info.fast_path
-    assert per_shot == sampled
+    assert info.batched and info.evolutions == 1
+    assert total_variation(per_shot, sampled) < 0.06
     # All four outcomes occur: the second measurement is a fresh coin.
     assert len(histogram(sampled)) == 4
 
