@@ -1,0 +1,70 @@
+"""Assert the full benchmark harness wrote its whole perf trajectory.
+
+Run after ``python -m pytest benchmarks -s``::
+
+    python benchmarks/check_bench_json.py
+
+Exits non-zero (listing what is missing or malformed) unless every
+file in ``conftest.EXPECTED_BENCH_JSON`` exists at the repo root,
+parses, and carries at least one well-formed record.  CI runs this
+before uploading the ``bench-perf-trajectory`` artifact, so a bench
+module that silently stops emitting JSON (the pytest-benchmark
+fixture-error failure mode this guards against) fails the build
+instead of shrinking the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import BENCH_RECORD_KEYS, EXPECTED_BENCH_JSON, REPO_ROOT
+
+
+def main() -> int:
+    problems = []
+    for name in EXPECTED_BENCH_JSON:
+        path = REPO_ROOT / name
+        if not path.exists():
+            problems.append(f"{name}: missing")
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            problems.append(f"{name}: unparsable ({error})")
+            continue
+        records = payload.get("records")
+        if not records:
+            problems.append(f"{name}: no records")
+            continue
+        for record in records:
+            missing = [key for key in BENCH_RECORD_KEYS if key not in record]
+            if missing:
+                problems.append(f"{name}: record missing {missing}")
+                break
+        else:
+            print(f"ok: {name} ({len(records)} record(s))")
+    stray = sorted(
+        path.name
+        for path in REPO_ROOT.glob("BENCH_*.json")
+        if path.name not in EXPECTED_BENCH_JSON
+    )
+    for name in stray:
+        problems.append(
+            f"{name}: not in EXPECTED_BENCH_JSON (add the new bench "
+            f"module to benchmarks/conftest.py)"
+        )
+    if problems:
+        print("perf-trajectory check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"all {len(EXPECTED_BENCH_JSON)} BENCH_*.json files present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

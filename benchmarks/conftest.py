@@ -6,11 +6,35 @@ are printed (visible with ``pytest benchmarks/ -s``), written to
 the machine-readable perf trajectory — appended to repo-root
 ``BENCH_<name>.json`` files (one per bench module) that CI uploads as
 an artifact, so future PRs can chart wall-clock over time.
+
+**The harness must be named explicitly**: ``pyproject.toml`` restricts
+default collection to ``tests/`` (``testpaths``), so a bare ``pytest``
+silently collects *zero* benchmarks — and writes zero BENCH_*.json
+files.  The documented invocation is::
+
+    python -m pytest benchmarks -s
+
+(``python -m`` also puts the repo root on ``sys.path``, which the
+noise bench needs for ``tests.stats``; this conftest pins that path
+explicitly so ``pytest benchmarks`` works too.)
+
+**Every module must emit JSON under plain pytest.**  The
+``pytest-benchmark`` plugin is an optional dependency: when it is
+missing, any test requiring its ``benchmark`` fixture *errors at
+setup*, and historically that silently dropped most of the perf
+trajectory (only the fixture-free tests wrote their BENCH_*.json — a
+full harness run left just fig11/fig12).  The fallback ``benchmark``
+fixture below shims ``benchmark.pedantic`` with a plain call when the
+plugin is absent, so all modules run — and every file in
+:data:`EXPECTED_BENCH_JSON` is written — under any pytest.  CI asserts
+that manifest via ``python benchmarks/check_bench_json.py`` before
+uploading the artifact.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 import pytest
@@ -18,8 +42,72 @@ import pytest
 OUT_DIR = Path(__file__).parent / "out"
 REPO_ROOT = Path(__file__).parent.parent
 
+# `python -m pytest benchmarks` puts the repo root on sys.path, a bare
+# `pytest benchmarks` does not; pin it so bench modules can always
+# import the shared statistical helpers from the tests package.
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
 #: Keys every BENCH_*.json record carries (None where inapplicable).
 BENCH_RECORD_KEYS = ("benchmark", "config", "wall_ms", "shots", "evolutions")
+
+#: The perf-trajectory manifest: one BENCH_<name>.json per bench
+#: module.  A full harness run (`python -m pytest benchmarks -s`) must
+#: leave exactly these at the repo root; check_bench_json.py enforces
+#: it in CI.  Keep in sync when adding a bench module.
+EXPECTED_BENCH_JSON = (
+    "BENCH_ablation_peephole.json",
+    "BENCH_ablation_selinger.json",
+    "BENCH_ablation_xor.json",
+    "BENCH_compiler_speed.json",
+    "BENCH_fig11_runtime.json",
+    "BENCH_fig12_qubits.json",
+    "BENCH_noise.json",
+    "BENCH_table1_callables.json",
+)
+
+class _BenchmarkShim:
+    """Minimal stand-in for pytest-benchmark's fixture: runs the
+    benched callable once, measuring nothing.  Keeps every bench —
+    and its BENCH_*.json output — alive when the plugin is not
+    installed (or disabled with ``-p no:benchmark``); install
+    ``pytest-benchmark`` for real statistics."""
+
+    @staticmethod
+    def pedantic(
+        target,
+        args=(),
+        kwargs=None,
+        setup=None,
+        rounds=1,
+        warmup_rounds=0,
+        iterations=1,
+    ):
+        if setup is not None:
+            setup()
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target, *args, **kwargs):
+        return target(*args, **kwargs)
+
+
+class _BenchmarkShimPlugin:
+    """Provides a fallback ``benchmark`` fixture.  Registered from
+    ``pytest_configure`` only when the real pytest-benchmark plugin is
+    not active, so it can never shadow the real fixture — the probe
+    must be plugin activation, not importability (``-p no:benchmark``
+    leaves the module importable but the fixture missing)."""
+
+    @pytest.fixture
+    def benchmark(self):
+        return _BenchmarkShim()
+
+
+def pytest_configure(config) -> None:
+    if not config.pluginmanager.hasplugin("benchmark"):
+        config.pluginmanager.register(
+            _BenchmarkShimPlugin(), "benchmark-shim"
+        )
 
 
 def pytest_sessionstart(session) -> None:

@@ -38,6 +38,18 @@ from repro.frontend.decorators import (
     qubit,
     rev_qfunc,
 )
+from repro.noise import (
+    KrausChannel,
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+    standard_noise_model,
+)
 from repro.pipeline import (
     PRESETS,
     CompileOptions,
@@ -58,14 +70,24 @@ __all__ = [
     "CompileOptions",
     "CompileResult",
     "Diagnostic",
+    "KrausChannel",
+    "NoiseModel",
     "Note",
     "PRESETS",
     "QwertyError",
+    "ReadoutError",
     "SimBackend",
     "SourceSpan",
+    "amplitude_damping",
     "available_backends",
+    "bit_flip",
+    "bit_phase_flip",
+    "depolarizing",
     "get_backend",
+    "phase_damping",
+    "phase_flip",
     "register_backend",
+    "standard_noise_model",
     "DimVar",
     "I",
     "J",

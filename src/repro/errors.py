@@ -267,6 +267,12 @@ class SimulationError(QwertyError):
     code = "QW501"
 
 
+class NoiseError(SimulationError):
+    """An invalid noise channel, readout error, or noise model."""
+
+    code = "QW502"
+
+
 def _collect_error_codes(
     cls: type[QwertyError],
 ) -> dict[str, type[QwertyError]]:

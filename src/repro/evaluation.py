@@ -28,6 +28,11 @@ from repro.baselines import build_baseline, transpile_o3
 from repro.baselines.qsharp_qir import qsharp_callable_counts
 from repro.qcircuit.circuit import Circuit
 from repro.resources import PhysicalEstimate, estimate_physical_resources
+from repro.stats import (  # noqa: F401  (re-exported report vocabulary)
+    classical_fidelity,
+    distribution_of,
+    distribution_tvd,
+)
 
 ALGORITHMS = ("bv", "dj", "grover", "simon", "period")
 COMPILERS = ("asdf", "qiskit", "quipper", "qsharp")
@@ -280,6 +285,136 @@ def trajectory_execution_report(
                 )
             )
     return rows
+
+
+#: Backends compared by the noisy-execution benchmarks: the exact
+#: density-matrix reference and the stochastic Kraus-unraveling
+#: trajectory engine behind the vectorized backend.
+NOISY_BACKENDS = ("density_matrix", "statevector")
+
+
+@dataclass(frozen=True)
+class NoisyExecutionRow:
+    """Timing + accuracy of one (workload, backend, noise strength) run.
+
+    ``fidelity`` is the classical fidelity (squared Bhattacharyya
+    overlap) between the *exact* noisy output distribution and the
+    exact ideal one — a property of the noise model, shared by every
+    backend at that strength.  ``sampling_tvd`` is the total-variation
+    distance between this backend's sampled histogram and the exact
+    noisy distribution — the per-backend convergence measure (the
+    density-matrix backend samples from the exact distribution, so its
+    TVD reflects shot noise only; the unraveling engines add trajectory
+    noise).  ``channel_applications`` / ``readout_applications`` come
+    straight from :class:`~repro.sim.backend.RunInfo`.
+    """
+
+    workload: str
+    backend: str
+    strength: float
+    shots: int
+    seconds: float
+    evolutions: int
+    channel_applications: int
+    readout_applications: int
+    fidelity: float
+    sampling_tvd: float
+
+
+def noisy_execution_report(
+    circuits: "dict[str, Circuit] | None" = None,
+    strengths: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    shots: int = 2048,
+    seed: int = 0,
+    backends: Sequence[str] = NOISY_BACKENDS,
+) -> list[NoisyExecutionRow]:
+    """Execute workloads under increasing noise on each noisy backend.
+
+    For every (workload, strength) pair the exact output distribution
+    comes from the density-matrix reference
+    (:meth:`~repro.sim.density.DensityMatrixBackend.output_distribution`);
+    each backend then samples ``shots`` noisy shots, timed, and the row
+    records its distance to the exact distribution plus the
+    fidelity-vs-ideal of the noise level itself.  The default workloads
+    are teleportation and the conditioned fan-out (both non-terminal —
+    the circuits whose unraveling is genuinely per-shot) plus a
+    terminal GHZ preparation; the default noise is
+    :func:`repro.noise.standard_noise_model` (depolarizing on every
+    gate qubit + symmetric readout).
+    """
+    from repro.noise import standard_noise_model
+    from repro.qcircuit.circuit import CircuitGate, Measurement
+    from repro.qcircuit.examples import (
+        conditioned_fanout_circuit,
+        teleport_circuit,
+    )
+    from repro.sim.backend import get_backend
+    from repro.sim.density import DensityMatrixBackend
+
+    if circuits is None:
+        ghz = Circuit(num_qubits=3, num_bits=3)
+        ghz.add(CircuitGate("h", (0,)))
+        ghz.add(CircuitGate("x", (1,), controls=(0,)))
+        ghz.add(CircuitGate("x", (2,), controls=(1,)))
+        for qubit in range(3):
+            ghz.add(Measurement(qubit, qubit))
+        circuits = {
+            "teleport": teleport_circuit(),
+            "cond-fanout": conditioned_fanout_circuit(),
+            "ghz": ghz,
+        }
+
+    reference = DensityMatrixBackend()
+    rows = []
+    for label, circuit in circuits.items():
+        ideal = reference.output_distribution(circuit)
+        for strength in strengths:
+            model = standard_noise_model(strength)
+            exact = reference.output_distribution(
+                circuit, noise_model=model
+            )
+            fidelity = classical_fidelity(exact, ideal)
+            for name in backends:
+                backend = get_backend(name)
+                start = time.perf_counter()
+                results, info = backend.run_with_info(
+                    circuit, shots, seed, noise_model=model
+                )
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    NoisyExecutionRow(
+                        label,
+                        name,
+                        strength,
+                        shots,
+                        elapsed,
+                        info.evolutions,
+                        info.channel_applications,
+                        info.readout_applications,
+                        fidelity,
+                        distribution_tvd(
+                            distribution_of(results), exact
+                        ),
+                    )
+                )
+    return rows
+
+
+def format_noisy_report(rows: Iterable[NoisyExecutionRow]) -> str:
+    """Render a noisy-execution report as an aligned table."""
+    lines = [
+        f"{'workload':<14}{'backend':<16}{'p':>6}{'shots':>7}"
+        f"{'seconds':>10}{'evol':>6}{'chans':>7}{'readout':>8}"
+        f"{'fidelity':>10}{'tvd':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<14}{row.backend:<16}{row.strength:>6.3f}"
+            f"{row.shots:>7}{row.seconds:>10.4f}{row.evolutions:>6}"
+            f"{row.channel_applications:>7}{row.readout_applications:>8}"
+            f"{row.fidelity:>10.4f}{row.sampling_tvd:>8.4f}"
+        )
+    return "\n".join(lines)
 
 
 def format_shot_report(rows: Iterable[ShotExecutionRow]) -> str:

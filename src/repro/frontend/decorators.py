@@ -320,31 +320,49 @@ class QpuKernel:
         return compile_kernel(self, **options)
 
     def __call__(
-        self, shots: int = 1, seed: int = 0, backend: str | None = None
+        self,
+        shots: int = 1,
+        seed: int = 0,
+        backend: str | None = None,
+        noise_model=None,
     ):
         """Compile, simulate, and return the measured bits.
 
         ``backend`` names a simulation backend (docs/simulators.md);
         the default vectorized backend samples all shots from one
         statevector evolution whenever the circuit allows it.
+        ``noise_model`` (a :class:`repro.noise.NoiseModel`) executes
+        the compiled circuit under noise (docs/noise.md).
         """
         from repro.pipeline import simulate_kernel
 
         results = simulate_kernel(
-            self, shots=shots, seed=seed, backend=backend
+            self,
+            shots=shots,
+            seed=seed,
+            backend=backend,
+            noise_model=noise_model,
         )
         if shots == 1:
             return results[0]
         return results
 
     def histogram(
-        self, shots: int = 128, seed: int = 0, backend: str | None = None
+        self,
+        shots: int = 128,
+        seed: int = 0,
+        backend: str | None = None,
+        noise_model=None,
     ) -> dict[str, int]:
         from repro.pipeline import simulate_kernel
 
         counts: dict[str, int] = {}
         for result in simulate_kernel(
-            self, shots=shots, seed=seed, backend=backend
+            self,
+            shots=shots,
+            seed=seed,
+            backend=backend,
+            noise_model=noise_model,
         ):
             counts[str(result)] = counts.get(str(result), 0) + 1
         return counts

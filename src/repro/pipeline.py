@@ -61,8 +61,9 @@ class CompileOptions:
     ``collect_statistics`` fills ``CompileResult.statistics`` with a
     per-pass/per-stage breakdown.  ``sim_backend`` names the simulation
     backend (:mod:`repro.sim.backend`) that ``simulate_kernel`` and the
-    evaluation harness use to execute the compiled circuit; it does not
-    affect compilation itself.
+    evaluation harness use to execute the compiled circuit, and
+    ``noise_model`` (a :class:`repro.noise.NoiseModel`) makes those
+    executions noisy; neither affects compilation itself.
     """
 
     qwerty_spec: str = QWERTY_OPT_SPEC
@@ -73,6 +74,7 @@ class CompileOptions:
     verify_each: bool = False
     collect_statistics: bool = False
     sim_backend: Optional[str] = None
+    noise_model: Optional[object] = None
 
     @classmethod
     def preset(cls, name: str, **overrides) -> "CompileOptions":
@@ -328,12 +330,13 @@ def compile_kernel(
         # results never cross configuration boundaries — a compile
         # requesting statistics or stricter verification is a miss,
         # not a stale hit with statistics=None.  The simulation backend
-        # is excluded: it only affects execution, so the same compiled
-        # artifact serves every backend.
+        # and noise model are excluded: they only affect execution, so
+        # the same compiled artifact serves every backend and every
+        # noise configuration.
         cache_key = (
             _kernel_fingerprint(kernel),
             tuple(sorted(kernel.infer_dims().items())),
-            dataclasses.replace(options, sim_backend=None),
+            dataclasses.replace(options, sim_backend=None, noise_model=None),
         )
         cached = _cache_get(cache_key)
         if cached is not None:
@@ -403,6 +406,7 @@ def simulate_kernel(
     cache: bool = True,
     backend: Optional[str] = None,
     options: Optional[CompileOptions] = None,
+    noise_model=None,
 ):
     """Compile and simulate a kernel, returning measured Bits per shot.
 
@@ -417,6 +421,14 @@ def simulate_kernel(
     large ``shots`` near-free on terminal-measurement circuits)::
 
         simulate_kernel(kernel, shots=1024, backend="statevector")
+
+    ``noise_model`` (a :class:`repro.noise.NoiseModel`) executes the
+    compiled circuit under noise (docs/noise.md); it falls back to
+    ``options.noise_model``.  Noise never affects compilation, so noisy
+    and ideal runs share one cached compile::
+
+        simulate_kernel(kernel, shots=1024,
+                        noise_model=standard_noise_model(0.01))
     """
     from repro.frontend.decorators import Bits
     from repro.sim import get_backend
@@ -427,6 +439,14 @@ def simulate_kernel(
     else:
         result = compile_kernel(kernel, options, cache=cache)
         chosen = backend if backend is not None else options.sim_backend
+        if noise_model is None:
+            noise_model = options.noise_model
     circuit = result.optimized_circuit
-    outcomes = get_backend(chosen).run(circuit, shots=shots, seed=seed)
+    resolved = get_backend(chosen)
+    if noise_model is None:
+        outcomes = resolved.run(circuit, shots=shots, seed=seed)
+    else:
+        outcomes = resolved.run(
+            circuit, shots=shots, seed=seed, noise_model=noise_model
+        )
     return [Bits(outcome) for outcome in outcomes]

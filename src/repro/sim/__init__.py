@@ -30,14 +30,24 @@ from repro.sim.backend import (
     get_backend,
     register_backend,
     run_circuit_with_info,
+    sample_measurement_probabilities,
     terminal_measurement_plan,
+)
+from repro.sim.density import (
+    MAX_DENSITY_QUBITS,
+    DensityMatrixBackend,
+    DensityMatrixSimulator,
+    controlled_matrix,
 )
 from repro.sim.interpreter import ModuleInterpreter, interpret_module
 
 __all__ = [
     "DEFAULT_BACKEND",
     "MAX_BATCH_BYTES",
+    "MAX_DENSITY_QUBITS",
     "BatchedStatevector",
+    "DensityMatrixBackend",
+    "DensityMatrixSimulator",
     "FusedGate",
     "InterpreterBackend",
     "ModuleInterpreter",
@@ -50,6 +60,7 @@ __all__ = [
     "available_backends",
     "batch_chunk_size",
     "batched_run",
+    "controlled_matrix",
     "fuse_single_qubit_gates",
     "gate_matrix",
     "get_backend",
@@ -57,6 +68,7 @@ __all__ = [
     "register_backend",
     "run_circuit",
     "run_circuit_with_info",
+    "sample_measurement_probabilities",
     "terminal_measurement_plan",
     "unitary_of_gates",
 ]

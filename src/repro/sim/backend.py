@@ -7,7 +7,7 @@ point — ``run_circuit``, ``simulate_kernel``, ``interpret_module``, and
 the evaluation harness — so a new simulation strategy plugs in without
 touching any of them.  See docs/simulators.md for the full guide.
 
-Two backends ship in-tree:
+Three backends ship in-tree:
 
 ``"interpreter"``
     One independent statevector trajectory per shot, seeded
@@ -22,10 +22,21 @@ Two backends ship in-tree:
     |psi|^2 with a single ``np.random.Generator.choice`` call, making
     shot count a near-constant cost.  Circuits with genuine mid-circuit
     measurement, classically conditioned gates, or mid-evolution reset
-    run on the **batched trajectory engine**
-    (:mod:`repro.sim.batched`): all shots evolve simultaneously as one
-    ``(shots, 2, ..., 2)`` array, so teleportation at 4096 shots is one
-    batched sweep instead of 4096 Python evolutions.
+    — and every run under a noise model, whose per-shot Kraus draws
+    rule out a shared evolution — run on the **batched trajectory
+    engine** (:mod:`repro.sim.batched`): all shots evolve
+    simultaneously as one ``(shots, 2, ..., 2)`` array, so
+    teleportation at 4096 shots is one batched sweep instead of 4096
+    Python evolutions.
+
+``"density_matrix"``
+    The exact noise reference (:mod:`repro.sim.density`): rho evolves
+    through gates and exact Kraus sums (4^n amplitudes, <= 12 qubits),
+    one evolution regardless of shot count.  See docs/noise.md.
+
+Every backend takes an optional ``noise_model=``
+(:class:`repro.noise.NoiseModel`) attaching Kraus channels per gate
+and readout confusion per measured qubit.
 
 Qubit-ordering convention (shared with the simulator): qubit 0 is the
 *leftmost* ket bit, so basis-state index ``x`` has qubit ``q`` equal to
@@ -65,11 +76,18 @@ class RunInfo:
     one regardless of shot count; the batched trajectory engine does
     one *batched* sweep per memory-envelope chunk (usually 1 — see
     :data:`repro.sim.batched.MAX_BATCH_BYTES`); per-shot trajectory
-    execution does ``shots``.  ``batched`` is True when the batched
-    engine ran (so an ``evolutions`` of 1 means one sweep over all
-    shots at once, not one single-shot evolution).  ``fused_ops`` is
-    the post-fusion evolution step count on the fast path (``None``
-    otherwise).
+    execution does ``shots``; the exact density-matrix backend reports
+    1 (one rho evolution serves every shot).  ``batched`` is True when
+    the batched engine ran (so an ``evolutions`` of 1 means one sweep
+    over all shots at once, not one single-shot evolution).
+    ``fused_ops`` is the post-fusion evolution step count on the fast
+    path (``None`` otherwise).
+
+    ``channel_applications`` / ``readout_applications`` count noise
+    events the engine actually performed; the granularity differs per
+    engine (and, on the density backend, per counter) — see
+    :class:`repro.noise.NoiseStats` for the exact semantics.  Both are
+    0 on noiseless runs.
     """
 
     backend: str
@@ -78,6 +96,8 @@ class RunInfo:
     fast_path: bool
     batched: bool = False
     fused_ops: Optional[int] = None
+    channel_applications: int = 0
+    readout_applications: int = 0
 
 
 class SimBackend:
@@ -93,14 +113,33 @@ class SimBackend:
     name = "abstract"
 
     def run(
-        self, circuit: Circuit, shots: int = 1, seed: int = 0
+        self,
+        circuit: Circuit,
+        shots: int = 1,
+        seed: int = 0,
+        noise_model=None,
     ) -> list[tuple[int, ...]]:
-        """Sample ``shots`` output-bit tuples from ``circuit``."""
-        results, _ = self.run_with_info(circuit, shots, seed)
+        """Sample ``shots`` output-bit tuples from ``circuit``.
+
+        ``noise_model`` is an optional :class:`repro.noise.NoiseModel`;
+        backends that cannot execute under noise must raise
+        :class:`~repro.errors.SimulationError` rather than silently
+        ignore it.
+        """
+        if noise_model is None:
+            results, _ = self.run_with_info(circuit, shots, seed)
+        else:
+            results, _ = self.run_with_info(
+                circuit, shots, seed, noise_model=noise_model
+            )
         return results
 
     def run_with_info(
-        self, circuit: Circuit, shots: int = 1, seed: int = 0
+        self,
+        circuit: Circuit,
+        shots: int = 1,
+        seed: int = 0,
+        noise_model=None,
     ) -> tuple[list[tuple[int, ...]], RunInfo]:
         """Like :meth:`run`, also returning a :class:`RunInfo`."""
         raise NotImplementedError
@@ -117,16 +156,41 @@ class SimBackend:
 
 
 def _trajectory_run(
-    circuit: Circuit, shots: int, seed: int
+    circuit: Circuit,
+    shots: int,
+    seed: int,
+    noise_model=None,
+    stats=None,
 ) -> list[tuple[int, ...]]:
-    """One independent trajectory per shot, seeded ``seed + shot``."""
+    """One independent trajectory per shot, seeded ``seed + shot``.
+
+    Under a noise model, each trajectory unravels every attached
+    channel into its own Kraus draws (see
+    :meth:`StatevectorSimulator.apply_kraus`), so ``stats`` counts
+    noise events per shot.  Rule matching is a pure function of the
+    instruction, so the per-instruction channel plan is computed once
+    here rather than once per shot.
+    """
     results = []
     output = circuit.output_bits or range(circuit.num_bits)
+    channel_plan = None
+    if noise_model is not None:
+        channel_plan = [
+            noise_model.channels_for(inst)
+            if isinstance(inst, CircuitGate)
+            else None
+            for inst in circuit.instructions
+        ]
     for shot in range(shots):
         sim = StatevectorSimulator(
             circuit.num_qubits, circuit.num_bits, seed=seed + shot
         )
-        bits = sim.run(circuit)
+        bits = sim.run(
+            circuit,
+            noise_model=noise_model,
+            stats=stats,
+            channel_plan=channel_plan,
+        )
         results.append(tuple(bits[i] for i in output))
     return results
 
@@ -137,11 +201,26 @@ class InterpreterBackend(SimBackend):
     name = "interpreter"
 
     def run_with_info(
-        self, circuit: Circuit, shots: int = 1, seed: int = 0
+        self,
+        circuit: Circuit,
+        shots: int = 1,
+        seed: int = 0,
+        noise_model=None,
     ) -> tuple[list[tuple[int, ...]], RunInfo]:
-        results = _trajectory_run(circuit, shots, seed)
+        from repro.noise.model import NoiseStats, effective_noise_model
+
+        noise_model = effective_noise_model(noise_model)
+        stats = NoiseStats()
+        results = _trajectory_run(
+            circuit, shots, seed, noise_model=noise_model, stats=stats
+        )
         return results, RunInfo(
-            self.name, shots, evolutions=shots, fast_path=False
+            self.name,
+            shots,
+            evolutions=shots,
+            fast_path=False,
+            channel_applications=stats.channel_applications,
+            readout_applications=stats.readout_applications,
         )
 
 
@@ -185,27 +264,46 @@ class VectorizedStatevectorBackend(SimBackend):
     """Vectorized statevector backend.
 
     Terminal-measurement circuits: one evolution + vectorized sampling.
-    Everything else: the shot-batched trajectory engine
-    (:mod:`repro.sim.batched`), which evolves all shots as one array.
+    Everything else — including *every* run under a noise model, whose
+    per-shot Kraus draws rule out the single-evolution fast path — runs
+    on the shot-batched trajectory engine (:mod:`repro.sim.batched`),
+    which evolves all shots as one array.
     """
 
     name = "statevector"
 
     def run_with_info(
-        self, circuit: Circuit, shots: int = 1, seed: int = 0
+        self,
+        circuit: Circuit,
+        shots: int = 1,
+        seed: int = 0,
+        noise_model=None,
     ) -> tuple[list[tuple[int, ...]], RunInfo]:
-        plan = terminal_measurement_plan(circuit)
+        from repro.noise.model import NoiseStats, effective_noise_model
+
+        noise_model = effective_noise_model(noise_model)
+        plan = (
+            terminal_measurement_plan(circuit)
+            if noise_model is None
+            else None
+        )
         if plan is None:
-            # Non-terminal circuit: evolve all shots simultaneously on
+            # Non-terminal circuit (or a noisy run, where each shot's
+            # Kraus draws differ): evolve all shots simultaneously on
             # the batched trajectory engine (repro.sim.batched) rather
             # than one Python evolution per shot.
-            results, sweeps = batched_run(circuit, shots, seed)
+            stats = NoiseStats()
+            results, sweeps = batched_run(
+                circuit, shots, seed, noise_model=noise_model, stats=stats
+            )
             return results, RunInfo(
                 self.name,
                 shots,
                 evolutions=sweeps,
                 fast_path=False,
                 batched=True,
+                channel_applications=stats.channel_applications,
+                readout_applications=stats.readout_applications,
             )
 
         fused = fuse_single_qubit_gates(circuit.gates)
@@ -231,13 +329,32 @@ def _sample_terminal(
     rng: np.random.Generator,
 ) -> list[tuple[int, ...]]:
     """Draw ``shots`` samples of the plan's measurements from |psi|^2."""
+    return sample_measurement_probabilities(
+        np.abs(state) ** 2, circuit, plan, shots, rng
+    )
+
+
+def sample_measurement_probabilities(
+    probabilities: np.ndarray,
+    circuit: Circuit,
+    plan: Sequence[Measurement],
+    shots: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, ...]]:
+    """Draw ``shots`` samples of the plan's measurements from a
+    computational-basis probability tensor (one axis per qubit).
+
+    Shared by the vectorized statevector backend (which passes
+    |psi|^2) and the exact density-matrix backend (which passes the
+    diagonal of rho) — one sampling path, one seed convention, so the
+    two backends' zero-noise histograms match exactly.
+    """
     output = list(circuit.output_bits or range(circuit.num_bits))
     if not plan:
         # Nothing measured: the classical register stays all-zero.
         return [(0,) * len(output)] * shots
 
     measured = sorted({m.qubit for m in plan})
-    probabilities = np.abs(state) ** 2
     unmeasured = tuple(
         axis for axis in range(circuit.num_qubits) if axis not in measured
     )
@@ -313,13 +430,22 @@ def run_circuit_with_info(
     shots: int = 1,
     seed: int = 0,
     backend: "str | SimBackend | None" = None,
+    noise_model=None,
 ) -> tuple[list[tuple[int, ...]], RunInfo]:
     """Run a circuit and return ``(results, RunInfo)`` for telemetry.
 
     ``backend=None`` resolves to :data:`DEFAULT_BACKEND`, the same
     single resolution point every execution entry point consults.
+    ``noise_model`` (a :class:`repro.noise.NoiseModel`) makes the run
+    noisy; it is only forwarded when set, so backends predating the
+    noise subsystem keep working for ideal runs.
     """
-    return get_backend(backend).run_with_info(circuit, shots, seed)
+    resolved = get_backend(backend)
+    if noise_model is None:
+        return resolved.run_with_info(circuit, shots, seed)
+    return resolved.run_with_info(
+        circuit, shots, seed, noise_model=noise_model
+    )
 
 
 register_backend(InterpreterBackend.name, InterpreterBackend)

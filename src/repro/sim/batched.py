@@ -23,7 +23,11 @@ one ``(shots, 2, 2, ..., 2)`` complex array — axis 0 is the shot, axis
 - classically conditioned gates apply the unitary only to the
   boolean-masked sub-batch whose condition bit matches;
 - :class:`~repro.qcircuit.circuit.Reset` composes a measurement with a
-  masked X on the shots that collapsed to |1>.
+  masked X on the shots that collapsed to |1>;
+- a Kraus channel (noisy runs — docs/noise.md) is unraveled with **one
+  masked draw per application**: per-shot operator probabilities
+  ``||K_i |psi>||^2``, a single ``rng.random(shots)`` selection, and
+  one masked sub-batch sweep per operator (:meth:`apply_kraus`).
 
 Memory envelope: the batch array holds ``shots x 2^n`` complex128
 amplitudes (16 bytes each).  When that exceeds
@@ -189,15 +193,135 @@ class BatchedStatevector:
         )
 
     # ------------------------------------------------------------------
+    # Stochastic Kraus unraveling (noise).
+    # ------------------------------------------------------------------
+    def apply_kraus(
+        self,
+        operators,
+        qubits,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Unravel one Kraus channel across the batch, in one draw.
+
+        Each shot independently selects operator ``i`` with probability
+        ``||K_i |psi>||^2`` and collapses to ``K_i |psi> / ||...||`` —
+        the trajectory unraveling whose shot-average reproduces the
+        channel's exact density-matrix action.  The whole batch is
+        served by **one** ``rng.random(shots)`` draw plus one masked
+        sweep per Kraus operator, mirroring how measurement is batched.
+        ``mask`` restricts the channel to a sub-batch (the shots whose
+        classical condition fired alongside the noisy gate).
+        """
+        axes = tuple(1 + q for q in qubits)
+        if mask is None:
+            self._kraus_on_states(self.state, operators, axes)
+            return
+        if not mask.any():
+            return
+        if mask.all():
+            self._kraus_on_states(self.state, operators, axes)
+            return
+        sub = self.state[mask]
+        self._kraus_on_states(sub, operators, axes)
+        self.state[mask] = sub
+
+    def _kraus_on_states(self, states, operators, axes) -> None:
+        count = states.shape[0]
+        if len(operators) == 1:
+            # One operator: apply and renormalize per row (completeness
+            # makes it norm-preserving up to float drift).
+            apply_matrix_inplace(states, operators[0], axes)
+            return
+        # Per-shot selection probabilities ||K_i |psi>||^2, computed by
+        # one buffered sweep per operator.
+        probabilities = np.empty((len(operators), count))
+        buffer = np.empty_like(states)
+        for index, op in enumerate(operators):
+            buffer[...] = states
+            apply_matrix_inplace(buffer, op, axes)
+            flat = buffer.reshape(count, -1)
+            probabilities[index] = np.einsum(
+                "si,si->s", flat, flat.conj()
+            ).real
+        totals = probabilities.sum(axis=0)  # ~1.0 by CPTP
+        if np.any(totals <= 0.0):
+            raise SimulationError(
+                "Kraus probabilities vanished (non-normalized state?)"
+            )
+        draws = self.rng.random(count) * totals
+        cumulative = np.cumsum(probabilities, axis=0)
+        chosen = np.minimum(
+            (draws[None, :] >= cumulative).sum(axis=0),
+            len(operators) - 1,
+        )
+        for index, op in enumerate(operators):
+            mask = chosen == index
+            if not mask.any():
+                continue
+            sub = states[mask]
+            apply_matrix_inplace(sub, op, axes)
+            norm = np.sqrt(probabilities[index, mask])
+            sub /= norm.reshape((-1,) + (1,) * (sub.ndim - 1))
+            states[mask] = sub
+
+    def _record_measurement(
+        self, inst: Measurement, noise_model, stats
+    ) -> None:
+        """Measure, then corrupt the *recorded* bits through the
+        qubit's readout confusion matrix (one vectorized flip draw)."""
+        outcomes = self.measure(inst.qubit)
+        error = (
+            noise_model.readout_error_for(inst.qubit)
+            if noise_model is not None
+            else None
+        )
+        if error is not None:
+            flip_probability = np.where(
+                outcomes == 1, error.p10, error.p01
+            )
+            flips = self.rng.random(self.shots) < flip_probability
+            outcomes = outcomes ^ flips.astype(np.int64)
+            if stats is not None:
+                stats.readout_applications += 1
+        self.bits[:, inst.bit] = outcomes
+
+    # ------------------------------------------------------------------
     # Whole-circuit execution.
     # ------------------------------------------------------------------
-    def run(self, circuit: Circuit) -> np.ndarray:
-        """Execute the circuit; returns the (shots, num_bits) register."""
+    def run(
+        self, circuit: Circuit, noise_model=None, stats=None
+    ) -> np.ndarray:
+        """Execute the circuit; returns the (shots, num_bits) register.
+
+        ``noise_model`` unravels each attached channel right after its
+        gate (restricted to the fired sub-batch for conditioned gates)
+        and corrupts recorded measurement bits per the model's readout
+        errors; ``stats`` (a :class:`repro.noise.NoiseStats`)
+        accumulates the per-sweep noise-event counts.
+        """
         for inst in circuit.instructions:
             if isinstance(inst, CircuitGate):
                 self.apply_gate(inst)
+                if noise_model is not None:
+                    applications = noise_model.channels_for(inst)
+                    if applications:
+                        mask = None
+                        fired = True
+                        if inst.condition is not None:
+                            bit, required = inst.condition
+                            mask = self.bits[:, bit] == required
+                            # A conditioned gate that fired on no shot
+                            # applies no noise: don't count an event
+                            # (matching the interpreter's fired guard).
+                            fired = bool(mask.any())
+                        for channel, qubits in applications:
+                            self.apply_kraus(
+                                channel.operators, qubits, mask=mask
+                            )
+                            if stats is not None and fired:
+                                stats.channel_applications += 1
             elif isinstance(inst, Measurement):
-                self.bits[:, inst.bit] = self.measure(inst.qubit)
+                self._record_measurement(inst, noise_model, stats)
             elif isinstance(inst, Reset):
                 self.reset(inst.qubit)
             else:
@@ -210,6 +334,8 @@ def batched_run(
     shots: int,
     seed: int = 0,
     max_batch_bytes: int = MAX_BATCH_BYTES,
+    noise_model=None,
+    stats=None,
 ) -> tuple[list[tuple[int, ...]], int]:
     """Run ``shots`` trajectories batched; returns ``(results, sweeps)``.
 
@@ -218,6 +344,12 @@ def batched_run(
     shot count had to be chunked.  One ``Generator(seed)`` drives every
     chunk in order, so results are deterministic per
     ``(circuit, shots, seed, max_batch_bytes)``.
+
+    ``noise_model`` unravels the model's channels stochastically (one
+    masked Kraus draw per channel application per sweep — see
+    :meth:`BatchedStatevector.apply_kraus`); ``stats`` (a
+    :class:`repro.noise.NoiseStats`) accumulates noise-event counts
+    across chunks.
     """
     output = list(circuit.output_bits or range(circuit.num_bits))
     rng = np.random.default_rng(seed)
@@ -230,7 +362,7 @@ def batched_run(
         engine = BatchedStatevector(
             size, circuit.num_qubits, circuit.num_bits, rng
         )
-        bits = engine.run(circuit)
+        bits = engine.run(circuit, noise_model=noise_model, stats=stats)
         selected = bits[:, output]
         results.extend(
             tuple(int(bit) for bit in row) for row in selected

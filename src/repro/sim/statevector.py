@@ -337,15 +337,98 @@ class StatevectorSimulator:
             self.apply_gate(CircuitGate("x", (qubit,)))
 
     # ------------------------------------------------------------------
+    # Stochastic Kraus unraveling (noise).
+    # ------------------------------------------------------------------
+    def apply_kraus(self, operators, targets) -> None:
+        """Unravel one Kraus channel along this trajectory.
+
+        Selects operator ``i`` with probability ``||K_i |psi>||^2``
+        (one ``rng.random()`` draw, the same convention as
+        :meth:`measure`) and collapses to the renormalized
+        ``K_i |psi>``.  The single-shot twin of
+        :meth:`repro.sim.batched.BatchedStatevector.apply_kraus`.
+        """
+        targets = tuple(targets)
+        if len(operators) == 1:
+            apply_matrix_inplace(self.state, operators[0], targets)
+            return
+        probabilities = []
+        buffer = np.empty_like(self.state)
+        for op in operators:
+            buffer[...] = self.state
+            apply_matrix_inplace(buffer, op, targets)
+            probabilities.append(float(np.vdot(buffer, buffer).real))
+        total = sum(probabilities)
+        if total <= 0.0:
+            raise SimulationError(
+                "Kraus probabilities vanished (non-normalized state?)"
+            )
+        draw = self.rng.random() * total
+        accumulated = 0.0
+        chosen = len(operators) - 1
+        for index, probability in enumerate(probabilities):
+            accumulated += probability
+            if draw < accumulated:
+                chosen = index
+                break
+        apply_matrix_inplace(self.state, operators[chosen], targets)
+        self.state /= math.sqrt(probabilities[chosen])
+
+    # ------------------------------------------------------------------
     # Whole-circuit execution.
     # ------------------------------------------------------------------
-    def run(self, circuit: Circuit) -> list[int]:
-        """Execute the circuit; returns the classical bit register."""
-        for inst in circuit.instructions:
+    def run(
+        self,
+        circuit: Circuit,
+        noise_model=None,
+        stats=None,
+        channel_plan=None,
+    ) -> list[int]:
+        """Execute the circuit; returns the classical bit register.
+
+        ``noise_model`` (a :class:`repro.noise.NoiseModel`) unravels
+        each attached channel after its gate and corrupts recorded
+        measurement bits through the model's readout confusion
+        matrices; ``stats`` (a :class:`repro.noise.NoiseStats`)
+        accumulates per-trajectory noise-event counts.
+        ``channel_plan`` optionally supplies the per-instruction
+        ``channels_for`` results precomputed by a caller running many
+        trajectories of one circuit (rule matching is pure per
+        instruction, so per-shot re-matching is wasted work).
+        """
+        for index, inst in enumerate(circuit.instructions):
             if isinstance(inst, CircuitGate):
+                fired = True
+                if inst.condition is not None:
+                    bit, required = inst.condition
+                    fired = self.bits[bit] == required
                 self.apply_gate(inst)
+                if fired and noise_model is not None:
+                    applications = (
+                        channel_plan[index]
+                        if channel_plan is not None
+                        else noise_model.channels_for(inst)
+                    )
+                    for channel, qubits in applications:
+                        self.apply_kraus(channel.operators, qubits)
+                        if stats is not None:
+                            stats.channel_applications += 1
             elif isinstance(inst, Measurement):
-                self.bits[inst.bit] = self.measure(inst.qubit)
+                outcome = self.measure(inst.qubit)
+                error = (
+                    noise_model.readout_error_for(inst.qubit)
+                    if noise_model is not None
+                    else None
+                )
+                if error is not None:
+                    flip_probability = (
+                        error.p10 if outcome == 1 else error.p01
+                    )
+                    if self.rng.random() < flip_probability:
+                        outcome ^= 1
+                    if stats is not None:
+                        stats.readout_applications += 1
+                self.bits[inst.bit] = outcome
             elif isinstance(inst, Reset):
                 self.reset(inst.qubit)
             else:
@@ -362,6 +445,7 @@ def run_circuit(
     shots: int = 1,
     seed: int = 0,
     backend: str | None = None,
+    noise_model=None,
 ) -> list[tuple[int, ...]]:
     """Run ``shots`` executions of ``circuit``; returns output-bit tuples.
 
@@ -371,11 +455,18 @@ def run_circuit(
     vectorized ``"statevector"`` sampler — like every other execution
     entry point (``simulate_kernel``, ``kernel()``,
     ``interpret_module``).  Pass ``backend="interpreter"`` for one
-    independent trajectory per shot seeded ``seed + shot``.
+    independent trajectory per shot seeded ``seed + shot``, and
+    ``noise_model`` (a :class:`repro.noise.NoiseModel`) to execute
+    under noise (docs/noise.md).
     """
     from repro.sim.backend import get_backend
 
-    return get_backend(backend).run(circuit, shots, seed)
+    resolved = get_backend(backend)
+    if noise_model is None:
+        # Not forwarded when unset, so backends predating the noise
+        # subsystem keep serving ideal runs unchanged.
+        return resolved.run(circuit, shots, seed)
+    return resolved.run(circuit, shots, seed, noise_model=noise_model)
 
 
 def apply_gates_to_state(

@@ -1,0 +1,40 @@
+"""Distribution arithmetic shared across the execution layer.
+
+One implementation of the empirical-distribution / total-variation /
+classical-fidelity math serves the evaluation harness
+(:mod:`repro.evaluation`), the statistical test helpers
+(``tests/stats.py``), and the benchmarks — so the margins tests
+enforce and the numbers reports print cannot drift apart.  Kept free
+of any compiler or simulator imports: comparing two histograms must
+not drag in the paper evaluation stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def distribution_of(results: Sequence) -> dict:
+    """Outcome -> relative frequency over a list of sampled outcomes."""
+    counts: dict = {}
+    for outcome in results:
+        counts[outcome] = counts.get(outcome, 0) + 1
+    total = len(results)
+    return {outcome: count / total for outcome, count in counts.items()}
+
+
+def distribution_tvd(p: dict, q: dict) -> float:
+    """Total-variation distance between two outcome distributions."""
+    return 0.5 * sum(
+        abs(p.get(key, 0.0) - q.get(key, 0.0)) for key in set(p) | set(q)
+    )
+
+
+def classical_fidelity(p: dict, q: dict) -> float:
+    """The squared Bhattacharyya overlap of two distributions (1.0 for
+    identical distributions, 0.0 for disjoint support)."""
+    overlap = sum(
+        (p.get(key, 0.0) * q.get(key, 0.0)) ** 0.5
+        for key in set(p) | set(q)
+    )
+    return overlap**2

@@ -1,0 +1,221 @@
+"""Channel-algebra tests: CPTP validation, analytic channel action,
+and the readout confusion matrix (repro.noise.channels)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseError
+from repro.noise import (
+    KrausChannel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+KET0 = np.array([[1, 0], [0, 0]], dtype=complex)  # |0><0|
+KET1 = np.array([[0, 0], [0, 1]], dtype=complex)  # |1><1|
+PLUS = 0.5 * np.array([[1, 1], [1, 1]], dtype=complex)  # |+><+|
+
+
+# ----------------------------------------------------------------------
+# CPTP validation.
+# ----------------------------------------------------------------------
+def test_rejects_non_trace_preserving_sets():
+    with pytest.raises(NoiseError, match="not trace-preserving"):
+        KrausChannel("half", [0.5 * I2])
+    with pytest.raises(NoiseError, match="not trace-preserving"):
+        KrausChannel("overweight", [I2, 0.5 * X])
+    # Projectors alone are fine (P0 + P1 = I)...
+    KrausChannel("projective", [KET0, KET1])
+    # ...but a lone projector is not.
+    with pytest.raises(NoiseError, match="not trace-preserving"):
+        KrausChannel("lossy", [KET0])
+
+
+def test_rejects_malformed_operator_sets():
+    with pytest.raises(NoiseError, match="no Kraus operators"):
+        KrausChannel("empty", [])
+    with pytest.raises(NoiseError, match="square"):
+        KrausChannel("rect", [np.zeros((2, 3))])
+    with pytest.raises(NoiseError, match="disagree on shape"):
+        KrausChannel("mixed", [I2, np.eye(4)])
+    with pytest.raises(NoiseError, match="power of two"):
+        KrausChannel("dim3", [np.eye(3)])
+
+
+def test_builders_validate_probability_ranges():
+    for builder in (
+        bit_flip,
+        phase_flip,
+        bit_phase_flip,
+        depolarizing,
+        amplitude_damping,
+        phase_damping,
+    ):
+        with pytest.raises(NoiseError, match=r"\[0, 1\]"):
+            builder(-0.1)
+        with pytest.raises(NoiseError, match=r"\[0, 1\]"):
+            builder(1.5)
+
+
+def test_zero_strength_channels_drop_to_identity():
+    # The X/Y/Z legs carry zero weight and are dropped, so unraveling
+    # a zero-strength channel never draws a zero-probability operator.
+    assert len(depolarizing(0.0).operators) == 1
+    assert len(bit_flip(0.0).operators) == 1
+    assert np.allclose(bit_flip(0.0).operators[0], I2)
+
+
+def test_channel_equality_and_repr():
+    assert bit_flip(0.1) == bit_flip(0.1)
+    assert bit_flip(0.1) != bit_flip(0.2)
+    assert "bit_flip" in repr(bit_flip(0.1))
+
+
+def test_apply_rejects_wrong_dimension():
+    with pytest.raises(NoiseError, match="2x2"):
+        bit_flip(0.1).apply(np.eye(4))
+
+
+# ----------------------------------------------------------------------
+# Analytic channel action on density matrices.
+# ----------------------------------------------------------------------
+def test_bit_flip_action():
+    p = 0.3
+    out = bit_flip(p).apply(KET0)
+    assert np.allclose(out, (1 - p) * KET0 + p * KET1)
+
+
+def test_phase_flip_action_kills_coherence():
+    p = 0.25
+    out = phase_flip(p).apply(PLUS)
+    # rho -> (1-p) rho + p Z rho Z: off-diagonals scale by (1 - 2p).
+    expected = 0.5 * np.array(
+        [[1, 1 - 2 * p], [1 - 2 * p, 1]], dtype=complex
+    )
+    assert np.allclose(out, expected)
+
+
+def test_depolarizing_action():
+    p = 0.4
+    rho = 0.5 * np.array([[1.2, 0.3 - 0.1j], [0.3 + 0.1j, 0.8]])
+    out = depolarizing(p).apply(rho)
+    expected = (1 - p) * rho + p * np.trace(rho) * I2 / 2
+    assert np.allclose(out, expected)
+
+
+def test_depolarizing_two_qubit_action():
+    p = 0.2
+    rng = np.random.default_rng(5)
+    raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    rho = raw @ raw.conj().T
+    rho /= np.trace(rho)
+    out = depolarizing(p, num_qubits=2).apply(rho)
+    expected = (1 - p) * rho + p * np.eye(4) / 4
+    assert np.allclose(out, expected)
+    with pytest.raises(NoiseError, match="1 to 3"):
+        depolarizing(0.1, num_qubits=4)
+
+
+def test_amplitude_damping_action():
+    gamma = 0.35
+    out = amplitude_damping(gamma).apply(KET1)
+    assert np.allclose(out, gamma * KET0 + (1 - gamma) * KET1)
+    # |0> is a fixed point.
+    assert np.allclose(amplitude_damping(gamma).apply(KET0), KET0)
+    # Coherences shrink by sqrt(1 - gamma).
+    out = amplitude_damping(gamma).apply(PLUS)
+    assert np.allclose(out[0, 1], 0.5 * math.sqrt(1 - gamma))
+
+
+def test_phase_damping_action():
+    lam = 0.5
+    out = phase_damping(lam).apply(PLUS)
+    # Populations untouched, coherences shrink by sqrt(1 - lambda).
+    assert np.allclose(np.diag(out), [0.5, 0.5])
+    assert np.allclose(out[0, 1], 0.5 * math.sqrt(1 - lam))
+
+
+def test_bit_phase_flip_action():
+    p = 0.2
+    out = bit_phase_flip(p).apply(KET0)
+    assert np.allclose(out, (1 - p) * KET0 + p * KET1)
+
+
+@pytest.mark.parametrize(
+    "channel",
+    [
+        bit_flip(0.15),
+        phase_flip(0.3),
+        bit_phase_flip(0.07),
+        depolarizing(0.25),
+        amplitude_damping(0.4),
+        phase_damping(0.6),
+        depolarizing(0.1, num_qubits=2),
+    ],
+)
+def test_channels_preserve_trace_and_positivity(channel):
+    rng = np.random.default_rng(11)
+    dim = channel.dim
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = raw @ raw.conj().T
+    rho /= np.trace(rho)
+    out = channel.apply(rho)
+    assert np.isclose(np.trace(out).real, 1.0)
+    eigenvalues = np.linalg.eigvalsh(out)
+    assert eigenvalues.min() > -1e-12
+
+
+# ----------------------------------------------------------------------
+# Readout confusion matrix.
+# ----------------------------------------------------------------------
+def test_readout_validation():
+    with pytest.raises(NoiseError, match="2x2"):
+        ReadoutError(np.eye(3))
+    with pytest.raises(NoiseError, match=r"\[0, 1\]"):
+        ReadoutError([[1.2, -0.2], [0.0, 1.0]])
+    with pytest.raises(NoiseError, match="sum to 1"):
+        ReadoutError([[0.9, 0.2], [0.0, 1.0]])
+    with pytest.raises(NoiseError, match=r"\[0, 1\]"):
+        ReadoutError.symmetric(1.5)
+
+
+def test_readout_round_trip():
+    # The identity confusion matrix round-trips any distribution...
+    identity = ReadoutError.symmetric(0.0)
+    assert identity.trivial
+    distribution = np.array([0.3, 0.7])
+    assert np.allclose(
+        identity.apply_to_distribution(distribution), distribution
+    )
+    # ...and a non-trivial confusion round-trips through its inverse:
+    # recovering the true distribution from the recorded one is exactly
+    # the readout-error-mitigation inversion.
+    error = ReadoutError.asymmetric(0.1, 0.25)
+    assert not error.trivial
+    recorded = error.apply_to_distribution(distribution)
+    recovered = recorded @ np.linalg.inv(error.matrix)
+    assert np.allclose(recovered, distribution)
+
+
+def test_readout_accessors_and_equality():
+    error = ReadoutError.asymmetric(0.1, 0.2)
+    assert error.p01 == pytest.approx(0.1)
+    assert error.p10 == pytest.approx(0.2)
+    assert error == ReadoutError.asymmetric(0.1, 0.2)
+    assert error != ReadoutError.symmetric(0.1)
+    assert "p01" in repr(error)
+    symmetric = ReadoutError.symmetric(0.05)
+    assert symmetric.p01 == symmetric.p10 == pytest.approx(0.05)
+    with pytest.raises(NoiseError, match="length-2"):
+        error.apply_to_distribution([0.2, 0.3, 0.5])

@@ -1,0 +1,135 @@
+"""NoiseModel attachment-rule tests (repro.noise.model)."""
+
+import pytest
+
+from repro.errors import NoiseError
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    standard_noise_model,
+)
+from repro.qcircuit.circuit import CircuitGate
+
+
+def cx(control, target):
+    return CircuitGate("x", (target,), controls=(control,))
+
+
+def test_empty_model_has_no_noise():
+    model = NoiseModel()
+    assert not model.has_noise
+    assert model.channels_for(CircuitGate("h", (0,))) == []
+    assert model.readout_error_for(0) is None
+
+
+def test_global_single_qubit_channel_hits_every_gate_qubit():
+    channel = depolarizing(0.1)
+    model = NoiseModel().add_channel(channel)
+    assert model.has_noise
+    assert model.channels_for(CircuitGate("h", (2,))) == [(channel, (2,))]
+    # Controls and targets both decohere: one application per qubit.
+    assert model.channels_for(cx(0, 3)) == [(channel, (0,)), (channel, (3,))]
+
+
+def test_gate_name_filter():
+    channel = amplitude_damping(0.2)
+    model = NoiseModel().add_channel(channel, gates=("h", "x"))
+    assert model.channels_for(CircuitGate("h", (0,))) == [(channel, (0,))]
+    assert model.channels_for(CircuitGate("z", (0,))) == []
+
+
+def test_unknown_gate_name_rejected():
+    with pytest.raises(NoiseError, match="unknown gate name"):
+        NoiseModel().add_channel(bit_flip(0.1), gates=("cnot",))
+
+
+def test_qubit_filter():
+    channel = bit_flip(0.05)
+    model = NoiseModel().add_channel(channel, qubits=(1,))
+    assert model.channels_for(CircuitGate("h", (0,))) == []
+    assert model.channels_for(CircuitGate("h", (1,))) == [(channel, (1,))]
+    # On a two-qubit gate only the filtered qubit decoheres.
+    assert model.channels_for(cx(1, 0)) == [(channel, (1,))]
+    with pytest.raises(NoiseError, match="non-negative"):
+        NoiseModel().add_channel(channel, qubits=(-1,))
+
+
+def test_multi_qubit_channel_matches_arity():
+    two_qubit = depolarizing(0.1, num_qubits=2)
+    model = NoiseModel().add_channel(two_qubit)
+    # Applied once, on controls + targets order, to 2-qubit gates only.
+    assert model.channels_for(cx(0, 1)) == [(two_qubit, (0, 1))]
+    assert model.channels_for(CircuitGate("h", (0,))) == []
+    assert model.channels_for(CircuitGate("swap", (0, 1))) == [
+        (two_qubit, (0, 1))
+    ]
+    # A qubit filter must cover every gate qubit.
+    filtered = NoiseModel().add_channel(two_qubit, qubits=(0, 1))
+    assert filtered.channels_for(cx(0, 1)) == [(two_qubit, (0, 1))]
+    assert filtered.channels_for(cx(0, 2)) == []
+
+
+def test_rules_apply_in_insertion_order():
+    first = bit_flip(0.1)
+    second = amplitude_damping(0.2)
+    model = NoiseModel().add_channel(first).add_channel(second)
+    assert model.channels_for(CircuitGate("h", (0,))) == [
+        (first, (0,)),
+        (second, (0,)),
+    ]
+    assert len(model.channel_rules) == 2
+
+
+def test_add_channel_type_checks():
+    with pytest.raises(NoiseError, match="KrausChannel"):
+        NoiseModel().add_channel("not-a-channel")
+    with pytest.raises(NoiseError, match="ReadoutError"):
+        NoiseModel().add_readout_error(0.1)
+
+
+def test_readout_default_and_per_qubit_override():
+    default = ReadoutError.symmetric(0.1)
+    special = ReadoutError.asymmetric(0.0, 0.5)
+    model = (
+        NoiseModel()
+        .add_readout_error(default)
+        .add_readout_error(special, qubits=(2,))
+    )
+    assert model.has_noise
+    assert model.readout_error_for(0) == default
+    assert model.readout_error_for(2) == special
+
+
+def test_trivial_readout_resolves_to_none():
+    model = NoiseModel().add_readout_error(ReadoutError.symmetric(0.0))
+    # Identity confusion is no noise at all: engines keep their ideal
+    # fast paths (has_noise False) and see no confusion to apply.
+    assert not model.has_noise
+    assert model.readout_error_for(0) is None
+    # A non-trivial per-qubit entry flips the model to noisy.
+    model.add_readout_error(ReadoutError.symmetric(0.1), qubits=(3,))
+    assert model.has_noise
+
+
+def test_effective_noise_model_normalization():
+    from repro.noise import effective_noise_model
+
+    assert effective_noise_model(None) is None
+    assert effective_noise_model(NoiseModel()) is None
+    assert effective_noise_model(standard_noise_model(0.0)) is None
+    model = standard_noise_model(0.1)
+    assert effective_noise_model(model) is model
+
+
+def test_standard_noise_model_knob():
+    assert not standard_noise_model(0.0).has_noise
+    model = standard_noise_model(0.1)
+    assert model.has_noise
+    assert len(model.channel_rules) == 1
+    assert model.readout_error_for(0).p01 == pytest.approx(0.05)
+    custom = standard_noise_model(0.1, readout=0.3)
+    assert custom.readout_error_for(5).p01 == pytest.approx(0.3)
+    assert "NoiseModel" in repr(model)

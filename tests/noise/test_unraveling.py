@@ -1,0 +1,297 @@
+"""Stochastic Kraus unraveling tests: the batched trajectory engine and
+the per-shot interpreter must both converge to the exact density-matrix
+distribution, with honest RunInfo telemetry."""
+
+import numpy as np
+
+from repro.noise import (
+    NoiseModel,
+    NoiseStats,
+    ReadoutError,
+    amplitude_damping,
+    depolarizing,
+    phase_damping,
+)
+from repro.qcircuit import conditioned_fanout_circuit, teleport_circuit
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+from repro.sim import (
+    BatchedStatevector,
+    DensityMatrixBackend,
+    StatevectorSimulator,
+    batched_run,
+    run_circuit_with_info,
+)
+from tests.stats import assert_matches_distribution, empirical_distribution
+
+
+def teleport_noise_model():
+    """The acceptance-criteria model: depolarizing + readout noise."""
+    return (
+        NoiseModel()
+        .add_channel(depolarizing(0.05))
+        .add_readout_error(ReadoutError.symmetric(0.02))
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine-level unraveling semantics.
+# ----------------------------------------------------------------------
+def test_batched_kraus_preserves_normalization():
+    batch = BatchedStatevector(512, 2, rng=np.random.default_rng(1))
+    batch.apply_gate(CircuitGate("h", (0,)))
+    batch.apply_gate(CircuitGate("x", (1,), controls=(0,)))
+    batch.apply_kraus(amplitude_damping(0.4).operators, (0,))
+    flat = batch.state.reshape(512, -1)
+    norms = np.einsum("si,si->s", flat, flat.conj()).real
+    assert np.allclose(norms, 1.0)
+
+
+def test_batched_kraus_matches_channel_statistics():
+    """Unraveled amplitude damping on |1>: P(damped to |0>) = gamma."""
+    gamma = 0.3
+    shots = 4000
+    batch = BatchedStatevector(shots, 1, rng=np.random.default_rng(7))
+    batch.apply_gate(CircuitGate("x", (0,)))
+    batch.apply_kraus(amplitude_damping(gamma).operators, (0,))
+    p_one = batch.probability_one(0)
+    # Each trajectory collapsed to exactly |0> or |1>.
+    assert np.all((p_one < 1e-9) | (p_one > 1 - 1e-9))
+    damped = int((p_one < 0.5).sum())
+    sigma = (shots * gamma * (1 - gamma)) ** 0.5
+    assert abs(damped - gamma * shots) < 5 * sigma
+
+
+def test_batched_kraus_masked_subset_only():
+    """A masked Kraus draw must leave unmasked trajectories untouched."""
+    batch = BatchedStatevector(8, 1, rng=np.random.default_rng(3))
+    batch.apply_gate(CircuitGate("x", (0,)))
+    mask = np.zeros(8, dtype=bool)
+    mask[:4] = True
+    batch.apply_kraus(
+        amplitude_damping(1.0).operators, (0,), mask=mask
+    )
+    p_one = batch.probability_one(0)
+    assert np.allclose(p_one[:4], 0.0)  # damped with certainty
+    assert np.allclose(p_one[4:], 1.0)  # untouched
+
+
+def test_single_shot_kraus_matches_channel_statistics():
+    gamma = 0.25
+    damped = 0
+    trials = 2000
+    for seed in range(trials):
+        sim = StatevectorSimulator(1, seed=seed)
+        sim.apply_gate(CircuitGate("x", (0,)))
+        sim.apply_kraus(amplitude_damping(gamma).operators, (0,))
+        damped += 1 - round(sim.probability_one(0))
+    sigma = (trials * gamma * (1 - gamma)) ** 0.5
+    assert abs(damped - gamma * trials) < 5 * sigma
+
+
+# ----------------------------------------------------------------------
+# Convergence to the density-matrix distribution (acceptance criteria).
+# ----------------------------------------------------------------------
+def test_teleport_unraveling_converges_to_density_matrix():
+    """Acceptance: teleport with depolarizing + readout noise — the
+    batched unraveling matches the exact distribution within the shared
+    TVD threshold."""
+    circuit = teleport_circuit()
+    model = teleport_noise_model()
+    exact = DensityMatrixBackend().output_distribution(circuit, model)
+    shots = 8192
+    results, info = run_circuit_with_info(
+        circuit, shots=shots, seed=17,
+        backend="statevector", noise_model=model,
+    )
+    assert info.batched and not info.fast_path
+    assert info.evolutions == 1  # one sweep over all shots
+    assert_matches_distribution(
+        results, exact, label="teleport unraveling"
+    )
+
+
+def test_conditioned_fanout_unraveling_converges_to_density_matrix():
+    circuit = conditioned_fanout_circuit()
+    model = (
+        NoiseModel()
+        .add_channel(amplitude_damping(0.08))
+        .add_channel(phase_damping(0.05))
+        .add_readout_error(ReadoutError.asymmetric(0.03, 0.06))
+    )
+    exact = DensityMatrixBackend().output_distribution(circuit, model)
+    results, info = run_circuit_with_info(
+        circuit, shots=8192, seed=23,
+        backend="statevector", noise_model=model,
+    )
+    assert info.batched
+    assert_matches_distribution(
+        results, exact, label="cond-fanout unraveling"
+    )
+
+
+def test_interpreter_unraveling_converges_to_density_matrix():
+    """The per-shot interpreter is a second, independent unraveling —
+    cross-validating the batched implementation."""
+    circuit = teleport_circuit()
+    model = teleport_noise_model()
+    exact = DensityMatrixBackend().output_distribution(circuit, model)
+    results, info = run_circuit_with_info(
+        circuit, shots=4000, seed=29,
+        backend="interpreter", noise_model=model,
+    )
+    assert info.evolutions == 4000 and not info.batched
+    assert_matches_distribution(
+        results, exact, label="interpreter unraveling"
+    )
+
+
+def test_noisy_terminal_circuit_takes_batched_path():
+    """Noise rules out the single-evolution fast path even for
+    terminal-measurement circuits."""
+    circuit = Circuit(num_qubits=2, num_bits=2)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(CircuitGate("x", (1,), controls=(0,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    model = NoiseModel().add_channel(depolarizing(0.1))
+    _, info = run_circuit_with_info(
+        circuit, shots=32, seed=0,
+        backend="statevector", noise_model=model,
+    )
+    assert info.batched and not info.fast_path
+    # An empty model (or none) keeps the fast path.
+    _, info = run_circuit_with_info(
+        circuit, shots=32, seed=0,
+        backend="statevector", noise_model=NoiseModel(),
+    )
+    assert info.fast_path
+
+
+def test_noisy_bell_histogram_matches_density_exactly_in_distribution():
+    circuit = Circuit(num_qubits=2, num_bits=2)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(CircuitGate("x", (1,), controls=(0,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    model = NoiseModel().add_channel(depolarizing(0.2))
+    exact = DensityMatrixBackend().output_distribution(circuit, model)
+    results, _ = run_circuit_with_info(
+        circuit, shots=8192, seed=31,
+        backend="statevector", noise_model=model,
+    )
+    assert_matches_distribution(results, exact, label="noisy bell")
+    # The noise broke the perfect (00|11) correlation.
+    assert set(empirical_distribution(results)) == set(exact)
+    assert len(exact) == 4
+
+
+# ----------------------------------------------------------------------
+# Telemetry and determinism.
+# ----------------------------------------------------------------------
+def test_runinfo_reports_honest_counts_per_sweep():
+    """One-chunk batched run: channel applications = attached channel
+    events in one circuit walk; readout = measurements with confusion."""
+    circuit = teleport_circuit()
+    model = teleport_noise_model()
+    _, info = run_circuit_with_info(
+        circuit, shots=256, seed=0,
+        backend="statevector", noise_model=model,
+    )
+    # teleport: rx, h, cx (2 qubits), cx (2 qubits), h, then the two
+    # conditioned single-qubit corrections = 9 single-qubit channel
+    # applications per sweep; 3 measurements with readout confusion.
+    assert info.evolutions == 1
+    assert info.channel_applications == 9
+    assert info.readout_applications == 3
+
+
+def test_never_fired_conditioned_gate_counts_no_channel_event():
+    """A gate conditioned on a bit that never reads the required value
+    applies no noise — both engines must report zero channel events
+    (the batched engine's masked draw no-ops on an empty mask)."""
+    circuit = Circuit(num_qubits=2, num_bits=2, output_bits=[1])
+    circuit.add(Measurement(0, 0))  # qubit 0 is |0>: bit 0 always 0
+    circuit.add(CircuitGate("x", (1,), condition=(0, 1)))  # never fires
+    circuit.add(Measurement(1, 1))
+    model = NoiseModel().add_channel(depolarizing(0.2), gates=("x",))
+    for backend in ("statevector", "interpreter"):
+        _, info = run_circuit_with_info(
+            circuit, shots=64, seed=0,
+            backend=backend, noise_model=model,
+        )
+        assert info.channel_applications == 0, backend
+
+
+def test_runinfo_counts_scale_with_chunking():
+    """Two sweeps double the per-sweep noise-event counts."""
+    circuit = teleport_circuit()
+    model = teleport_noise_model()
+    stats = NoiseStats()
+    # 3 qubits -> 128 bytes/shot; cap the envelope to force 2 chunks.
+    _, sweeps = batched_run(
+        circuit, shots=100, seed=1, max_batch_bytes=50 * 128,
+        noise_model=model, stats=stats,
+    )
+    assert sweeps == 2
+    assert stats.channel_applications == 18
+    assert stats.readout_applications == 6
+
+
+def test_noisy_batched_run_is_deterministic():
+    circuit = conditioned_fanout_circuit()
+    model = teleport_noise_model()
+    first = run_circuit_with_info(
+        circuit, shots=128, seed=5,
+        backend="statevector", noise_model=model,
+    )[0]
+    second = run_circuit_with_info(
+        circuit, shots=128, seed=5,
+        backend="statevector", noise_model=model,
+    )[0]
+    third = run_circuit_with_info(
+        circuit, shots=128, seed=6,
+        backend="statevector", noise_model=model,
+    )[0]
+    assert first == second
+    assert first != third
+
+
+def test_kernel_entry_points_thread_noise_model():
+    from repro.algorithms import bernstein_vazirani
+    from repro.noise import standard_noise_model
+
+    kernel = bernstein_vazirani("101")
+    assert kernel.histogram(shots=32) == {"101": 32}
+    noisy = kernel.histogram(
+        shots=2048, noise_model=standard_noise_model(0.08)
+    )
+    assert max(noisy, key=noisy.get) == "101"
+    assert len(noisy) > 1  # noise produced corrupted readouts
+    # The density backend agrees through the same entry point.
+    dense = kernel.histogram(
+        shots=2048,
+        backend="density_matrix",
+        noise_model=standard_noise_model(0.08),
+    )
+    assert max(dense, key=dense.get) == "101"
+
+
+def test_compile_options_noise_model_fallback():
+    from repro import CompileOptions, simulate_kernel
+    from repro.algorithms import bernstein_vazirani
+    from repro.noise import standard_noise_model
+
+    kernel = bernstein_vazirani("11")
+    options = CompileOptions(noise_model=standard_noise_model(0.5))
+    results = simulate_kernel(kernel, shots=512, options=options, seed=2)
+    counts = empirical_distribution([str(bits) for bits in results])
+    assert len(counts) > 1  # the options-level model applied
+    # An explicit noise_model=None cannot override options (it is the
+    # "unset" sentinel); an explicit model wins over the options model.
+    quiet = simulate_kernel(
+        kernel,
+        shots=64,
+        options=CompileOptions(),
+        noise_model=standard_noise_model(0.0),
+    )
+    assert {str(bits) for bits in quiet} == {"11"}

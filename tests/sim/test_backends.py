@@ -30,6 +30,12 @@ from repro.sim import (
 from repro.sim.backend import _REGISTRY
 
 
+from tests.stats import (  # noqa: E402  (shared statistical helpers)
+    assert_histograms_close,
+    histogram,
+)
+
+
 def g(name, targets, controls=(), params=(), ctrl_states=(), condition=None):
     return CircuitGate(
         name,
@@ -38,22 +44,6 @@ def g(name, targets, controls=(), params=(), ctrl_states=(), condition=None):
         tuple(params),
         tuple(ctrl_states),
         condition,
-    )
-
-
-def histogram(results):
-    counts = {}
-    for outcome in results:
-        counts[outcome] = counts.get(outcome, 0) + 1
-    return counts
-
-
-def total_variation(results_a, results_b):
-    ha, hb = histogram(results_a), histogram(results_b)
-    keys = set(ha) | set(hb)
-    na, nb = len(results_a), len(results_b)
-    return 0.5 * sum(
-        abs(ha.get(k, 0) / na - hb.get(k, 0) / nb) for k in keys
     )
 
 
@@ -250,8 +240,9 @@ def test_teleportation_histograms_match():
     assert vector_info.batched
     assert vector_info.evolutions == 1
     assert interp_info.evolutions == shots and not interp_info.batched
-    # RNG streams differ between engines, so compare distributions.
-    assert total_variation(per_shot, sampled) < 0.05
+    # RNG streams differ between engines, so compare distributions
+    # (within the shot-count-derived TVD threshold; tests/stats.py).
+    assert_histograms_close(per_shot, sampled, label="teleport")
     # And the physics holds on both: P(1) = sin^2(0.35).
     expected = math.sin(0.35) ** 2
     sigma = math.sqrt(expected * (1 - expected) * shots)
@@ -272,7 +263,7 @@ def test_grover_histograms_match():
         circuit, shots=shots, seed=11, backend="statevector"
     )
     assert info.fast_path and info.evolutions == 1
-    assert total_variation(per_shot, sampled) < 0.05
+    assert_histograms_close(per_shot, sampled, label="grover")
     # Both concentrate on the marked item.
     assert histogram(sampled)[(1, 1, 1)] > 0.9 * shots
     assert histogram(per_shot)[(1, 1, 1)] > 0.9 * shots
@@ -293,7 +284,9 @@ def test_mid_circuit_measurement_takes_batched_path_and_matches():
     )
     assert not info.fast_path
     assert info.batched and info.evolutions == 1
-    assert total_variation(per_shot, sampled) < 0.06
+    assert_histograms_close(
+        per_shot, sampled, outcomes=4, label="mid-circuit"
+    )
     # All four outcomes occur: the second measurement is a fresh coin.
     assert len(histogram(sampled)) == 4
 

@@ -1,0 +1,134 @@
+"""Shared statistical helpers for histogram-equivalence tests.
+
+Every test that compares two sampling engines (or an engine against an
+exact distribution) goes through :func:`assert_histograms_close` /
+:func:`tvd_threshold` instead of an ad-hoc hand-picked margin.  The
+threshold is *derived from the shot counts*:
+
+For an empirical distribution ``p_hat`` of ``n`` samples from a true
+distribution ``p`` over ``k`` outcomes,
+
+- ``E[TVD(p_hat, p)] <= sqrt(k / (4 n))``  (Cauchy-Schwarz over the
+  per-outcome binomial standard deviations), and
+- TVD exceeds its mean by more than ``t`` with probability at most
+  ``exp(-2 n t^2)`` (McDiarmid's bounded-differences inequality — each
+  sample moves the TVD by at most ``1/n``).
+
+So ``sqrt(k / (4n)) + sqrt(ln(1/delta) / (2n))`` bounds a single
+empirical side with failure probability ``delta``, and a two-sample
+comparison adds one such term per side.  With the default
+``delta = 1e-6`` the margin at 4000 shots over 4 outcomes is ~0.057 per
+side — comfortably above statistical noise yet far below the O(0.3+)
+TVD a mis-sampling engine produces.  Seeds are fixed in tests, so any
+pass/fail is reproducible; the derivation just guarantees the fixed
+draw is overwhelmingly unlikely to sit outside the margin under a
+*correct* engine, whatever the shot count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+# One implementation of the distribution/TVD math serves both the
+# shipped evaluation harness and these test helpers, so the margins
+# the tests enforce and the numbers the benchmarks report cannot
+# drift apart.  repro.stats is import-light by design — no compiler or
+# evaluation stack rides along with a histogram comparison.
+from repro.stats import distribution_of as empirical_distribution
+from repro.stats import distribution_tvd
+
+__all__ = [
+    "assert_histograms_close",
+    "assert_matches_distribution",
+    "distribution_tvd",
+    "empirical_distribution",
+    "histogram",
+    "total_variation",
+    "tvd_threshold",
+]
+
+
+def histogram(results: Sequence) -> dict:
+    """Outcome -> count over a list of sampled outcomes."""
+    counts: dict = {}
+    for outcome in results:
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts
+
+
+def total_variation(results_a: Sequence, results_b: Sequence) -> float:
+    """TVD between the empirical distributions of two sample lists."""
+    return distribution_tvd(
+        empirical_distribution(results_a),
+        empirical_distribution(results_b),
+    )
+
+
+def tvd_threshold(
+    shots_a: int,
+    shots_b: Optional[int] = None,
+    outcomes: int = 2,
+    delta: float = 1e-6,
+) -> float:
+    """The TVD margin two correct samplers stay within (see module
+    docstring for the derivation).
+
+    ``shots_b=None`` compares one empirical side against an *exact*
+    distribution (e.g. the density-matrix backend's
+    ``output_distribution``), contributing a single term.
+    """
+
+    def one_side(shots: int) -> float:
+        return math.sqrt(outcomes / (4.0 * shots)) + math.sqrt(
+            math.log(1.0 / delta) / (2.0 * shots)
+        )
+
+    threshold = one_side(shots_a)
+    if shots_b is not None:
+        threshold += one_side(shots_b)
+    return threshold
+
+
+def assert_histograms_close(
+    results_a: Sequence,
+    results_b: Sequence,
+    outcomes: Optional[int] = None,
+    label: str = "",
+) -> None:
+    """Assert two sample lists agree within the derived TVD threshold.
+
+    ``outcomes`` defaults to the size of the union support — the
+    natural ``k`` when the true support is not known a priori.
+    """
+    p = empirical_distribution(results_a)
+    q = empirical_distribution(results_b)
+    support = outcomes if outcomes is not None else len(set(p) | set(q))
+    threshold = tvd_threshold(
+        len(results_a), len(results_b), outcomes=support
+    )
+    distance = distribution_tvd(p, q)
+    assert distance < threshold, (
+        f"{label or 'histograms'}: TVD {distance:.4f} exceeds the "
+        f"derived threshold {threshold:.4f} "
+        f"({len(results_a)}/{len(results_b)} shots, {support} outcomes)"
+    )
+
+
+def assert_matches_distribution(
+    results: Sequence,
+    exact: dict,
+    outcomes: Optional[int] = None,
+    label: str = "",
+) -> None:
+    """Assert a sample list converges to an exact distribution within
+    the derived one-sided TVD threshold."""
+    p = empirical_distribution(results)
+    support = outcomes if outcomes is not None else len(set(p) | set(exact))
+    threshold = tvd_threshold(len(results), outcomes=support)
+    distance = distribution_tvd(p, exact)
+    assert distance < threshold, (
+        f"{label or 'samples'}: TVD {distance:.4f} from the exact "
+        f"distribution exceeds the derived threshold {threshold:.4f} "
+        f"({len(results)} shots, {support} outcomes)"
+    )
