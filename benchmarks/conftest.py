@@ -49,7 +49,15 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 #: Keys every BENCH_*.json record carries (None where inapplicable).
-BENCH_RECORD_KEYS = ("benchmark", "config", "wall_ms", "shots", "evolutions")
+BENCH_RECORD_KEYS = (
+    "benchmark",
+    "config",
+    "wall_ms",
+    "shots",
+    "evolutions",
+    "gates_fused",
+    "kernel",
+)
 
 #: The perf-trajectory manifest: one BENCH_<name>.json per bench
 #: module.  A full harness run (`python -m pytest benchmarks -s`) must
@@ -62,6 +70,7 @@ EXPECTED_BENCH_JSON = (
     "BENCH_compiler_speed.json",
     "BENCH_fig11_runtime.json",
     "BENCH_fig12_qubits.json",
+    "BENCH_kernels.json",
     "BENCH_noise.json",
     "BENCH_table1_callables.json",
 )
@@ -138,14 +147,24 @@ def bench_record(
     wall_ms: float,
     shots: "int | None" = None,
     evolutions: "int | None" = None,
+    gates_fused: "int | None" = None,
+    kernel: "str | None" = None,
 ) -> dict:
-    """One machine-readable perf record for :func:`write_bench_json`."""
+    """One machine-readable perf record for :func:`write_bench_json`.
+
+    ``gates_fused`` / ``kernel`` mirror the same-named
+    :class:`repro.sim.backend.RunInfo` fields (gates eliminated by the
+    fusion pass; which apply-kernel ran) when the bench executed
+    circuits; ``None`` where inapplicable (e.g. compile-only benches).
+    """
     return {
         "benchmark": benchmark,
         "config": config,
         "wall_ms": round(float(wall_ms), 4),
         "shots": shots,
         "evolutions": evolutions,
+        "gates_fused": gates_fused,
+        "kernel": kernel,
     }
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.algorithms import (
     alternating_secret,
@@ -182,7 +182,10 @@ class ShotExecutionRow:
     backend's terminal-measurement fast path does exactly one per run,
     independent of ``shots``; the per-shot interpreter does ``shots``;
     the batched trajectory engine (``batched`` True) does one batched
-    sweep per memory-envelope chunk, usually 1.
+    sweep per memory-envelope chunk, usually 1.  ``gates_fused`` and
+    ``kernel`` come straight from :class:`~repro.sim.backend.RunInfo`:
+    gates eliminated by the compile-time fusion pass, and which
+    apply-kernel ran the matrix sweeps (docs/performance.md).
     """
 
     algorithm: str
@@ -193,6 +196,8 @@ class ShotExecutionRow:
     evolutions: int
     fast_path: bool
     batched: bool = False
+    gates_fused: int = 0
+    kernel: Optional[str] = None
 
 
 def shot_execution_report(
@@ -208,13 +213,20 @@ def shot_execution_report(
     every circuit goes through the same compiled artifact, and each
     registered backend samples the same number of shots with the same
     seed.  Sizes must stay within the dense-simulation qubit limit.
+
+    Circuits are gate-fused before execution (the ``default``
+    pipeline's execution form — docs/performance.md), so the rows'
+    ``gates_fused`` column reports the fusion pass's savings.
     """
+    from repro.qcircuit.fusion import fuse_adjacent_gates
     from repro.sim.backend import get_backend
 
     rows = []
     for algorithm in algorithms:
         for n in sizes:
-            circuit = compiled_circuit(algorithm, "asdf", n)
+            circuit = fuse_adjacent_gates(
+                compiled_circuit(algorithm, "asdf", n)
+            )
             for name in backends:
                 backend = get_backend(name)
                 start = time.perf_counter()
@@ -230,6 +242,8 @@ def shot_execution_report(
                         info.evolutions,
                         info.fast_path,
                         info.batched,
+                        gates_fused=info.gates_fused,
+                        kernel=info.kernel,
                     )
                 )
     return rows
@@ -282,6 +296,8 @@ def trajectory_execution_report(
                     info.evolutions,
                     info.fast_path,
                     info.batched,
+                    gates_fused=info.gates_fused,
+                    kernel=info.kernel,
                 )
             )
     return rows
@@ -421,13 +437,15 @@ def format_shot_report(rows: Iterable[ShotExecutionRow]) -> str:
     """Render a shot-execution report as an aligned table."""
     lines = [
         f"{'algorithm':<12}{'n':>4}  {'backend':<14}{'shots':>7}"
-        f"{'seconds':>12}{'evolutions':>12}  {'fast_path':<11}batched"
+        f"{'seconds':>12}{'evolutions':>12}  {'fast_path':<11}"
+        f"{'batched':<9}{'fused':>6}  kernel"
     ]
     for row in rows:
         lines.append(
             f"{row.algorithm:<12}{row.input_size:>4}  {row.backend:<14}"
             f"{row.shots:>7}{row.seconds:>12.4f}{row.evolutions:>12}"
-            f"  {str(row.fast_path):<11}{row.batched}"
+            f"  {str(row.fast_path):<11}{str(row.batched):<9}"
+            f"{row.gates_fused:>6}  {row.kernel or '-'}"
         )
     return "\n".join(lines)
 

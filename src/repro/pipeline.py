@@ -35,6 +35,7 @@ from repro.ir.verifier import verify_module
 from repro.lower import flatten_to_circuit, lower_module
 from repro.qcircuit import (
     CIRCUIT_DECOMPOSE_SPEC,
+    CIRCUIT_FUSION_SPEC,
     CIRCUIT_OPT_SPEC,
     Circuit,
     copy_circuit,
@@ -59,21 +60,30 @@ class CompileOptions:
     checks IR invariants before and after the Qwerty pipeline;
     ``verify_each`` additionally re-verifies after every changed pass.
     ``collect_statistics`` fills ``CompileResult.statistics`` with a
-    per-pass/per-stage breakdown.  ``sim_backend`` names the simulation
-    backend (:mod:`repro.sim.backend`) that ``simulate_kernel`` and the
-    evaluation harness use to execute the compiled circuit, and
+    per-pass/per-stage breakdown.  ``fusion_spec`` runs on a *copy* of
+    the optimized circuit to produce ``CompileResult.execution_circuit``
+    — the gate-fused form the simulation entry points execute (see
+    docs/performance.md); exporters and resource estimation keep
+    consuming the unfused circuits, and ``fusion_spec=""`` disables
+    fusion.  ``sim_backend`` names the simulation backend
+    (:mod:`repro.sim.backend`) that ``simulate_kernel`` and the
+    evaluation harness use to execute the compiled circuit,
+    ``sim_kernel`` selects the apply-matrix kernel
+    (:mod:`repro.sim.kernels`; ``None`` keeps the process default), and
     ``noise_model`` (a :class:`repro.noise.NoiseModel`) makes those
-    executions noisy; neither affects compilation itself.
+    executions noisy; none of the three affects compilation itself.
     """
 
     qwerty_spec: str = QWERTY_OPT_SPEC
     optimize_spec: str = CIRCUIT_OPT_SPEC
     decompose_spec: str = CIRCUIT_DECOMPOSE_SPEC
+    fusion_spec: str = CIRCUIT_FUSION_SPEC
     to_circuit: bool = True
     verify: bool = True
     verify_each: bool = False
     collect_statistics: bool = False
     sim_backend: Optional[str] = None
+    sim_kernel: Optional[str] = None
     noise_model: Optional[object] = None
 
     @classmethod
@@ -134,6 +144,7 @@ PRESETS: dict[str, CompileOptions] = {
             "peephole{relaxed=false}"
         )
     ),
+    "no-fusion": CompileOptions(fusion_spec=""),
 }
 
 
@@ -147,6 +158,10 @@ class CompileResult:
     circuit: Optional[Circuit] = None
     optimized_circuit: Optional[Circuit] = None
     decomposed_circuit: Optional[Circuit] = None
+    #: The gate-fused execution form of ``optimized_circuit`` (equal to
+    #: it when ``options.fusion_spec`` is empty).  Simulation entry
+    #: points execute this; exporters never see it.
+    execution_circuit: Optional[Circuit] = None
     dims: dict = field(default_factory=dict)
     options: CompileOptions = field(default_factory=CompileOptions)
     #: Per-pass instrumentation, when compiled with collect_statistics.
@@ -336,7 +351,12 @@ def compile_kernel(
         cache_key = (
             _kernel_fingerprint(kernel),
             tuple(sorted(kernel.infer_dims().items())),
-            dataclasses.replace(options, sim_backend=None, noise_model=None),
+            dataclasses.replace(
+                options,
+                sim_backend=None,
+                sim_kernel=None,
+                noise_model=None,
+            ),
         )
         cached = _cache_get(cache_key)
         if cached is not None:
@@ -394,6 +414,16 @@ def compile_kernel(
     ).run(decomposed)
     result.decomposed_circuit = decomposed
 
+    # The execution form: gate fusion runs on a copy so the exporters,
+    # gate counts, and resource estimates keep seeing plain gates.
+    execution = optimized
+    if options.fusion_spec:
+        execution = copy_circuit(optimized)
+        make_circuit_pass_manager(
+            options.fusion_spec, statistics=statistics
+        ).run(execution)
+    result.execution_circuit = execution
+
     if cache_key is not None:
         _cache_put(cache_key, result)
     return result
@@ -431,22 +461,30 @@ def simulate_kernel(
                         noise_model=standard_noise_model(0.01))
     """
     from repro.frontend.decorators import Bits
-    from repro.sim import get_backend
+    from repro.sim import get_backend, use_kernel
 
+    sim_kernel = None
     if options is None:
         result = compile_kernel(kernel, cache=cache)
         chosen = backend
     else:
         result = compile_kernel(kernel, options, cache=cache)
         chosen = backend if backend is not None else options.sim_backend
+        sim_kernel = options.sim_kernel
         if noise_model is None:
             noise_model = options.noise_model
-    circuit = result.optimized_circuit
-    resolved = get_backend(chosen)
     if noise_model is None:
-        outcomes = resolved.run(circuit, shots=shots, seed=seed)
+        circuit = result.execution_circuit or result.optimized_circuit
     else:
-        outcomes = resolved.run(
-            circuit, shots=shots, seed=seed, noise_model=noise_model
-        )
+        # Noise channels attach by gate name, so noisy runs execute the
+        # unfused circuit (fused blocks would silently drop channels).
+        circuit = result.optimized_circuit
+    resolved = get_backend(chosen)
+    with use_kernel(sim_kernel):
+        if noise_model is None:
+            outcomes = resolved.run(circuit, shots=shots, seed=seed)
+        else:
+            outcomes = resolved.run(
+                circuit, shots=shots, seed=seed, noise_model=noise_model
+            )
     return [Bits(outcome) for outcome in outcomes]

@@ -19,15 +19,27 @@ from repro.qcircuit.passes import (
     make_circuit_pass_manager,
     replace_circuit,
 )
+from repro.qcircuit.fusion import (
+    CIRCUIT_FUSION_SPEC,
+    FusedUnitary,
+    FusionPass,
+    fuse_adjacent_gates,
+    fused_gate_savings,
+)
 
 __all__ = [
     "CIRCUIT_DECOMPOSE_SPEC",
+    "CIRCUIT_FUSION_SPEC",
     "CIRCUIT_OPT_SPEC",
     "Circuit",
     "CircuitGate",
     "CircuitPass",
     "DecomposeMultiControlledPass",
+    "FusedUnitary",
+    "FusionPass",
     "PeepholePass",
+    "fuse_adjacent_gates",
+    "fused_gate_savings",
     "conditioned_fanout_circuit",
     "copy_circuit",
     "decompose_multi_controlled",

@@ -205,6 +205,9 @@ class Circuit:
                 qubits = inst.qubits
             elif isinstance(inst, Measurement):
                 qubits = (inst.qubit,)
+            elif hasattr(inst, "qubits"):
+                # e.g. a FusedUnitary block from the fusion pass.
+                qubits = inst.qubits
             else:
                 qubits = (inst.qubit,)
             level = 1 + max((levels.get(q, 0) for q in qubits), default=0)

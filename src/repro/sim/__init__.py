@@ -4,12 +4,20 @@ Execution is organized around pluggable backends — see
 :mod:`repro.sim.backend` and docs/simulators.md.
 """
 
+# Import order matters: statevector (and through it repro.qcircuit.fusion)
+# must initialize before backend/density, which build on its primitives.
+from repro.qcircuit.fusion import FusedGate, fuse_single_qubit_gates
+from repro.sim.kernels import (
+    active_kernel_name,
+    available_kernels,
+    get_kernel,
+    numba_available,
+    use_kernel,
+)
 from repro.sim.statevector import (
-    FusedGate,
     StatevectorSimulator,
     apply_gates_to_state,
     apply_matrix_inplace,
-    fuse_single_qubit_gates,
     gate_matrix,
     run_circuit,
     unitary_of_gates,
@@ -55,17 +63,22 @@ __all__ = [
     "SimBackend",
     "StatevectorSimulator",
     "VectorizedStatevectorBackend",
+    "active_kernel_name",
     "apply_gates_to_state",
     "apply_matrix_inplace",
     "available_backends",
+    "available_kernels",
     "batch_chunk_size",
     "batched_run",
     "controlled_matrix",
     "fuse_single_qubit_gates",
     "gate_matrix",
     "get_backend",
+    "get_kernel",
     "interpret_module",
+    "numba_available",
     "register_backend",
+    "use_kernel",
     "run_circuit",
     "run_circuit_with_info",
     "sample_measurement_probabilities",

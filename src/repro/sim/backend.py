@@ -52,11 +52,14 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
-from repro.sim.batched import batched_run
-from repro.sim.statevector import (
-    StatevectorSimulator,
+from repro.qcircuit.fusion import (
+    FusedUnitary,
     fuse_single_qubit_gates,
+    fused_gate_savings,
 )
+from repro.sim.batched import batched_run
+from repro.sim.kernels import active_kernel_name
+from repro.sim.statevector import StatevectorSimulator
 
 #: The one default-backend decision for the whole execution layer: every
 #: entry point — ``run_circuit``, ``run_circuit_with_info``,
@@ -88,6 +91,11 @@ class RunInfo:
     engine (and, on the density backend, per counter) — see
     :class:`repro.noise.NoiseStats` for the exact semantics.  Both are
     0 on noiseless runs.
+
+    ``gates_fused`` counts gates eliminated by the compile-time fusion
+    pass in the circuit this run executed (0 for unfused circuits);
+    ``kernel`` records which apply-kernel performed the matrix sweeps
+    (see :mod:`repro.sim.kernels` and docs/performance.md).
     """
 
     backend: str
@@ -98,6 +106,8 @@ class RunInfo:
     fused_ops: Optional[int] = None
     channel_applications: int = 0
     readout_applications: int = 0
+    gates_fused: int = 0
+    kernel: Optional[str] = None
 
 
 class SimBackend:
@@ -221,6 +231,8 @@ class InterpreterBackend(SimBackend):
             fast_path=False,
             channel_applications=stats.channel_applications,
             readout_applications=stats.readout_applications,
+            gates_fused=fused_gate_savings(circuit),
+            kernel=active_kernel_name(),
         )
 
 
@@ -242,7 +254,11 @@ def terminal_measurement_plan(
     measured_started = False
     reset_qubits: set[int] = set()
     for inst in circuit.instructions:
-        if isinstance(inst, CircuitGate):
+        if isinstance(inst, FusedUnitary):
+            # A fused block is an unconditioned unitary like any gate.
+            if measured_started:
+                return None
+        elif isinstance(inst, CircuitGate):
             if inst.condition is not None or measured_started:
                 return None
         elif isinstance(inst, Reset):
@@ -304,9 +320,19 @@ class VectorizedStatevectorBackend(SimBackend):
                 batched=True,
                 channel_applications=stats.channel_applications,
                 readout_applications=stats.readout_applications,
+                gates_fused=fused_gate_savings(circuit),
+                kernel=active_kernel_name(),
             )
 
-        fused = fuse_single_qubit_gates(circuit.gates)
+        # The unitary prefix may mix plain gates with FusedUnitary
+        # blocks from the compile-time fusion pass; both fuse into the
+        # evolution step list (single-qubit runs still collapse here).
+        prefix = [
+            inst
+            for inst in circuit.instructions
+            if isinstance(inst, (CircuitGate, FusedUnitary))
+        ]
+        fused = fuse_single_qubit_gates(prefix)
         sim = StatevectorSimulator(circuit.num_qubits, circuit.num_bits)
         sim.apply_fused(fused)
         results = _sample_terminal(
@@ -318,6 +344,8 @@ class VectorizedStatevectorBackend(SimBackend):
             evolutions=1,
             fast_path=True,
             fused_ops=len(fused),
+            gates_fused=fused_gate_savings(circuit),
+            kernel=active_kernel_name(),
         )
 
 

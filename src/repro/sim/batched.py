@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.qcircuit.fusion import FusedUnitary
 from repro.sim.statevector import (
     apply_matrix_inplace,
     control_sliced_view,
@@ -320,6 +321,13 @@ class BatchedStatevector:
                             )
                             if stats is not None and fired:
                                 stats.channel_applications += 1
+            elif isinstance(inst, FusedUnitary):
+                # Fused blocks are unconditioned unitaries; the shot
+                # axis rides along exactly as for plain gates.  Noise
+                # models attach channels by gate name, so fused blocks
+                # carry none (noisy runs execute the unfused circuit).
+                axes = tuple(1 + q for q in inst.targets)
+                apply_matrix_inplace(self.state, inst.matrix, axes)
             elif isinstance(inst, Measurement):
                 self._record_measurement(inst, noise_model, stats)
             elif isinstance(inst, Reset):

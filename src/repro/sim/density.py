@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.qcircuit.fusion import FusedUnitary, controlled_matrix
 from repro.sim.backend import (
     RunInfo,
     SimBackend,
@@ -46,7 +47,15 @@ from repro.sim.backend import (
     sample_measurement_probabilities,
     terminal_measurement_plan,
 )
+from repro.sim.kernels import active_kernel_name
 from repro.sim.statevector import apply_matrix_inplace, gate_matrix
+
+__all__ = [
+    "MAX_DENSITY_QUBITS",
+    "DensityMatrixBackend",
+    "DensityMatrixSimulator",
+    "controlled_matrix",  # canonical home: repro.qcircuit.fusion
+]
 
 #: Dense density-matrix limit: 4^n complex128 amplitudes (4^12 = 256 MiB).
 MAX_DENSITY_QUBITS = 12
@@ -57,32 +66,6 @@ _BRANCH_EPSILON = 1e-15
 
 _PROJECT_ZERO = np.array([[1, 0], [0, 0]], dtype=complex)
 _X_PROJECT_ONE = np.array([[0, 1], [0, 0]], dtype=complex)  # X @ P1
-
-
-def controlled_matrix(
-    matrix: np.ndarray, ctrl_states: tuple[int, ...]
-) -> np.ndarray:
-    """Expand ``matrix`` to a full unitary over ``controls + targets``.
-
-    The control qubits are the *leading* axes (matching
-    ``CircuitGate.qubits = controls + targets``): the result is the
-    identity except on the block where every control reads its required
-    polarity, which holds ``matrix``.  The density-matrix simulator
-    cannot use the statevector engines' control *slicing* — a sliced
-    update would miss the coherences between the control-on and
-    control-off blocks of rho — so controlled gates become explicit
-    block unitaries instead.
-    """
-    if not ctrl_states:
-        return matrix
-    block = matrix.shape[0]
-    selector = 0
-    for state in ctrl_states:
-        selector = (selector << 1) | state
-    full = np.eye((1 << len(ctrl_states)) * block, dtype=complex)
-    start = selector * block
-    full[start : start + block, start : start + block] = matrix
-    return full
 
 
 class DensityMatrixSimulator:
@@ -235,6 +218,8 @@ class DensityMatrixBackend(SimBackend):
             weights = weights / weights.sum()
             drawn = rng.choice(len(outcomes), size=shots, p=weights)
             results = [outcomes[index] for index in drawn]
+        from repro.qcircuit.fusion import fused_gate_savings
+
         info = RunInfo(
             self.name,
             shots,
@@ -242,6 +227,8 @@ class DensityMatrixBackend(SimBackend):
             fast_path=plan is not None,
             channel_applications=stats.channel_applications,
             readout_applications=stats.readout_applications,
+            gates_fused=fused_gate_savings(circuit),
+            kernel=active_kernel_name(),
         )
         return results, info
 
@@ -328,6 +315,11 @@ class DensityMatrixBackend(SimBackend):
         readout confusion folded onto each measured qubit's axis."""
         sim = DensityMatrixSimulator(circuit.num_qubits)
         for inst in circuit.instructions:
+            if isinstance(inst, FusedUnitary):
+                # Fused blocks carry no noise channels (channels attach
+                # by gate name; noisy runs execute the unfused circuit).
+                sim.apply_unitary(inst.matrix, inst.targets)
+                continue
             if not isinstance(inst, CircuitGate):
                 break  # terminal plan: only measurements/resets follow
             sim.apply_gate(inst)
@@ -381,6 +373,9 @@ class DensityMatrixBackend(SimBackend):
                     for channel, qubits in applications:
                         branch.sim.apply_channel(channel, qubits)
                         stats.channel_applications += 1
+            elif isinstance(inst, FusedUnitary):
+                for branch in branches:
+                    branch.sim.apply_unitary(inst.matrix, inst.targets)
             elif isinstance(inst, Measurement):
                 branches = self._measure(
                     branches, inst, noise_model, stats

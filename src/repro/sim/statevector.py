@@ -4,10 +4,12 @@ The simulation engine under the pluggable backends of
 :mod:`repro.sim.backend` (together, the reproduction's substitute for
 qir-runner, paper §7): it executes the same circuits the backends emit,
 including mid-circuit measurement, reset, classically conditioned
-gates, and multi-controlled gates with arbitrary control polarity.
-Gate matrices are cached per (name, params) and runs of adjacent
-single-qubit gates can be fused (:func:`fuse_single_qubit_gates`)
-before evolution.
+gates, multi-controlled gates with arbitrary control polarity, and the
+:class:`~repro.qcircuit.fusion.FusedUnitary` blocks produced by the
+compile-time fusion pass.  Gate matrices are cached per (name, params)
+and every matrix application goes through the pluggable apply-kernel
+registry (:mod:`repro.sim.kernels` — pure NumPy or the optional numba
+JIT).
 
 Convention: qubit 0 is the *leftmost* qubit of a ket, matching the
 position order of Qwerty qubit literals ('10' means qubit 0 is |1> and
@@ -17,139 +19,47 @@ bit ``(x >> (n - 1 - q)) & 1``.
 
 from __future__ import annotations
 
-import cmath
-import functools
 import math
-from dataclasses import dataclass
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.qcircuit.fusion import FusedGate, FusedUnitary
+from repro.sim.kernels import apply_matrix_inplace, gate_matrix
+
+__all__ = [
+    "StatevectorSimulator",
+    "apply_gates_to_state",
+    "apply_matrix_inplace",
+    "control_sliced_view",
+    "gate_matrix",
+    "run_circuit",
+    "unitary_of_gates",
+]
 
 
-def _build_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
-    """The unitary matrix of a known 1- or 2-qubit gate."""
-    inv_sqrt2 = 1.0 / math.sqrt(2.0)
-    if name == "x":
-        return np.array([[0, 1], [1, 0]], dtype=complex)
-    if name == "y":
-        return np.array([[0, -1j], [1j, 0]], dtype=complex)
-    if name == "z":
-        return np.array([[1, 0], [0, -1]], dtype=complex)
-    if name == "h":
-        return np.array([[1, 1], [1, -1]], dtype=complex) * inv_sqrt2
-    if name == "s":
-        return np.array([[1, 0], [0, 1j]], dtype=complex)
-    if name == "sdg":
-        return np.array([[1, 0], [0, -1j]], dtype=complex)
-    if name == "t":
-        return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
-    if name == "tdg":
-        return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
-    if name == "sx":
-        return 0.5 * np.array(
-            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+def __getattr__(name: str):
+    # Deprecation shim: single-qubit-run fusion moved into the compile
+    # pipeline (repro.qcircuit.fusion) so every backend benefits, not
+    # just this module's callers.  Old imports keep working, with a
+    # warning pointing at the new home.
+    if name == "fuse_single_qubit_gates":
+        warnings.warn(
+            f"repro.sim.statevector.{name} has moved to "
+            f"repro.qcircuit.fusion; update the import "
+            f"(see docs/performance.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if name == "sxdg":
-        return 0.5 * np.array(
-            [[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex
-        )
-    if name == "p":
-        return np.array([[1, 0], [0, cmath.exp(1j * params[0])]], dtype=complex)
-    if name == "rx":
-        half = params[0] / 2.0
-        return np.array(
-            [
-                [math.cos(half), -1j * math.sin(half)],
-                [-1j * math.sin(half), math.cos(half)],
-            ],
-            dtype=complex,
-        )
-    if name == "ry":
-        half = params[0] / 2.0
-        return np.array(
-            [
-                [math.cos(half), -math.sin(half)],
-                [math.sin(half), math.cos(half)],
-            ],
-            dtype=complex,
-        )
-    if name == "rz":
-        half = params[0] / 2.0
-        return np.array(
-            [
-                [cmath.exp(-1j * half), 0],
-                [0, cmath.exp(1j * half)],
-            ],
-            dtype=complex,
-        )
-    if name == "swap":
-        return np.array(
-            [
-                [1, 0, 0, 0],
-                [0, 0, 1, 0],
-                [0, 1, 0, 0],
-                [0, 0, 0, 1],
-            ],
-            dtype=complex,
-        )
-    raise SimulationError(f"no matrix for gate {name!r}")
+        import repro.qcircuit.fusion as fusion
 
-
-@functools.lru_cache(maxsize=4096)
-def _cached_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
-    matrix = _build_gate_matrix(name, params)
-    # Cached matrices are shared across every simulator in the process;
-    # freeze them so no caller can corrupt the cache in place.
-    matrix.setflags(write=False)
-    return matrix
-
-
-def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
-    """The (cached, read-only) unitary matrix of a known gate.
-
-    Rotation angles participate in the cache key, so circuits built
-    from a fixed gate set — e.g. after Selinger decomposition — pay the
-    trigonometry once per distinct (name, params) pair rather than once
-    per gate application.
-    """
-    return _cached_gate_matrix(name, tuple(params))
-
-
-@functools.lru_cache(maxsize=4096)
-def _axis_permutation(
-    num_axes: int, targets: tuple[int, ...]
-) -> tuple[tuple[int, ...], tuple[int, ...]]:
-    """Cached (perm, inverse) moving ``targets`` to the leading axes."""
-    rest = tuple(axis for axis in range(num_axes) if axis not in targets)
-    perm = targets + rest
-    inverse = tuple(int(axis) for axis in np.argsort(perm))
-    return perm, inverse
-
-
-def apply_matrix_inplace(
-    state: np.ndarray, matrix: np.ndarray, targets: tuple[int, ...]
-) -> None:
-    """Apply a 2^k x 2^k ``matrix`` to ``state``'s target axes, in place.
-
-    ``state`` is any complex array whose ``targets`` axes each have
-    length 2; every other axis — including a leading shot axis in the
-    batched engine, or the surviving axes of a control-sliced view —
-    rides along in the matmul's column dimension.  The axis permutation
-    is computed once per ``(ndim, targets)`` pair (LRU-cached), the
-    permuted state is flattened to one ``(2^k, rest)`` block, and a
-    single matmul applies the unitary before the inverse permutation
-    writes the result back into ``state``'s own buffer.  This replaces
-    the historical tensordot + moveaxis + copy-back sweep.
-    """
-    k = len(targets)
-    perm, inverse = _axis_permutation(state.ndim, targets)
-    permuted_shape = tuple(state.shape[axis] for axis in perm)
-    block = state.transpose(perm).reshape(2**k, -1)
-    updated = np.matmul(matrix, block)
-    state[...] = updated.reshape(permuted_shape).transpose(inverse)
+        return getattr(fusion, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def control_sliced_view(
@@ -181,73 +91,6 @@ def control_sliced_view(
             for target in targets
         )
     return view, tuple(axis_offset + target for target in targets)
-
-
-@dataclass(frozen=True)
-class FusedGate:
-    """One fused evolution step: a raw unitary on explicit qubits.
-
-    Unlike :class:`~repro.qcircuit.circuit.CircuitGate`, the matrix is
-    arbitrary — it may be the product of a whole run of adjacent
-    single-qubit gates — so this form exists only inside the
-    simulator's evolution loop, never in circuits.
-    """
-
-    matrix: np.ndarray
-    targets: tuple[int, ...]
-    controls: tuple[int, ...] = ()
-    ctrl_states: tuple[int, ...] = ()
-
-
-def fuse_single_qubit_gates(
-    gates: Sequence[CircuitGate],
-) -> list[FusedGate]:
-    """Fuse runs of adjacent single-qubit gates into single unitaries.
-
-    Uncontrolled single-qubit gates on the same qubit are accumulated
-    into one 2x2 product until a multi-qubit or controlled gate touches
-    that qubit; single-qubit gates on *different* qubits commute, so
-    each qubit keeps its own pending product.  The result applies the
-    same unitary as the input gate list with (usually far) fewer
-    statevector sweeps.
-
-    Classically conditioned gates are rejected: whether they apply
-    depends on per-shot measurement outcomes, so their circuits must be
-    executed as trajectories, not fused evolutions.
-    """
-    fused: list[FusedGate] = []
-    pending: dict[int, np.ndarray] = {}
-
-    def flush(qubit: int) -> None:
-        matrix = pending.pop(qubit, None)
-        if matrix is not None:
-            fused.append(FusedGate(matrix, (qubit,)))
-
-    for gate in gates:
-        if gate.condition is not None:
-            raise SimulationError(
-                "cannot fuse classically conditioned gates; execute the "
-                "circuit as per-shot trajectories instead"
-            )
-        matrix = gate_matrix(gate.name, gate.params)
-        if not gate.controls and len(gate.targets) == 1:
-            qubit = gate.targets[0]
-            previous = pending.get(qubit)
-            # New gate acts after the accumulated run: left-multiply.
-            pending[qubit] = (
-                matrix if previous is None else matrix @ previous
-            )
-        else:
-            for qubit in gate.qubits:
-                flush(qubit)
-            fused.append(
-                FusedGate(
-                    matrix, gate.targets, gate.controls, gate.ctrl_states
-                )
-            )
-    for qubit in sorted(pending):
-        flush(qubit)
-    return fused
 
 
 class StatevectorSimulator:
@@ -292,7 +135,8 @@ class StatevectorSimulator:
         self._apply_matrix(matrix, targets, controls, ctrl_states)
 
     def apply_fused(self, fused: Sequence[FusedGate]) -> None:
-        """Apply a fused gate list (see :func:`fuse_single_qubit_gates`)."""
+        """Apply a fused gate list (see
+        :func:`repro.qcircuit.fusion.fuse_single_qubit_gates`)."""
         for op in fused:
             self._apply_matrix(op.matrix, op.targets, op.controls, op.ctrl_states)
 
@@ -395,6 +239,12 @@ class StatevectorSimulator:
         ``channels_for`` results precomputed by a caller running many
         trajectories of one circuit (rule matching is pure per
         instruction, so per-shot re-matching is wasted work).
+
+        :class:`~repro.qcircuit.fusion.FusedUnitary` blocks execute as
+        single sweeps; noise models attach channels by gate *name*, so
+        fused blocks receive no channels — noisy runs should execute
+        the unfused circuit (``simulate_kernel`` routes this
+        automatically; see docs/performance.md).
         """
         for index, inst in enumerate(circuit.instructions):
             if isinstance(inst, CircuitGate):
@@ -413,6 +263,8 @@ class StatevectorSimulator:
                         self.apply_kraus(channel.operators, qubits)
                         if stats is not None:
                             stats.channel_applications += 1
+            elif isinstance(inst, FusedUnitary):
+                self._apply_matrix(inst.matrix, inst.targets)
             elif isinstance(inst, Measurement):
                 outcome = self.measure(inst.qubit)
                 error = (
@@ -470,23 +322,31 @@ def run_circuit(
 
 
 def apply_gates_to_state(
-    gates: Sequence[CircuitGate],
+    gates: Sequence,
     num_qubits: int,
     initial: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Apply a gate list to a statevector (default |0...0>)."""
+    """Apply a gate list to a statevector (default |0...0>).
+
+    Accepts :class:`~repro.qcircuit.circuit.CircuitGate` and
+    :class:`~repro.qcircuit.fusion.FusedUnitary` entries, so fused and
+    unfused circuits can be compared through one helper.
+    """
     sim = StatevectorSimulator(num_qubits)
     if initial is not None:
         if initial.size != 2**num_qubits:
             raise SimulationError("initial state has the wrong dimension")
         sim.state = np.array(initial, dtype=complex).reshape((2,) * num_qubits)
     for gate in gates:
-        sim.apply_gate(gate)
+        if isinstance(gate, FusedUnitary):
+            sim.apply_unitary(gate.matrix, gate.targets)
+        else:
+            sim.apply_gate(gate)
     return sim.statevector()
 
 
 def unitary_of_gates(
-    gates: Sequence[CircuitGate], num_qubits: int
+    gates: Sequence, num_qubits: int
 ) -> np.ndarray:
     """The full 2^n x 2^n unitary of a gate list (small n only)."""
     dim = 2**num_qubits

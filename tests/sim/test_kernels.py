@@ -1,0 +1,248 @@
+"""The pluggable apply-matrix kernel registry (repro.sim.kernels).
+
+Exercises the registry contract (registration, resolution, unknown
+names, optional-dependency errors), the active-kernel selection
+machinery (``use_kernel``, the ``REPRO_SIM_KERNEL`` default), the
+pure-NumPy kernel against a dense-matrix reference, and — when numba
+is installed — bit-for-bit equivalence of the JIT kernel with the
+NumPy one, including the batched shot layout and the non-contiguous
+fallback.  The suite must pass identically with and without numba.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+from repro.sim import run_circuit
+from repro.sim.backend import run_circuit_with_info
+from repro.sim.kernels import (
+    KERNEL_ENV_VAR,
+    NumpyKernel,
+    active_kernel_name,
+    apply_matrix_inplace,
+    available_kernels,
+    default_kernel_name,
+    gate_matrix,
+    get_kernel,
+    numba_available,
+    register_kernel,
+    use_kernel,
+)
+
+
+def _random_state(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    state = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return np.ascontiguousarray(state, dtype=np.complex128)
+
+
+def _random_unitary(dim, seed=1):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(
+        rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+    )
+    return np.ascontiguousarray(q, dtype=np.complex128)
+
+
+def _dense_reference(state, matrix, targets):
+    """Apply via the full 2^n unitary: embed, matmul, done."""
+    n = state.ndim
+    full = np.einsum(
+        "ab,cd->acbd", matrix, np.eye(2 ** (n - len(targets)))
+    ).reshape(2**n, 2**n)
+    # Reorder axes so targets lead, apply, reorder back.
+    rest = [ax for ax in range(n) if ax not in targets]
+    perm = list(targets) + rest
+    inverse = np.argsort(perm)
+    flat = state.transpose(perm).reshape(-1)
+    out = (full @ flat).reshape([2] * n).transpose(inverse)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry contract.
+# ----------------------------------------------------------------------
+def test_registry_lists_builtin_kernels():
+    names = available_kernels()
+    assert "numpy" in names
+    assert "numba" in names  # registered even when not importable
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(SimulationError, match="unknown apply kernel"):
+        get_kernel("does-not-exist")
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(SimulationError, match="already registered"):
+        register_kernel("numpy", NumpyKernel)
+
+
+def test_numba_kernel_requires_numba():
+    if numba_available():
+        pytest.skip("numba installed; the missing-dependency error "
+                    "cannot be provoked")
+    with pytest.raises(SimulationError, match="numba"):
+        get_kernel("numba")
+
+
+def test_default_kernel_name_honours_env(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+    assert default_kernel_name() == "numpy"
+    monkeypatch.setenv(KERNEL_ENV_VAR, "anything")
+    assert default_kernel_name() == "anything"  # resolution errors later
+    monkeypatch.delenv(KERNEL_ENV_VAR)
+    assert default_kernel_name() == (
+        "numba" if numba_available() else "numpy"
+    )
+
+
+def test_use_kernel_scopes_selection():
+    before = active_kernel_name()
+    with use_kernel("numpy"):
+        assert active_kernel_name() == "numpy"
+        with use_kernel(None):  # None = keep whatever is active
+            assert active_kernel_name() == "numpy"
+    assert active_kernel_name() == before
+
+
+def test_use_kernel_restores_on_error():
+    before = active_kernel_name()
+    with pytest.raises(RuntimeError):
+        with use_kernel("numpy"):
+            raise RuntimeError("boom")
+    assert active_kernel_name() == before
+
+
+# ----------------------------------------------------------------------
+# The NumPy reference kernel.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("targets", [(0,), (2,), (0, 2), (3, 1), (1, 2, 0)])
+def test_numpy_kernel_matches_dense_reference(targets):
+    n = 4
+    state = _random_state((2,) * n)
+    matrix = _random_unitary(2 ** len(targets))
+    expected = _dense_reference(state.copy(), matrix, targets)
+    NumpyKernel.apply(state, matrix, targets)
+    assert np.allclose(state, expected, atol=1e-10)
+
+
+def test_numpy_kernel_handles_batched_layout():
+    shots, n = 5, 3
+    batched = _random_state((shots,) + (2,) * n)
+    matrix = _random_unitary(4)
+    expected = np.stack(
+        [
+            _dense_reference(batched[s].copy(), matrix, (1, 0))
+            for s in range(shots)
+        ]
+    )
+    # Axis 0 is the shot axis; targets are offset by one.
+    NumpyKernel.apply(batched, matrix, (2, 1))
+    assert np.allclose(batched, expected, atol=1e-10)
+
+
+def test_apply_matrix_inplace_uses_active_kernel():
+    state = _random_state((2, 2))
+    reference = state.copy()
+    h = gate_matrix("h")
+    with use_kernel("numpy"):
+        apply_matrix_inplace(state, h, (0,))
+    NumpyKernel.apply(reference, h, (0,))
+    assert np.array_equal(state, reference)
+
+
+def test_gate_matrices_are_frozen_and_cached():
+    h = gate_matrix("h")
+    assert gate_matrix("h") is h  # cached
+    with pytest.raises(ValueError):
+        h[0, 0] = 0.0  # read-only
+    assert gate_matrix("rx", (0.5,)) is gate_matrix("rx", (0.5,))
+    assert not np.allclose(
+        gate_matrix("rx", (0.5,)), gate_matrix("rx", (1.5,))
+    )
+    with pytest.raises(SimulationError):
+        gate_matrix("not-a-gate")
+
+
+# ----------------------------------------------------------------------
+# RunInfo records which kernel executed.
+# ----------------------------------------------------------------------
+def test_runinfo_records_selected_kernel():
+    circuit = Circuit(2, 2)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(CircuitGate("x", (1,), controls=(0,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    with use_kernel("numpy"):
+        _, info = run_circuit_with_info(circuit, shots=8, seed=0)
+    assert info.kernel == "numpy"
+
+
+def test_simulate_kernel_threads_sim_kernel_option():
+    from repro.algorithms import bernstein_vazirani
+    from repro.pipeline import CompileOptions, simulate_kernel
+
+    kernel = bernstein_vazirani("101")
+    options = CompileOptions(sim_kernel="numpy")
+    bits = simulate_kernel(kernel, shots=16, seed=4, options=options,
+                           cache=False)
+    assert [str(b) for b in bits] == ["101"] * 16
+
+
+# ----------------------------------------------------------------------
+# numba-vs-NumPy bit equivalence (skipped when numba is absent).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("targets", [(0,), (2,), (0, 2), (3, 1), (1, 2, 0)])
+def test_numba_matches_numpy_bit_for_bit(targets):
+    pytest.importorskip("numba")
+    n = 4
+    numba_state = _random_state((2,) * n)
+    numpy_state = numba_state.copy()
+    matrix = _random_unitary(2 ** len(targets))
+    get_kernel("numba").apply(numba_state, matrix, targets)
+    NumpyKernel.apply(numpy_state, matrix, targets)
+    # The JIT loop accumulates in the same order as the matmul row
+    # walk, so equality is exact, not approximate.
+    assert np.array_equal(numba_state, numpy_state)
+
+
+def test_numba_matches_numpy_on_batched_layout():
+    pytest.importorskip("numba")
+    shots, n = 7, 3
+    numba_state = _random_state((shots,) + (2,) * n)
+    numpy_state = numba_state.copy()
+    matrix = _random_unitary(4)
+    get_kernel("numba").apply(numba_state, matrix, (1, 3))
+    NumpyKernel.apply(numpy_state, matrix, (1, 3))
+    assert np.array_equal(numba_state, numpy_state)
+
+
+def test_numba_falls_back_on_noncontiguous_views():
+    pytest.importorskip("numba")
+    full = _random_state((2,) * 4)
+    view = full[:, 1]  # control-sliced: not C-contiguous
+    assert not view.flags["C_CONTIGUOUS"]
+    reference = np.ascontiguousarray(view)
+    matrix = _random_unitary(2)
+    get_kernel("numba").apply(view, matrix, (1,))
+    NumpyKernel.apply(reference, matrix, (1,))
+    assert np.allclose(view, reference, atol=1e-12)
+
+
+def test_run_circuit_identical_across_kernels():
+    pytest.importorskip("numba")
+    circuit = Circuit(3, 3)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(CircuitGate("x", (1,), controls=(0,)))
+    circuit.add(CircuitGate("ry", (2,), params=(0.3,)))
+    for q in range(3):
+        circuit.add(Measurement(q, q))
+    with use_kernel("numpy"):
+        numpy_hist = run_circuit(circuit, shots=256, seed=7)
+    with use_kernel("numba"):
+        numba_hist = run_circuit(circuit, shots=256, seed=7)
+    assert numpy_hist == numba_hist
