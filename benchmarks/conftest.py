@@ -73,6 +73,7 @@ EXPECTED_BENCH_JSON = (
     "BENCH_kernels.json",
     "BENCH_noise.json",
     "BENCH_table1_callables.json",
+    "BENCH_variational.json",
 )
 
 class _BenchmarkShim:

@@ -30,6 +30,7 @@ from repro.frontend.decorators import (
     K,
     M,
     N,
+    angle,
     bit,
     cfunc,
     classical,
@@ -38,6 +39,7 @@ from repro.frontend.decorators import (
     qubit,
     rev_qfunc,
 )
+from repro.parameters import Parameter, ParamExpr
 from repro.noise import (
     KrausChannel,
     NoiseModel,
@@ -55,6 +57,7 @@ from repro.pipeline import (
     CompileOptions,
     CompileResult,
     clear_compile_cache,
+    compile_cache_info,
     compile_kernel,
     simulate_kernel,
 )
@@ -74,6 +77,8 @@ __all__ = [
     "NoiseModel",
     "Note",
     "PRESETS",
+    "ParamExpr",
+    "Parameter",
     "QwertyError",
     "ReadoutError",
     "SimBackend",
@@ -94,10 +99,12 @@ __all__ = [
     "K",
     "M",
     "N",
+    "angle",
     "bit",
     "cfunc",
     "classical",
     "clear_compile_cache",
+    "compile_cache_info",
     "compile_kernel",
     "qfunc",
     "qpu",

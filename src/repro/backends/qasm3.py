@@ -12,7 +12,14 @@ from __future__ import annotations
 from io import StringIO
 
 from repro.errors import BackendError
-from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
+from repro.parameters import is_symbolic
+from repro.qcircuit.circuit import (
+    Circuit,
+    CircuitGate,
+    Measurement,
+    Reset,
+    circuit_parameters,
+)
 
 #: Gate spellings in the OpenQASM 3 standard library ("stdgates.inc").
 _QASM_NAMES = {
@@ -55,7 +62,12 @@ def _gate_call(gate: CircuitGate) -> str:
 
     params = ""
     if gate.params:
-        params = "(" + ", ".join(f"{p:.12g}" for p in gate.params) + ")"
+        # Symbolic params print as OpenQASM 3 expressions over the
+        # program's `input float` parameters (ParamExpr.__str__ is
+        # QASM-compatible: "2*theta + 0.5").
+        params = "(" + ", ".join(
+            str(p) if is_symbolic(p) else f"{p:.12g}" for p in gate.params
+        ) + ")"
 
     # Operand order: positive controls, negative controls, targets.
     positives = [q for q, s in zip(gate.controls, gate.ctrl_states) if s == 1]
@@ -81,6 +93,9 @@ def emit_qasm3(
     out.write("OPENQASM 3.0;\n")
     out.write('include "stdgates.inc";\n')
     out.write(f"// kernel: {name}\n")
+    # Unbound symbolic parameters become OpenQASM 3 runtime inputs.
+    for param in circuit_parameters(circuit):
+        out.write(f"input float {param.name};\n")
     if circuit.num_qubits:
         out.write(f"qubit[{circuit.num_qubits}] q;\n")
     if circuit.num_bits:

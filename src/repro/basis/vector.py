@@ -16,8 +16,17 @@ from repro.basis.primitive import CHAR_TO_PRIM_EIGENBIT, PrimitiveBasis
 from repro.errors import BasisError
 
 
-def _normalize_phase(phase_degrees: float) -> float:
-    """Map a phase in degrees into [0, 360)."""
+def _normalize_phase(phase_degrees):
+    """Map a phase in degrees into [0, 360).
+
+    Symbolic phases (:class:`repro.parameters.ParamExpr`) pass through
+    unchanged: phases are 360°-periodic, so normalization is
+    display-only and an unbound expression cannot be reduced anyway.
+    """
+    from repro.parameters import is_symbolic
+
+    if is_symbolic(phase_degrees):
+        return phase_degrees
     phase = phase_degrees % 360.0
     # Avoid -0.0 so equality and hashing behave.
     return phase + 0.0
@@ -118,7 +127,11 @@ class BasisVector:
         return "".join(self.prim.char_for_eigenbit(bit) for bit in self.eigenbits)
 
     def __str__(self) -> str:
+        from repro.parameters import is_symbolic
+
         text = f"'{self.chars()}'"
+        if is_symbolic(self.phase):
+            return f"{text}@({self.phase})"
         if self.phase == 180.0:
             return f"-{text}"
         if self.has_phase:

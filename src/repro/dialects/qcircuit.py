@@ -14,6 +14,7 @@ from repro.errors import LoweringError, SourceSpan
 from repro.ir.core import Operation, Value
 from repro.ir.module import Builder
 from repro.ir.types import ArrayType, CallableType, I1, QubitType, Type
+from repro.parameters import is_symbolic
 
 QALLOC = "qcirc.qalloc"
 QFREE = "qcirc.qfree"
@@ -130,7 +131,11 @@ def gate(
         {
             "gate": name,
             "num_controls": len(controls),
-            "params": tuple(float(p) for p in params),
+            # Symbolic ParamExprs pass through unchanged; everything
+            # else coerces to float (docs/variational.md).
+            "params": tuple(
+                p if is_symbolic(p) else float(p) for p in params
+            ),
             "ctrl_states": states,
         },
         loc=loc,

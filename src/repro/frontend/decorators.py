@@ -16,7 +16,8 @@ from typing import Iterable, Optional
 
 from repro.errors import DimVarError, QwertyTypeError
 from repro.frontend.ast_nodes import DimRef, eval_dim
-from repro.frontend.types import BitType, CFuncType, QwertyType
+from repro.frontend.types import AngleType, BitType, CFuncType, QwertyType
+from repro.parameters import Parameter, ParamExpr
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,7 @@ qubit = _TypeMarker("qubit")
 cfunc = _TypeMarker("cfunc")
 qfunc = _TypeMarker("qfunc")
 rev_qfunc = _TypeMarker("rev_qfunc")
+angle = _TypeMarker("angle")
 
 
 def _as_dimvar_list(item) -> list[str]:
@@ -307,6 +309,12 @@ class QpuKernel:
                 types[name] = CFuncType(n_in, n_out)
             elif isinstance(capture, Bits):
                 types[name] = BitType(len(capture))
+            elif isinstance(capture, (Parameter, ParamExpr)):
+                types[name] = AngleType()
+            elif isinstance(capture, (int, float)) and not isinstance(
+                capture, bool
+            ):
+                types[name] = AngleType()
             else:
                 raise QwertyTypeError(
                     f"unsupported capture type {type(capture).__name__}"
@@ -325,6 +333,7 @@ class QpuKernel:
         seed: int = 0,
         backend: str | None = None,
         noise_model=None,
+        params=None,
     ):
         """Compile, simulate, and return the measured bits.
 
@@ -333,6 +342,9 @@ class QpuKernel:
         statevector evolution whenever the circuit allows it.
         ``noise_model`` (a :class:`repro.noise.NoiseModel`) executes
         the compiled circuit under noise (docs/noise.md).
+        ``params`` maps :class:`repro.parameters.Parameter` names (or
+        Parameter objects) to concrete angles; the kernel is compiled
+        once symbolically and bound per call (docs/variational.md).
         """
         from repro.pipeline import simulate_kernel
 
@@ -342,6 +354,7 @@ class QpuKernel:
             seed=seed,
             backend=backend,
             noise_model=noise_model,
+            params=params,
         )
         if shots == 1:
             return results[0]
@@ -353,6 +366,7 @@ class QpuKernel:
         seed: int = 0,
         backend: str | None = None,
         noise_model=None,
+        params=None,
     ) -> dict[str, int]:
         from repro.pipeline import simulate_kernel
 
@@ -363,6 +377,7 @@ class QpuKernel:
             seed=seed,
             backend=backend,
             noise_model=noise_model,
+            params=params,
         ):
             counts[str(result)] = counts.get(str(result), 0) + 1
         return counts

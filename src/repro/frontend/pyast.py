@@ -46,9 +46,10 @@ from repro.frontend.ast_nodes import (
     VariableExpr,
     VectorExpr,
 )
+from repro.parameters import Parameter, ParamExpr
 
 _BUILTIN_BASES = {"std", "pm", "ij", "fourier"}
-_ANNOTATION_KINDS = {"qubit", "bit", "cfunc", "qfunc", "rev_qfunc"}
+_ANNOTATION_KINDS = {"qubit", "bit", "cfunc", "qfunc", "rev_qfunc", "angle"}
 
 
 class SourceMap:
@@ -208,7 +209,9 @@ class _Converter:
         if isinstance(node, ast.Name):
             if node.id not in _ANNOTATION_KINDS:
                 raise QwertySyntaxError(f"unknown type annotation {node.id!r}")
-            return ParamAnnotation(node.id, [1] if node.id != "cfunc" else [])
+            return ParamAnnotation(
+                node.id, [1] if node.id not in ("cfunc", "angle") else []
+            )
         if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
             kind = node.value.id
             if kind not in _ANNOTATION_KINDS:
@@ -353,11 +356,18 @@ class _Converter:
             return chars, phase, self.dim(node.slice)
         raise QwertySyntaxError("basis literal vectors must be qubit literals")
 
-    def angle(self, node: ast.expr) -> float:
+    def angle(self, node: ast.expr):
         if isinstance(node, ast.Constant) and isinstance(
             node.value, (int, float)
         ):
             return float(node.value)
+        if isinstance(node, ast.Name):
+            # A named angle: a placeholder ParamExpr carrying the
+            # identifier.  After expansion the pipeline resolves it
+            # against the kernel's captures — to a concrete float for
+            # numeric captures, or to the captured Parameter symbol
+            # for symbolic ones (see pipeline._resolve_angle_captures).
+            return ParamExpr.of(Parameter(node.id))
         if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
             return -self.angle(node.operand)
         if isinstance(node, ast.BinOp):
@@ -370,7 +380,10 @@ class _Converter:
             for py_op, fn in ops.items():
                 if isinstance(node.op, py_op):
                     return fn(self.angle(node.left), self.angle(node.right))
-        raise QwertySyntaxError("phases must be numeric constants")
+        raise QwertySyntaxError(
+            "phases must be numeric constants or angle-annotated "
+            "kernel parameters"
+        )
 
     def binop(self, node: ast.BinOp) -> Expr:
         if isinstance(node.op, ast.Add):

@@ -71,6 +71,21 @@ class CFuncType(QwertyType):
 
 
 @dataclass(frozen=True)
+class AngleType(QwertyType):
+    """A classical rotation angle in degrees (``angle``).
+
+    Non-linear: an angle capture may be used any number of times
+    (including zero) inside a kernel.  Angles enter kernels only as
+    captures — either concrete numbers or symbolic
+    :class:`repro.parameters.Parameter` objects that stay unbound
+    until ``CompileResult.bind``.
+    """
+
+    def __str__(self) -> str:
+        return "angle"
+
+
+@dataclass(frozen=True)
 class TupleType(QwertyType):
     parts: tuple[QwertyType, ...]
 

@@ -1,0 +1,403 @@
+"""Symbolic angle parameters that survive the whole compile pipeline.
+
+A :class:`Parameter` is a named placeholder for a rotation angle.  When
+a ``@qpu`` kernel captures one (its annotation being ``angle``), every
+phase it flows into stays *symbolic* through expansion, typechecking,
+lowering, synthesis, and circuit optimization: gate ``params`` tuples
+carry :class:`ParamExpr` objects instead of floats.  The compile cache
+keys on the parameter *name*, not its value, so one compile serves an
+unlimited parameter sweep — ``CompileResult.bind(values)`` substitutes
+concrete floats into the already-optimized circuits without touching
+the cache.
+
+Only **affine** expressions are representable: ``c0 + c1*p1 + c2*p2 +
+…``.  That is exactly what the parameter-shift rule (and the chain rule
+through it) needs, and it keeps equality, hashing, and printing
+trivial.  Multiplying two symbolic expressions raises
+:class:`~repro.errors.QwertyTypeError` (nonlinear parameter use).
+
+Expressions auto-collapse: any arithmetic whose symbolic terms cancel
+returns a plain ``float``, so e.g. ``p + (-p)`` is ``0.0`` and the
+peephole's rotation-cancellation logic keeps working without special
+cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Union
+
+from .errors import QwertyTypeError
+
+__all__ = [
+    "Parameter",
+    "ParamExpr",
+    "ParamLike",
+    "is_symbolic",
+    "evaluate_param",
+]
+
+#: A gate/phase parameter: either a concrete number or a symbolic expr.
+ParamLike = Union[float, int, "ParamExpr"]
+
+# Coefficients smaller than this are treated as exact zero when
+# collapsing terms (guards against float dust from chained arithmetic).
+_COEF_EPS = 0.0
+
+
+class Parameter:
+    """A named symbolic angle.
+
+    Parameters are identified by name: two ``Parameter("theta")``
+    objects are equal and interchangeable.  Arithmetic on a Parameter
+    produces a :class:`ParamExpr` (``2 * theta + 0.5``); using one where
+    a number is required before binding raises a clear error.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name.isidentifier():
+            raise QwertyTypeError(
+                f"parameter name must be a valid identifier, got {name!r}"
+            )
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Parameter):
+            return self.name == other.name
+        if isinstance(other, ParamExpr):
+            return ParamExpr.of(self) == other
+        if isinstance(other, (int, float)):
+            # A symbol never equals a concrete number.
+            return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self.name))
+
+    # Arithmetic promotes to ParamExpr -------------------------------
+    def _expr(self) -> "ParamExpr":
+        return ParamExpr.of(self)
+
+    def __add__(self, other): return self._expr() + other
+    def __radd__(self, other): return other + self._expr()
+    def __sub__(self, other): return self._expr() - other
+    def __rsub__(self, other): return (-self._expr()) + other
+    def __mul__(self, other): return self._expr() * other
+    def __rmul__(self, other): return self._expr() * other
+    def __truediv__(self, other): return self._expr() / other
+    def __neg__(self): return -self._expr()
+    def __pos__(self): return self._expr()
+    def __mod__(self, other): return self._expr() % other
+
+
+class ParamExpr:
+    """An affine combination of parameters: ``constant + Σ coef·param``.
+
+    Immutable and hashable (gate-matrix caches and fusion signatures
+    hash gate params).  ``terms`` is a tuple of ``(Parameter, coef)``
+    sorted by parameter name with no zero coefficients, so structurally
+    equal expressions compare and hash equal.
+    """
+
+    __slots__ = ("constant", "terms")
+
+    def __init__(
+        self,
+        constant: float = 0.0,
+        terms: Iterable[tuple[Parameter, float]] = (),
+    ) -> None:
+        merged: dict[str, tuple[Parameter, float]] = {}
+        for param, coef in terms:
+            if param.name in merged:
+                prev_param, prev_coef = merged[param.name]
+                merged[param.name] = (prev_param, prev_coef + float(coef))
+            else:
+                merged[param.name] = (param, float(coef))
+        kept = tuple(
+            (param, coef)
+            for param, coef in (merged[name] for name in sorted(merged))
+            if abs(coef) > _COEF_EPS
+        )
+        object.__setattr__(self, "constant", float(constant))
+        object.__setattr__(self, "terms", kept)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ParamExpr is immutable")
+
+    # Immutable: copies are the object itself (AST expansion deepcopies
+    # statement trees, and phases ride inside them).
+    def __copy__(self) -> "ParamExpr":
+        return self
+
+    def __deepcopy__(self, memo) -> "ParamExpr":
+        return self
+
+    def __reduce__(self):
+        return (ParamExpr, (self.constant, self.terms))
+
+    # Construction ---------------------------------------------------
+    @staticmethod
+    def of(value: ParamLike | Parameter) -> "ParamExpr":
+        """Promote a number, Parameter, or ParamExpr to a ParamExpr."""
+        if isinstance(value, ParamExpr):
+            return value
+        if isinstance(value, Parameter):
+            return ParamExpr(0.0, ((value, 1.0),))
+        if isinstance(value, (int, float)):
+            return ParamExpr(float(value))
+        raise QwertyTypeError(
+            f"cannot use {type(value).__name__} as an angle parameter"
+        )
+
+    @staticmethod
+    def _collapse(expr: "ParamExpr") -> "ParamExpr | float":
+        """Return a plain float when no symbolic terms remain."""
+        if not expr.terms:
+            return expr.constant
+        return expr
+
+    # Introspection --------------------------------------------------
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The distinct parameters appearing in this expression."""
+        return tuple(param for param, _ in self.terms)
+
+    def coefficient(self, param: "Parameter | str") -> float:
+        """The coefficient of ``param`` (0.0 if absent)."""
+        name = param.name if isinstance(param, Parameter) else param
+        for p, coef in self.terms:
+            if p.name == name:
+                return coef
+        return 0.0
+
+    # Evaluation -----------------------------------------------------
+    def evaluate(self, env: Mapping["Parameter | str", float]) -> float:
+        """Evaluate to a float; every parameter must be present in env."""
+        lookup = _normalize_env(env)
+        total = self.constant
+        for param, coef in self.terms:
+            if param.name not in lookup:
+                raise QwertyTypeError(
+                    f"no value bound for parameter '{param.name}'"
+                )
+            total += coef * lookup[param.name]
+        return total
+
+    def subs(
+        self, env: Mapping["Parameter | str", ParamLike]
+    ) -> "ParamExpr | float":
+        """Substitute some parameters; collapses to float when fully bound."""
+        lookup = _normalize_env(env)
+        constant = self.constant
+        remaining: list[tuple[Parameter, float]] = []
+        for param, coef in self.terms:
+            if param.name in lookup:
+                value = lookup[param.name]
+                if isinstance(value, (Parameter, ParamExpr)):
+                    sub = ParamExpr.of(value)
+                    constant += coef * sub.constant
+                    remaining.extend(
+                        (p, coef * c) for p, c in sub.terms
+                    )
+                else:
+                    constant += coef * float(value)
+            else:
+                remaining.append((param, coef))
+        return ParamExpr._collapse(ParamExpr(constant, remaining))
+
+    # Arithmetic -----------------------------------------------------
+    def __add__(self, other: ParamLike) -> "ParamExpr | float":
+        if isinstance(other, Parameter):
+            other = ParamExpr.of(other)
+        if isinstance(other, ParamExpr):
+            return ParamExpr._collapse(
+                ParamExpr(self.constant + other.constant,
+                          self.terms + other.terms)
+            )
+        if isinstance(other, (int, float)):
+            return ParamExpr._collapse(
+                ParamExpr(self.constant + float(other), self.terms)
+            )
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ParamLike) -> "ParamExpr | float":
+        if isinstance(other, Parameter):
+            other = ParamExpr.of(other)
+        if isinstance(other, ParamExpr):
+            return self + (-other)
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other: ParamLike) -> "ParamExpr | float":
+        return (-self) + other
+
+    def __mul__(self, other: ParamLike) -> "ParamExpr | float":
+        if isinstance(other, Parameter):
+            other = ParamExpr.of(other)
+        if isinstance(other, ParamExpr):
+            if self.terms and other.terms:
+                raise QwertyTypeError(
+                    "nonlinear parameter expression: cannot multiply "
+                    f"'{self}' by '{other}' (angles must be affine in "
+                    "their parameters)"
+                )
+            if other.terms:
+                return other * self.constant
+            other = other.constant
+        if isinstance(other, (int, float)):
+            scale = float(other)
+            return ParamExpr._collapse(
+                ParamExpr(
+                    self.constant * scale,
+                    tuple((p, c * scale) for p, c in self.terms),
+                )
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ParamLike) -> "ParamExpr | float":
+        if isinstance(other, (Parameter, ParamExpr)):
+            raise QwertyTypeError(
+                f"nonlinear parameter expression: cannot divide by '{other}'"
+            )
+        if isinstance(other, (int, float)):
+            return self * (1.0 / float(other))
+        return NotImplemented
+
+    def __neg__(self) -> "ParamExpr":
+        return ParamExpr(
+            -self.constant, tuple((p, -c) for p, c in self.terms)
+        )
+
+    def __pos__(self) -> "ParamExpr":
+        return self
+
+    def __mod__(self, other: object) -> "ParamExpr":
+        # Phases are periodic (mod 2π or mod 360°); normalizing a
+        # symbolic angle is display-only, so modulo is the identity.
+        # This keeps ``phase % 360.0``-style normalization sites
+        # working unchanged on symbolic phases.
+        return self
+
+    def __abs__(self) -> float:
+        raise QwertyTypeError(
+            f"cannot take abs() of unbound parameter expression '{self}'; "
+            "bind concrete values first"
+        )
+
+    def __float__(self) -> float:
+        raise QwertyTypeError(
+            f"cannot convert unbound parameter expression '{self}' to a "
+            "number; bind concrete values first (CompileResult.bind(...))"
+        )
+
+    # Equality / hashing ---------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ParamExpr):
+            return (
+                self.constant == other.constant and self.terms == other.terms
+            )
+        if isinstance(other, Parameter):
+            return self == ParamExpr.of(other)
+        if isinstance(other, (int, float)):
+            # A symbolic expression never equals a concrete number
+            # (fully-constant exprs collapse to float before escaping).
+            return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                "ParamExpr",
+                self.constant,
+                tuple((p.name, c) for p, c in self.terms),
+            )
+        )
+
+    # Printing -------------------------------------------------------
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for param, coef in self.terms:
+            if not parts:
+                if coef == 1.0:
+                    parts.append(param.name)
+                elif coef == -1.0:
+                    parts.append(f"-{param.name}")
+                else:
+                    parts.append(f"{coef:.12g}*{param.name}")
+            else:
+                sign = "+" if coef >= 0 else "-"
+                mag = abs(coef)
+                if mag == 1.0:
+                    parts.append(f" {sign} {param.name}")
+                else:
+                    parts.append(f" {sign} {mag:.12g}*{param.name}")
+        if not parts:
+            return f"{self.constant:.12g}"
+        if self.constant != 0.0:
+            sign = "+" if self.constant >= 0 else "-"
+            parts.append(f" {sign} {abs(self.constant):.12g}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ParamExpr({self})"
+
+
+def _normalize_env(env: Mapping["Parameter | str", object]) -> dict[str, object]:
+    lookup: dict[str, object] = {}
+    for key, value in env.items():
+        name = key.name if isinstance(key, Parameter) else key
+        if not isinstance(name, str):
+            raise QwertyTypeError(
+                f"parameter binding keys must be Parameter or str, got "
+                f"{type(key).__name__}"
+            )
+        lookup[name] = value
+    return lookup
+
+
+def is_symbolic(value: object) -> bool:
+    """True when ``value`` is an unbound Parameter or ParamExpr."""
+    return isinstance(value, (Parameter, ParamExpr))
+
+
+def evaluate_param(
+    value: ParamLike | Parameter, env: Mapping["Parameter | str", float]
+) -> float:
+    """Evaluate a maybe-symbolic param to a float under ``env``."""
+    if isinstance(value, Parameter):
+        value = ParamExpr.of(value)
+    if isinstance(value, ParamExpr):
+        return value.evaluate(env)
+    return float(value)
+
+
+def parameters_of(values: Iterable[object]) -> tuple[Parameter, ...]:
+    """Distinct parameters appearing across ``values``, sorted by name."""
+    found: dict[str, Parameter] = {}
+    for value in values:
+        if isinstance(value, Parameter):
+            found.setdefault(value.name, value)
+        elif isinstance(value, ParamExpr):
+            for param in value.parameters:
+                found.setdefault(param.name, param)
+    return tuple(found[name] for name in sorted(found))
+
+
+def radians_expr(value: ParamLike | Parameter) -> "ParamExpr | float":
+    """Convert a degrees angle (possibly symbolic) to radians."""
+    if isinstance(value, (Parameter, ParamExpr)):
+        return ParamExpr.of(value) * (math.pi / 180.0)
+    return math.radians(float(value))

@@ -24,7 +24,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import PassPipelineError, QwertyTypeError
+from repro.errors import PassPipelineError, QwertyError, QwertyTypeError
 from repro.frontend.canon import canonicalize_kernel
 from repro.frontend.expand import expand_kernel
 from repro.frontend.lower_ast import AstLowering
@@ -33,6 +33,7 @@ from repro.ir.module import ModuleOp
 from repro.ir.passmanager import PassStatistics
 from repro.ir.verifier import verify_module
 from repro.lower import flatten_to_circuit, lower_module
+from repro.parameters import Parameter, ParamExpr
 from repro.qcircuit import (
     CIRCUIT_DECOMPOSE_SPEC,
     CIRCUIT_FUSION_SPEC,
@@ -41,6 +42,7 @@ from repro.qcircuit import (
     copy_circuit,
     make_circuit_pass_manager,
 )
+from repro.qcircuit.circuit import bind_circuit, circuit_parameters
 from repro.qwerty_ir import (
     QWERTY_NOOPT_SPEC,
     QWERTY_OPT_SPEC,
@@ -185,11 +187,128 @@ class CompileResult:
 
         return emit_qir(self, profile=profile)
 
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The distinct unbound symbolic parameters in the compiled
+        circuits, sorted by name (empty for fully-concrete kernels)."""
+        found: dict[str, Parameter] = {}
+        for circuit in (
+            self.circuit,
+            self.optimized_circuit,
+            self.decomposed_circuit,
+            self.execution_circuit,
+        ):
+            if circuit is not None:
+                for param in circuit_parameters(circuit):
+                    found.setdefault(param.name, param)
+        return tuple(found[name] for name in sorted(found))
+
+    def bind(self, values=None, *, partial: bool = False, **kwargs):
+        """A new :class:`CompileResult` with parameter values substituted
+        into every circuit — **without recompiling** and without touching
+        the compile cache (docs/variational.md).
+
+        ``values`` maps :class:`~repro.parameters.Parameter` objects or
+        names to numbers in the units the parameter was written in: a
+        DSL phase (``'1'@theta``) is **degrees** — the compiler bakes
+        the degree→radian conversion into the gate's affine param
+        expression — while a parameter used directly in a circuit-level
+        ansatz (:mod:`repro.variational`) is **radians**.  Keyword
+        arguments are merged in by name.  Every parameter must be
+        covered unless ``partial=True``.
+        """
+        env: dict[str, float] = {}
+        for key, value in {**(values or {}), **kwargs}.items():
+            name = key.name if isinstance(key, Parameter) else str(key)
+            env[name] = value
+        known = {p.name for p in self.parameters}
+        unknown = sorted(set(env) - known)
+        if unknown:
+            raise QwertyTypeError(
+                f"unknown parameter(s) {', '.join(unknown)}; this kernel's "
+                f"parameters are: {', '.join(sorted(known)) or '(none)'}"
+            )
+
+        def bound(circuit: Optional[Circuit]) -> Optional[Circuit]:
+            if circuit is None:
+                return None
+            return bind_circuit(circuit, env, partial=partial)
+
+        return dataclasses.replace(
+            self,
+            circuit=bound(self.circuit),
+            optimized_circuit=bound(self.optimized_circuit),
+            decomposed_circuit=bound(self.decomposed_circuit),
+            execution_circuit=bound(self.execution_circuit),
+        )
+
+
+def _resolve_angle_captures(expanded, kernel, dims: dict) -> None:
+    """Resolve named angles in phase positions, in place.
+
+    The parser turns a name in phase position (``'1'@theta``) into a
+    placeholder :class:`ParamExpr` carrying the identifier.  After
+    expansion, each placeholder resolves against the kernel's captures:
+    a numeric capture folds to a concrete float, a
+    :class:`~repro.parameters.Parameter` capture substitutes the symbol
+    itself (staying symbolic through the whole pipeline until
+    ``CompileResult.bind``), and a bound dimension variable folds to
+    its value.  Anything else is a type error.
+    """
+
+    def resolve(phase: ParamExpr):
+        env: dict[str, object] = {}
+        for param in phase.parameters:
+            name = param.name
+            if name in kernel.captures:
+                value = kernel.captures[name]
+                if isinstance(value, (Parameter, ParamExpr)):
+                    env[name] = value
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    env[name] = float(value)
+                else:
+                    raise QwertyTypeError(
+                        f"capture '{name}' is used as an angle but is a "
+                        f"{type(value).__name__}; angle captures must be "
+                        "numbers or repro.Parameter symbols"
+                    )
+            elif name in dims:
+                env[name] = float(dims[name])
+            else:
+                raise QwertyTypeError(
+                    f"unknown angle '{name}' in @{kernel.name}; phases "
+                    "may reference only angle captures or bound "
+                    "dimension variables"
+                )
+        return phase.subs(env)
+
+    def walk(obj) -> None:
+        if isinstance(obj, (list, tuple)):
+            for item in obj:
+                walk(item)
+            return
+        if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+            return
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if isinstance(value, ParamExpr):
+                try:
+                    setattr(obj, f.name, resolve(value))
+                except QwertyError as error:
+                    raise error.attach_span(getattr(obj, "span", None))
+            else:
+                walk(value)
+
+    walk(expanded.body)
+
 
 def _build_qwerty_module(kernel) -> tuple[ModuleOp, dict]:
     """Frontend stages: parse/expand/typecheck/canonicalize/lower."""
     dims = kernel.infer_dims()
     expanded = expand_kernel(kernel.kernel_ast, dims)
+    _resolve_angle_captures(expanded, kernel, dims)
 
     capture_types = kernel.capture_types(dims)
     runtime_params = [
@@ -279,6 +398,10 @@ def _capture_fingerprint(capture) -> tuple:
         )
     if isinstance(capture, QpuKernel):
         return ("qpu", _kernel_fingerprint(capture))
+    if isinstance(capture, (Parameter, ParamExpr)):
+        # Keyed by *name*, never by value: one compile of a
+        # parameterized kernel serves every subsequent bind().
+        return ("parameter", str(capture))
     return ("opaque", repr(capture))
 
 
@@ -437,6 +560,7 @@ def simulate_kernel(
     backend: Optional[str] = None,
     options: Optional[CompileOptions] = None,
     noise_model=None,
+    params=None,
 ):
     """Compile and simulate a kernel, returning measured Bits per shot.
 
@@ -459,6 +583,13 @@ def simulate_kernel(
 
         simulate_kernel(kernel, shots=1024,
                         noise_model=standard_noise_model(0.01))
+
+    ``params`` maps parameter names (or Parameter objects) to concrete
+    angles for kernels with symbolic angle captures; the *symbolic*
+    compile is what the cache stores, and binding happens on the cached
+    artifact per call (docs/variational.md)::
+
+        simulate_kernel(kernel, shots=1024, params={"theta": 45.0})
     """
     from repro.frontend.decorators import Bits
     from repro.sim import get_backend, use_kernel
@@ -473,6 +604,10 @@ def simulate_kernel(
         sim_kernel = options.sim_kernel
         if noise_model is None:
             noise_model = options.noise_model
+    if params:
+        # bind() never writes to the compile cache, so a sweep reuses
+        # one cached symbolic compile for every point.
+        result = result.bind(params)
     if noise_model is None:
         circuit = result.execution_circuit or result.optimized_circuit
     else:

@@ -88,6 +88,13 @@ class CircuitGate:
         return len(self.controls)
 
     @property
+    def is_symbolic(self) -> bool:
+        """Whether any param is an unbound symbolic expression."""
+        from repro.parameters import is_symbolic
+
+        return any(is_symbolic(p) for p in self.params)
+
+    @property
     def is_clifford(self) -> bool:
         """Whether this is a Clifford gate (T-free), ignoring controls."""
         import math
@@ -97,6 +104,9 @@ class CircuitGate:
         if self.name in {"t", "tdg"}:
             return False
         if self.name in {"p", "rz", "rx", "ry"}:
+            if self.is_symbolic:
+                # An unbound angle could take any value; be conservative.
+                return False
             theta = self.params[0] % (2 * math.pi)
             quarter = math.pi / 2
             return min(theta % quarter, quarter - theta % quarter) < 1e-12
@@ -224,3 +234,67 @@ class Circuit:
             for gate in self.gates
             if not gate.is_clifford and not gate.controls
         ) + sum(1 for gate in self.gates if gate.controls and not gate.is_clifford)
+
+
+# ----------------------------------------------------------------------
+# Symbolic parameters (docs/variational.md).
+# ----------------------------------------------------------------------
+def circuit_parameters(circuit: Circuit) -> tuple:
+    """The distinct unbound :class:`repro.parameters.Parameter` symbols
+    appearing in ``circuit``'s gate params, sorted by name."""
+    from repro.parameters import parameters_of
+
+    params = []
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate):
+            params.extend(inst.params)
+    return parameters_of(params)
+
+
+def bind_circuit(circuit: Circuit, env, *, partial: bool = False) -> Circuit:
+    """A copy of ``circuit`` with symbolic gate params substituted.
+
+    ``env`` maps :class:`~repro.parameters.Parameter` objects or names
+    to concrete angles (radians, since gate params are radians).  By
+    default every parameter must be covered; ``partial=True`` leaves
+    uncovered parameters symbolic.  Gates without symbolic params are
+    shared, not copied — binding a 100-point sweep allocates only the
+    rotated gates.
+    """
+    from repro.errors import QwertyTypeError
+    from repro.parameters import ParamExpr, Parameter, is_symbolic
+
+    if not partial:
+        names = {
+            key.name if isinstance(key, Parameter) else str(key)
+            for key in env
+        }
+        missing = [
+            p.name for p in circuit_parameters(circuit) if p.name not in names
+        ]
+        if missing:
+            raise QwertyTypeError(
+                f"no value bound for parameter(s) {', '.join(missing)}; "
+                "pass partial=True to leave them symbolic"
+            )
+
+    def bind_param(value):
+        if isinstance(value, Parameter):
+            value = ParamExpr.of(value)
+        if isinstance(value, ParamExpr):
+            return value.subs(env) if partial else value.evaluate(env)
+        return value
+
+    bound = Circuit(
+        circuit.num_qubits,
+        circuit.num_bits,
+        [],
+        list(circuit.output_bits),
+    )
+    for inst in circuit.instructions:
+        if isinstance(inst, CircuitGate) and inst.is_symbolic:
+            inst = replace(
+                inst, params=tuple(bind_param(p) for p in inst.params)
+            )
+        bound.add(inst)
+    return bound

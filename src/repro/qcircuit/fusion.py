@@ -270,8 +270,13 @@ def fuse_adjacent_gates(
 
     for inst in circuit.instructions:
         if isinstance(inst, CircuitGate):
+            # Symbolic (unbound-parameter) gates cannot become a
+            # concrete product matrix; they barrier like conditioned
+            # gates and pass through for later binding.
             fusible = (
-                inst.condition is None and len(inst.qubits) <= max_qubits
+                inst.condition is None
+                and len(inst.qubits) <= max_qubits
+                and not inst.is_symbolic
             )
             if not fusible:
                 flush_touching(set(inst.qubits))

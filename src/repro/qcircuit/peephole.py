@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 
+from repro.parameters import is_symbolic
 from repro.qcircuit.circuit import (
     Circuit,
     CircuitGate,
@@ -50,8 +51,14 @@ def _cancels(a: CircuitGate, b: CircuitGate) -> bool:
     if (a.name, b.name) in _ADJOINT_PAIRS:
         return True
     if a.name == b.name and a.name in {"p", "rx", "ry", "rz"}:
-        return abs((a.params[0] + b.params[0]) % _TWO_PI) < 1e-12 or (
-            abs(((a.params[0] + b.params[0]) % _TWO_PI) - _TWO_PI) < 1e-12
+        total = a.params[0] + b.params[0]
+        if is_symbolic(total):
+            # An unbound angle sum could be anything; exactly-opposite
+            # symbolic angles (theta + -theta) collapse to 0.0 in the
+            # ParamExpr arithmetic and never reach this branch.
+            return False
+        return abs(total % _TWO_PI) < 1e-12 or (
+            abs((total % _TWO_PI) - _TWO_PI) < 1e-12
         )
     return False
 
@@ -61,6 +68,8 @@ def _merge(a: CircuitGate, b: CircuitGate) -> CircuitGate | None:
     if not _same_wires(a, b):
         return None
     if a.name == b.name and a.name in {"p", "rx", "ry", "rz"}:
+        # A symbolic sum merges un-normalized (ParamExpr.__mod__ is the
+        # identity); a concrete sum normalizes into [0, 2π) as before.
         angle = (a.params[0] + b.params[0]) % _TWO_PI
         return CircuitGate(
             a.name, a.targets, a.controls, (angle,), a.ctrl_states, a.condition,
@@ -71,6 +80,8 @@ def _merge(a: CircuitGate, b: CircuitGate) -> CircuitGate | None:
 
 def _is_identity(gate: CircuitGate) -> bool:
     if gate.name in {"p", "rx", "ry", "rz"}:
+        if gate.is_symbolic:
+            return False
         angle = gate.params[0] % _TWO_PI
         return abs(angle) < 1e-12 or abs(angle - _TWO_PI) < 1e-12
     return False

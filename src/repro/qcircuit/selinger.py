@@ -19,8 +19,15 @@ from repro.qcircuit.circuit import Circuit, CircuitGate
 
 
 def _g(name, target, controls=(), params=()):
+    from repro.parameters import is_symbolic
+
     return CircuitGate(
-        name, (target,), tuple(controls), tuple(float(p) for p in params)
+        name,
+        (target,),
+        tuple(controls),
+        # Halved/negated symbolic angles stay symbolic through the
+        # decomposition (the ParamExpr arithmetic already happened).
+        tuple(p if is_symbolic(p) else float(p) for p in params),
     )
 
 

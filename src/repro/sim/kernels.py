@@ -55,6 +55,16 @@ from repro.errors import SimulationError
 # ----------------------------------------------------------------------
 def _build_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
     """The unitary matrix of a known 1- or 2-qubit gate."""
+    from repro.parameters import is_symbolic
+
+    symbolic = [str(p) for p in params if is_symbolic(p)]
+    if symbolic:
+        raise SimulationError(
+            f"gate {name!r} has unbound symbolic parameter(s) "
+            f"{', '.join(symbolic)}; bind concrete values first with "
+            "CompileResult.bind(...) or pass params= to the simulation "
+            "entry point (docs/variational.md)"
+        )
     inv_sqrt2 = 1.0 / math.sqrt(2.0)
     if name == "x":
         return np.array([[0, 1], [1, 0]], dtype=complex)

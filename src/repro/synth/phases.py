@@ -11,20 +11,32 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.parameters import is_symbolic
 from repro.qcircuit.circuit import CircuitGate
 
 
 def phase_on_pattern(
     qubits: Sequence[int],
     pattern: Sequence[int],
-    theta_degrees: float,
+    theta_degrees,
     extra_controls: Sequence[int] = (),
     extra_states: Sequence[int] = (),
 ) -> list[CircuitGate]:
     """Gates imparting ``exp(i theta)`` on the subspace where ``qubits``
-    match ``pattern`` (and any ``extra_controls`` match their states)."""
-    theta = math.radians(theta_degrees)
-    if not qubits or theta == 0.0:
+    match ``pattern`` (and any ``extra_controls`` match their states).
+
+    ``theta_degrees`` may be a symbolic
+    :class:`repro.parameters.ParamExpr`; the degree→radian conversion
+    then folds into the expression's coefficients and the emitted ``p``
+    gate stays symbolic until ``CompileResult.bind``.
+    """
+    if is_symbolic(theta_degrees):
+        theta = theta_degrees * (math.pi / 180.0)
+    else:
+        theta = math.radians(theta_degrees)
+        if theta == 0.0:
+            return []
+    if not qubits:
         return []
     gates: list[CircuitGate] = []
     flips = [q for q, bit in zip(qubits, pattern) if bit == 0]

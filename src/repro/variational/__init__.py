@@ -1,0 +1,53 @@
+"""Variational workloads: ansätze, expectation values, gradients, and
+optimizers (docs/variational.md).
+
+The compiler side of this story is :class:`repro.Parameter` — angles
+that stay symbolic through the whole pipeline so one compile (one
+compile-cache entry) serves an unlimited parameter sweep via
+``CompileResult.bind``.  This package is the workload side: circuit
+ansätze in the style of DeepQuantum's ``ansatz.py`` (hardware-efficient
+VQE layers, QAOA MaxCut), diagonal observables, batched parameter-grid
+evaluation on the trajectory engine's ``(G, 2, …, 2)`` batch layout,
+parameter-shift gradients, and Adam/AdamW/ADOPT optimizers grounded in
+the Adam-convergence papers of PAPERS.md.
+"""
+
+from repro.variational.ansatz import (
+    hardware_efficient_ansatz,
+    qaoa_maxcut_ansatz,
+)
+from repro.variational.evaluate import (
+    evaluate_grid,
+    expectation,
+    exact_probabilities,
+)
+from repro.variational.gradients import (
+    finite_difference_gradient,
+    parameter_shift_gradient,
+)
+from repro.variational.observables import (
+    DiagonalObservable,
+    ising_observable,
+    maxcut_observable,
+)
+from repro.variational.optim import ADOPT, Adam, AdamW, minimize
+from repro.variational.vqe import run_qaoa_maxcut, run_vqe
+
+__all__ = [
+    "ADOPT",
+    "Adam",
+    "AdamW",
+    "DiagonalObservable",
+    "evaluate_grid",
+    "exact_probabilities",
+    "expectation",
+    "finite_difference_gradient",
+    "hardware_efficient_ansatz",
+    "ising_observable",
+    "maxcut_observable",
+    "minimize",
+    "parameter_shift_gradient",
+    "qaoa_maxcut_ansatz",
+    "run_qaoa_maxcut",
+    "run_vqe",
+]

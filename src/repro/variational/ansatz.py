@@ -1,0 +1,101 @@
+"""Parameterized circuit ansätze (mirroring DeepQuantum's ansatz zoo).
+
+These builders produce symbolic flat circuits — gate params are
+:class:`repro.parameters.ParamExpr` over named
+:class:`~repro.parameters.Parameter` symbols — plus the parameter list
+in a stable order.  Build once; evaluate unlimited parameter points via
+:func:`repro.variational.evaluate.evaluate_grid` or per-point binding
+(:func:`repro.qcircuit.circuit.bind_circuit`).
+
+Angles here are **radians** (gate-level params), unlike DSL phases
+which are degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.parameters import Parameter, ParamExpr
+from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement
+
+
+def _measured(circuit: Circuit) -> Circuit:
+    """Append a terminal measurement of every qubit, in qubit order."""
+    circuit.num_bits = circuit.num_qubits
+    for q in range(circuit.num_qubits):
+        circuit.add(Measurement(q, q))
+    circuit.output_bits = list(range(circuit.num_qubits))
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int = 1,
+    prefix: str = "theta",
+) -> tuple[Circuit, list[Parameter]]:
+    """RY rotation layers interleaved with CZ entangling ladders.
+
+    Layer ``l`` applies ``ry(theta_l_q)`` on every qubit ``q`` followed
+    by a ladder of ``cz`` gates on neighbouring pairs; a final rotation
+    layer follows the last ladder, giving ``(layers + 1) * num_qubits``
+    parameters named ``{prefix}_{layer}_{qubit}``.
+    """
+    if num_qubits < 1 or layers < 0:
+        raise SimulationError("ansatz needs >= 1 qubit and >= 0 layers")
+    circuit = Circuit(num_qubits)
+    params: list[Parameter] = []
+
+    def rotation_layer(layer: int) -> None:
+        for q in range(num_qubits):
+            param = Parameter(f"{prefix}_{layer}_{q}")
+            params.append(param)
+            circuit.add(
+                CircuitGate("ry", (q,), params=(ParamExpr.of(param),))
+            )
+
+    for layer in range(layers):
+        rotation_layer(layer)
+        for q in range(num_qubits - 1):
+            circuit.add(CircuitGate("z", (q + 1,), controls=(q,)))
+    rotation_layer(layers)
+    return _measured(circuit), params
+
+
+def qaoa_maxcut_ansatz(
+    num_qubits: int,
+    edges: Iterable[tuple[int, int]],
+    layers: int = 1,
+) -> tuple[Circuit, list[Parameter]]:
+    """The QAOA MaxCut ansatz: H layer, then alternating cost/mixer.
+
+    Per layer ``l``: the cost unitary ``exp(-i γ_l Σ Z_i Z_j / 2)``
+    compiled as ``cx · rz(γ_l) · cx`` per edge, then the mixer
+    ``rx(β_l)`` on every qubit.  Parameters come back ordered
+    ``[gamma_0, beta_0, gamma_1, beta_1, …]``.
+    """
+    edge_list = [(int(a), int(b)) for a, b in edges]
+    if num_qubits < 2 or layers < 1:
+        raise SimulationError("QAOA needs >= 2 qubits and >= 1 layer")
+    for a, b in edge_list:
+        if not (0 <= a < num_qubits and 0 <= b < num_qubits) or a == b:
+            raise SimulationError(f"bad edge ({a}, {b})")
+    circuit = Circuit(num_qubits)
+    params: list[Parameter] = []
+    for q in range(num_qubits):
+        circuit.add(CircuitGate("h", (q,)))
+    for layer in range(layers):
+        gamma = Parameter(f"gamma_{layer}")
+        beta = Parameter(f"beta_{layer}")
+        params.extend((gamma, beta))
+        for a, b in edge_list:
+            circuit.add(CircuitGate("x", (b,), controls=(a,)))
+            circuit.add(
+                CircuitGate("rz", (b,), params=(ParamExpr.of(gamma),))
+            )
+            circuit.add(CircuitGate("x", (b,), controls=(a,)))
+        for q in range(num_qubits):
+            circuit.add(
+                CircuitGate("rx", (q,), params=(2.0 * ParamExpr.of(beta),))
+            )
+    return _measured(circuit), params

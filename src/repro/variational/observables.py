@@ -1,0 +1,137 @@
+"""Diagonal (Z-basis) observables for variational loss functions.
+
+A :class:`DiagonalObservable` is a sum of Pauli-Z strings plus a
+constant: ``H = c0 + Σ_k coeff_k · Π_{q in qubits_k} Z_q``.  Every
+term is diagonal in the computational basis, so expectation values
+reduce to a weighted sum over measured bitstrings — the natural loss
+for VQE on Ising Hamiltonians and for QAOA MaxCut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DiagonalObservable:
+    """``constant + Σ coeff · Z-string``, indexed by *qubit* number.
+
+    ``terms`` is a tuple of ``(coeff, qubits)`` pairs; each term is the
+    product of Pauli-Z on the named qubits.  ``Z|b> = (-1)^b |b>``, so
+    the eigenvalue on bitstring ``b`` is
+    ``constant + Σ coeff · (-1)^(parity of the term's bits)``.
+    """
+
+    terms: tuple[tuple[float, tuple[int, ...]], ...]
+    constant: float = 0.0
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            (float(coeff), tuple(int(q) for q in qubits))
+            for coeff, qubits in self.terms
+        )
+        for _, qubits in normalized:
+            if len(set(qubits)) != len(qubits):
+                raise SimulationError(
+                    "a Z-string term names the same qubit twice"
+                )
+        object.__setattr__(self, "terms", normalized)
+
+    @property
+    def num_qubits(self) -> int:
+        """One past the highest qubit index any term touches."""
+        return 1 + max(
+            (q for _, qubits in self.terms for q in qubits), default=-1
+        )
+
+    def value(self, bits: Sequence[int]) -> float:
+        """The eigenvalue on one computational-basis bitstring.
+
+        ``bits[q]`` is qubit ``q``'s measured bit (0 or 1), in the
+        repository's leftmost-is-qubit-0 convention.
+        """
+        total = self.constant
+        for coeff, qubits in self.terms:
+            parity = 0
+            for q in qubits:
+                parity ^= int(bits[q])
+            total += coeff * (1.0 - 2.0 * parity)
+        return total
+
+    def eigenvalues(self, num_qubits: int) -> np.ndarray:
+        """All 2^n eigenvalues as a vector over basis-state indices.
+
+        Index ``x`` has qubit ``q`` at bit ``(x >> (n-1-q)) & 1`` (the
+        statevector convention), so ``probabilities.reshape(-1) @
+        eigenvalues`` is the exact expectation value.
+        """
+        if num_qubits < self.num_qubits:
+            raise SimulationError(
+                f"observable touches qubit {self.num_qubits - 1} but the "
+                f"circuit has only {num_qubits} qubit(s)"
+            )
+        indices = np.arange(2**num_qubits)
+        values = np.full(indices.shape, self.constant, dtype=float)
+        for coeff, qubits in self.terms:
+            parity = np.zeros_like(indices)
+            for q in qubits:
+                parity ^= (indices >> (num_qubits - 1 - q)) & 1
+            values += coeff * (1.0 - 2.0 * parity)
+        return values
+
+    def expectation_from_counts(
+        self, counts: Mapping[str, int] | Mapping[tuple[int, ...], int]
+    ) -> float:
+        """Shot-averaged expectation from a measurement histogram.
+
+        Keys are bitstrings (``"0110"``) or bit tuples, qubit 0
+        leftmost — the format of ``kernel.histogram()`` and the sampled
+        backends.
+        """
+        total = 0.0
+        shots = 0
+        for key, count in counts.items():
+            bits = [int(b) for b in key]
+            total += self.value(bits) * count
+            shots += count
+        if shots == 0:
+            raise SimulationError("empty histogram")
+        return total / shots
+
+
+def ising_observable(
+    num_qubits: int,
+    edges: Iterable[tuple[int, int]],
+    j: float = 1.0,
+    h: float = 0.0,
+) -> DiagonalObservable:
+    """A diagonal Ising Hamiltonian ``J Σ Z_i Z_j + h Σ Z_i``.
+
+    The classic VQE target for hardware-efficient ansätze; its ground
+    state for ``J > 0`` on a path graph is the antiferromagnetic
+    configuration.
+    """
+    terms: list[tuple[float, tuple[int, ...]]] = [
+        (j, (int(a), int(b))) for a, b in edges
+    ]
+    if h != 0.0:
+        terms.extend((h, (q,)) for q in range(num_qubits))
+    return DiagonalObservable(tuple(terms))
+
+
+def maxcut_observable(edges: Iterable[tuple[int, int]]) -> DiagonalObservable:
+    """The (negated) MaxCut objective ``-Σ (1 - Z_i Z_j) / 2``.
+
+    Minimizing this observable maximizes the cut: each edge contributes
+    -1 when its endpoints are measured on opposite sides.
+    """
+    edge_list = [(int(a), int(b)) for a, b in edges]
+    return DiagonalObservable(
+        tuple((0.5, (a, b)) for a, b in edge_list),
+        constant=-0.5 * len(edge_list),
+    )

@@ -1,0 +1,35 @@
+"""Hypothesis configuration for the differential-testing harness.
+
+Two profiles:
+
+- ``dev`` (default): small and fast for local runs.
+- ``ci``: the CI leg's profile — **derandomized** (the shrunk corpus is
+  identical on every run, so a red build is reproducible, never flaky)
+  and sized so the harness executes >= 200 distinct random circuits
+  per run, with the per-test deadline disabled (density-matrix
+  references are slow on shared runners).
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest
+tests/differential``; the CI workflow sets the variable.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=70,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,180 @@
+"""Unit tests for the symbolic angle algebra (repro.parameters).
+
+The affine-expression invariants everything downstream leans on:
+auto-collapse to plain floats when symbols cancel (the peephole's
+rotation cancellation), structural equality/hashing (gate-matrix cache
+keys), immutability under copy/deepcopy (AST expansion deepcopies
+statement trees), and hard errors on nonlinear use.
+"""
+
+import copy
+import math
+import pickle
+
+import pytest
+
+from repro.errors import QwertyTypeError
+from repro.parameters import (
+    ParamExpr,
+    Parameter,
+    evaluate_param,
+    is_symbolic,
+    parameters_of,
+    radians_expr,
+)
+
+theta = Parameter("theta")
+phi = Parameter("phi")
+
+
+class TestParameter:
+    def test_name_identity(self):
+        assert Parameter("theta") == theta
+        assert Parameter("phi") != theta
+        assert hash(Parameter("theta")) == hash(theta)
+
+    def test_invalid_names_rejected(self):
+        for bad in ("2theta", "a-b", "", 7):
+            with pytest.raises(QwertyTypeError):
+                Parameter(bad)
+
+    def test_never_equals_a_number(self):
+        assert theta != 0.0
+        assert theta != 1
+        assert not (theta == 0.5)
+
+    def test_str(self):
+        assert str(theta) == "theta"
+        assert repr(theta) == "Parameter('theta')"
+
+
+class TestAffineAlgebra:
+    def test_arithmetic_builds_affine_exprs(self):
+        expr = 2 * theta + 0.5
+        assert isinstance(expr, ParamExpr)
+        assert expr.constant == 0.5
+        assert expr.coefficient(theta) == 2.0
+        assert expr.coefficient("phi") == 0.0
+
+    def test_terms_sorted_and_merged(self):
+        expr = phi + theta + phi
+        assert [p.name for p in expr.parameters] == ["phi", "theta"]
+        assert expr.coefficient(phi) == 2.0
+
+    def test_cancellation_collapses_to_float(self):
+        # The collapse is what lets the peephole cancel rx(p)·rx(-p)
+        # without knowing about symbols: the sum is a plain 0.0.
+        assert theta + (-theta) == 0.0
+        assert isinstance(theta - theta, float)
+        assert isinstance((2 * theta + 1.0) - 2 * theta, float)
+
+    def test_division_and_negation(self):
+        expr = (4 * theta + 2.0) / 2
+        assert expr.coefficient(theta) == 2.0
+        assert expr.constant == 1.0
+        assert (-expr).coefficient(theta) == -2.0
+
+    def test_nonlinear_products_rejected(self):
+        with pytest.raises(QwertyTypeError, match="nonlinear"):
+            _ = (theta + 1.0) * (phi + 1.0)
+        with pytest.raises(QwertyTypeError, match="nonlinear"):
+            _ = ParamExpr.of(theta) / phi
+
+    def test_scalar_products_fine_either_side(self):
+        assert (3 * theta).coefficient(theta) == 3.0
+        assert (theta * 3).coefficient(theta) == 3.0
+        # A collapsed (constant) expr on one side is just a scalar.
+        zero = theta - theta
+        assert (theta + 1.0) * zero == 0.0
+
+    def test_mod_is_identity_on_symbolic_phases(self):
+        # Phase-normalization sites (`phase % 360.0`) must pass
+        # symbolic angles through untouched.
+        expr = 2 * theta
+        assert (expr % 360.0) is expr
+
+    def test_float_and_abs_raise(self):
+        with pytest.raises(QwertyTypeError, match="bind"):
+            float(ParamExpr.of(theta))
+        with pytest.raises(QwertyTypeError, match="bind"):
+            abs(ParamExpr.of(theta))
+
+    def test_never_equals_a_number(self):
+        assert ParamExpr.of(theta) != 0.0
+        assert 2 * theta + 1.0 != 1.0
+
+
+class TestEvaluateAndSubs:
+    def test_evaluate(self):
+        expr = 2 * theta + phi + 0.5
+        assert expr.evaluate({"theta": 1.0, phi: 2.0}) == 4.5
+
+    def test_evaluate_missing_parameter_raises(self):
+        with pytest.raises(QwertyTypeError, match="theta"):
+            (2 * theta).evaluate({"phi": 1.0})
+
+    def test_partial_subs_keeps_symbolic_rest(self):
+        expr = 2 * theta + phi
+        partial = expr.subs({"phi": 1.0})
+        assert isinstance(partial, ParamExpr)
+        assert partial.constant == 1.0
+        assert partial.coefficient(theta) == 2.0
+
+    def test_full_subs_collapses_to_float(self):
+        assert (2 * theta).subs({theta: 0.25}) == 0.5
+
+    def test_subs_with_symbolic_replacement(self):
+        # Substituting a symbol for a symbol (capture resolution).
+        expr = (2 * theta).subs({"theta": phi + 1.0})
+        assert expr.coefficient(phi) == 2.0
+        assert expr.constant == 2.0
+
+    def test_evaluate_param_passthrough(self):
+        assert evaluate_param(1.5, {}) == 1.5
+        assert evaluate_param(theta, {"theta": 2.0}) == 2.0
+
+
+class TestStructuralIdentity:
+    def test_equality_and_hash(self):
+        a = 2 * theta + 0.5
+        b = 0.5 + Parameter("theta") * 2
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != 2 * theta
+
+    def test_immutable(self):
+        expr = ParamExpr.of(theta)
+        with pytest.raises(AttributeError):
+            expr.constant = 1.0
+
+    def test_copy_and_deepcopy_return_self(self):
+        expr = 2 * theta + 0.5
+        assert copy.copy(expr) is expr
+        assert copy.deepcopy(expr) is expr
+
+    def test_pickle_roundtrip(self):
+        expr = 2 * theta + 0.5
+        assert pickle.loads(pickle.dumps(expr)) == expr
+
+    def test_str_is_qasm_friendly(self):
+        assert str(2 * theta + 0.5) == "2*theta + 0.5"
+        assert str(-1 * theta) == "-theta"
+        assert str(theta - phi) == "-phi + theta"
+        assert str(ParamExpr.of(theta)) == "theta"
+
+
+class TestHelpers:
+    def test_is_symbolic(self):
+        assert is_symbolic(theta)
+        assert is_symbolic(ParamExpr.of(theta))
+        assert not is_symbolic(0.5)
+        assert not is_symbolic(theta - theta)
+
+    def test_parameters_of(self):
+        values = (1.0, 2 * theta, phi + theta)
+        assert [p.name for p in parameters_of(values)] == ["phi", "theta"]
+
+    def test_radians_expr(self):
+        assert radians_expr(180.0) == pytest.approx(math.pi)
+        expr = radians_expr(theta)
+        assert expr.coefficient(theta) == pytest.approx(math.pi / 180.0)

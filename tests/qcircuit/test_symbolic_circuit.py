@@ -1,0 +1,150 @@
+"""Symbolic gate params at the flat-circuit layer: binding and passes.
+
+The contract the optimizer passes keep: a pass may *fold* symbolic
+angles only when the affine algebra proves it safe (exactly-opposite
+rotations collapse to a 0.0 float before the pass ever sees them), and
+must otherwise treat a symbolic gate as an optimization barrier —
+never guess a value, never fuse it into a numeric matrix.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import QwertyTypeError, SimulationError
+from repro.parameters import ParamExpr, Parameter
+from repro.qcircuit.circuit import (
+    Circuit,
+    CircuitGate,
+    Measurement,
+    bind_circuit,
+    circuit_parameters,
+)
+from repro.qcircuit.fusion import fuse_adjacent_gates
+from repro.qcircuit.peephole import run_peephole
+
+theta = Parameter("theta")
+phi = Parameter("phi")
+
+
+def _symbolic_circuit() -> Circuit:
+    circuit = Circuit(2, 2)
+    circuit.add(CircuitGate("h", (0,)))
+    circuit.add(CircuitGate("ry", (0,), params=(ParamExpr.of(theta),)))
+    circuit.add(CircuitGate("rz", (1,), params=(2 * phi + 0.5,)))
+    circuit.add(Measurement(0, 0))
+    circuit.add(Measurement(1, 1))
+    circuit.output_bits = [0, 1]
+    return circuit
+
+
+class TestBindCircuit:
+    def test_collects_parameters_sorted(self):
+        names = [p.name for p in circuit_parameters(_symbolic_circuit())]
+        assert names == ["phi", "theta"]
+
+    def test_bind_substitutes_affine_exprs(self):
+        bound = bind_circuit(
+            _symbolic_circuit(), {"theta": 0.25, phi: 1.0}
+        )
+        assert bound.instructions[1].params == (0.25,)
+        assert bound.instructions[2].params == (2.5,)
+        assert circuit_parameters(bound) == ()
+
+    def test_bind_leaves_original_untouched(self):
+        circuit = _symbolic_circuit()
+        bind_circuit(circuit, {"theta": 1.0, "phi": 2.0})
+        assert circuit.instructions[1].is_symbolic
+
+    def test_bind_shares_concrete_instructions(self):
+        circuit = _symbolic_circuit()
+        bound = bind_circuit(circuit, {"theta": 1.0, "phi": 2.0})
+        # Non-symbolic instructions are shared, not copied — binds of a
+        # big mostly-concrete circuit stay cheap.
+        assert bound.instructions[0] is circuit.instructions[0]
+        assert bound.instructions[3] is circuit.instructions[3]
+
+    def test_missing_parameter_raises_unless_partial(self):
+        circuit = _symbolic_circuit()
+        with pytest.raises(QwertyTypeError, match="phi"):
+            bind_circuit(circuit, {"theta": 1.0})
+        partial = bind_circuit(circuit, {"theta": 1.0}, partial=True)
+        assert [p.name for p in circuit_parameters(partial)] == ["phi"]
+
+
+class TestPassesOnSymbolicGates:
+    def test_is_clifford_conservative(self):
+        gate = CircuitGate("rz", (0,), params=(ParamExpr.of(theta),))
+        assert gate.is_symbolic
+        assert not gate.is_clifford
+
+    def test_peephole_never_cancels_unproven_symbolic_pair(self):
+        # rz(theta)·rz(-phi) only cancels for particular values; the
+        # symbolic sum stays symbolic, so the peephole must keep both.
+        circuit = Circuit(1, 0)
+        circuit.add(CircuitGate("rz", (0,), params=(ParamExpr.of(theta),)))
+        circuit.add(CircuitGate("rz", (0,), params=(-1 * phi,)))
+        optimized = run_peephole(circuit)
+        assert len(optimized.gates) >= 1
+        assert any(g.is_symbolic for g in optimized.gates)
+
+    def test_peephole_cancels_provably_opposite_angles(self):
+        # rz(theta)·rz(-theta): the merged angle collapses to the plain
+        # float 0.0 in the affine algebra, so cancellation is safe and
+        # the pass needs no symbol-awareness at all.
+        circuit = Circuit(1, 0)
+        circuit.add(CircuitGate("rz", (0,), params=(ParamExpr.of(theta),)))
+        circuit.add(CircuitGate("rz", (0,), params=(-1 * theta,)))
+        optimized = run_peephole(circuit)
+        assert optimized.gates == []
+
+    def test_peephole_merge_keeps_symbolic_sum(self):
+        circuit = Circuit(1, 0)
+        circuit.add(CircuitGate("rz", (0,), params=(ParamExpr.of(theta),)))
+        circuit.add(CircuitGate("rz", (0,), params=(ParamExpr.of(theta),)))
+        optimized = run_peephole(circuit)
+        [gate] = optimized.gates
+        assert gate.params[0].coefficient(theta) == 2.0
+
+    def test_fusion_barriers_on_symbolic_gates(self):
+        circuit = Circuit(1, 0)
+        circuit.add(CircuitGate("h", (0,)))
+        circuit.add(CircuitGate("ry", (0,), params=(ParamExpr.of(theta),)))
+        circuit.add(CircuitGate("h", (0,)))
+        fused = fuse_adjacent_gates(circuit)
+        symbolic = [
+            inst
+            for inst in fused.instructions
+            if isinstance(inst, CircuitGate) and inst.is_symbolic
+        ]
+        assert len(symbolic) == 1
+        assert symbolic[0].params[0] == ParamExpr.of(theta)
+
+    def test_fused_symbolic_circuit_runs_after_bind(self):
+        # Fuse first, bind second — the sweep order bind() enables —
+        # and the samples must match binding the unfused circuit.
+        from repro.sim.backend import run_circuit_with_info
+
+        circuit = _symbolic_circuit()
+        values = {"theta": math.pi / 3, "phi": 0.2}
+        fused_bound = bind_circuit(fuse_adjacent_gates(circuit), values)
+        plain_bound = bind_circuit(circuit, values)
+        fused_results, _ = run_circuit_with_info(
+            fused_bound, shots=64, seed=7
+        )
+        plain_results, _ = run_circuit_with_info(
+            plain_bound, shots=64, seed=7
+        )
+        assert fused_results == plain_results
+
+    def test_simulating_unbound_circuit_is_a_clear_error(self):
+        from repro.sim.backend import run_circuit_with_info
+
+        with pytest.raises(SimulationError, match="bind"):
+            run_circuit_with_info(_symbolic_circuit(), shots=4, seed=0)
+
+    def test_dagger_negates_symbolic_angle(self):
+        gate = CircuitGate("rz", (0,), params=(2 * theta + 1.0,))
+        adjoint = gate.dagger()
+        assert adjoint.params[0].coefficient(theta) == -2.0
+        assert adjoint.params[0].constant == -1.0

@@ -1,0 +1,72 @@
+"""Unit tests for diagonal Z-string observables."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.variational import (
+    DiagonalObservable,
+    ising_observable,
+    maxcut_observable,
+)
+
+
+class TestDiagonalObservable:
+    def test_value_on_bitstrings(self):
+        obs = DiagonalObservable(((1.0, (0, 1)), (0.5, (1,))), constant=2.0)
+        # ZZ on (0,0) = +1, Z on 0 = +1 → 2 + 1 + 0.5.
+        assert obs.value((0, 0)) == pytest.approx(3.5)
+        # ZZ on (0,1) = -1, Z on 1 = -1 → 2 - 1 - 0.5.
+        assert obs.value((0, 1)) == pytest.approx(0.5)
+
+    def test_eigenvalues_match_value_pointwise(self):
+        obs = ising_observable(3, [(0, 1), (1, 2)], j=0.7, h=-0.3)
+        values = obs.eigenvalues(3)
+        for x in range(8):
+            bits = tuple((x >> (2 - q)) & 1 for q in range(3))
+            assert values[x] == pytest.approx(obs.value(bits))
+
+    def test_eigenvalues_width_check(self):
+        obs = DiagonalObservable(((1.0, (0, 3)),))
+        with pytest.raises(SimulationError, match="qubit 3"):
+            obs.eigenvalues(2)
+
+    def test_duplicate_qubit_in_term_rejected(self):
+        with pytest.raises(SimulationError, match="twice"):
+            DiagonalObservable(((1.0, (0, 0)),))
+
+    def test_expectation_from_counts(self):
+        obs = DiagonalObservable(((1.0, (0,)),))
+        # Z on qubit 0: "0..." → +1, "1..." → -1.
+        counts = {"00": 3, "10": 1}
+        assert obs.expectation_from_counts(counts) == pytest.approx(0.5)
+        tuple_counts = {(0, 0): 3, (1, 0): 1}
+        assert obs.expectation_from_counts(tuple_counts) == pytest.approx(0.5)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            DiagonalObservable(()).expectation_from_counts({})
+
+
+class TestFactories:
+    def test_ising_ground_energy_on_a_path(self):
+        # Antiferromagnetic J>0 on a path: alternating spins minimize,
+        # energy -(n-1)·J at h=0.
+        obs = ising_observable(4, [(0, 1), (1, 2), (2, 3)], j=1.0)
+        assert obs.eigenvalues(4).min() == pytest.approx(-3.0)
+        assert obs.value((0, 1, 0, 1)) == pytest.approx(-3.0)
+
+    def test_maxcut_observable_counts_cut_edges(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        obs = maxcut_observable(edges)
+        for x in range(8):
+            bits = tuple((x >> (2 - q)) & 1 for q in range(3))
+            cut = sum(1 for a, b in edges if bits[a] != bits[b])
+            assert obs.value(bits) == pytest.approx(-float(cut))
+        # A triangle's max cut is 2.
+        assert obs.eigenvalues(3).min() == pytest.approx(-2.0)
+
+    def test_maxcut_minimum_is_negated_max_cut(self):
+        ring = [(q, (q + 1) % 4) for q in range(4)]
+        assert maxcut_observable(ring).eigenvalues(4).min() == pytest.approx(
+            -4.0
+        )

@@ -1,0 +1,53 @@
+"""Convergence tests for the VQE and QAOA drivers (fixed seeds)."""
+
+import pytest
+
+from repro.variational import ADOPT, run_qaoa_maxcut, run_vqe
+
+
+class TestVQE:
+    def test_loss_decreases_and_approaches_ground(self):
+        result = run_vqe(num_qubits=3, layers=1, steps=40, seed=0)
+        assert result["final_loss"] < result["initial_loss"]
+        assert len(result["history"]) == 41
+        # Within 20% of the exact ground energy of the 3-site chain.
+        gap = result["final_loss"] - result["ground_energy"]
+        assert gap < 0.2 * abs(result["ground_energy"])
+
+    def test_record_is_complete(self):
+        result = run_vqe(num_qubits=2, layers=1, steps=5, seed=1)
+        assert set(result["values"]) == set(result["parameters"])
+        assert result["final_loss"] == result["loss"]
+        assert result["circuit"].num_qubits == 2
+
+    def test_seed_determinism(self):
+        a = run_vqe(num_qubits=2, layers=1, steps=8, seed=3)
+        b = run_vqe(num_qubits=2, layers=1, steps=8, seed=3)
+        assert a["history"] == b["history"]
+
+    def test_alternate_optimizer(self):
+        result = run_vqe(
+            num_qubits=2, layers=1, steps=30, seed=0,
+            optimizer=ADOPT(lr=0.2),
+        )
+        assert result["final_loss"] < result["initial_loss"]
+
+
+class TestQAOA:
+    def test_finds_the_ring_cut(self):
+        result = run_qaoa_maxcut(num_qubits=4, layers=2, steps=30, seed=0)
+        assert result["final_loss"] < result["initial_loss"]
+        assert result["max_cut"] == 4
+        # The most probable bitstring at the optimum is a maximum cut.
+        assert result["cut_value"] == result["max_cut"]
+
+    def test_triangle(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        result = run_qaoa_maxcut(
+            num_qubits=3, edges=edges, layers=2, steps=30, seed=2
+        )
+        assert result["max_cut"] == 2
+        assert result["final_loss"] < result["initial_loss"]
+        assert result["final_loss"] == pytest.approx(
+            -result["max_cut"], abs=1.0
+        )
