@@ -53,10 +53,15 @@ def test_per_pass_timing_breakdown(benchmark, algorithm):
 
 
 def test_compile_cache_speedup(benchmark):
-    """Repeated compiles of an equivalent kernel hit the driver cache."""
+    """Repeated compiles of an equivalent kernel hit the driver cache.
+
+    Explicit cold-cache mode: ``disk=True`` also drops the persistent
+    on-disk layer (repro.exec.diskcache) — without it the "cold" leg
+    would quietly read the artifact a previous run persisted and the
+    cold number would measure unpickling, not compilation."""
     from repro import clear_compile_cache
 
-    clear_compile_cache()
+    clear_compile_cache(disk=True)
     kernel = asdf_kernel("grover", 32)
     start = time.perf_counter()
     cold = kernel.compile(pipeline="default", cache=True)

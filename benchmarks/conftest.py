@@ -34,6 +34,7 @@ uploading the artifact.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -72,9 +73,28 @@ EXPECTED_BENCH_JSON = (
     "BENCH_fig12_qubits.json",
     "BENCH_kernels.json",
     "BENCH_noise.json",
+    "BENCH_parallel.json",
     "BENCH_table1_callables.json",
     "BENCH_variational.json",
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _private_disk_cache(tmp_path_factory):
+    """Point the persistent compile cache (repro.exec.diskcache) at a
+    per-session tmpdir: a bench run must never read artifacts a previous
+    run (or the developer's real ~/.cache/repro) left behind — a stale
+    warm cache would silently turn every "cold" compile number into a
+    disk-cache read."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-bench-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 class _BenchmarkShim:
     """Minimal stand-in for pytest-benchmark's fixture: runs the

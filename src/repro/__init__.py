@@ -60,6 +60,7 @@ from repro.pipeline import (
     compile_cache_info,
     compile_kernel,
     simulate_kernel,
+    simulate_kernel_with_info,
 )
 from repro.sim.backend import (
     SimBackend,
@@ -111,6 +112,7 @@ __all__ = [
     "qubit",
     "rev_qfunc",
     "simulate_kernel",
+    "simulate_kernel_with_info",
 ]
 
 __version__ = "0.1.0"

@@ -1,0 +1,39 @@
+"""The execution substrate: multicore shot sharding + persistent cache.
+
+Two capabilities turn the single-process simulator into something a
+multi-tenant service can sit on (ROADMAP: async execution service):
+
+- :mod:`repro.exec.parallel` — shard a run's shot chunks across a
+  reusable :class:`~concurrent.futures.ProcessPoolExecutor` with
+  per-chunk derived seeds and merged :class:`~repro.sim.backend.RunInfo`
+  telemetry; threaded through every entry point as
+  ``parallel_workers=``.
+- :mod:`repro.exec.diskcache` — a persistent on-disk compile cache
+  (atomic writes, version-salted keys) layered under the in-memory
+  LRU of :mod:`repro.pipeline`, so fresh processes start warm.
+
+See docs/performance.md ("Parallel execution & the persistent cache").
+"""
+
+__all__ = [
+    "START_METHOD_ENV",
+    "chunk_plan",
+    "derive_chunk_seeds",
+    "parallel_run",
+    "parallel_run_with_info",
+    "resolve_workers",
+    "shutdown_pools",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: repro.pipeline imports repro.exec.diskcache at
+    # module level, and an eager `from repro.exec.parallel import ...`
+    # here would drag repro.sim into that import and close a cycle.
+    if name in __all__:
+        from repro.exec import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,289 @@
+"""The parallel shot executor: shard shot chunks across processes.
+
+Every engine in :mod:`repro.sim` scales *within* one process; the
+batched trajectory engine already splits an over-envelope run into
+memory-bounded chunks (:func:`repro.sim.batched.batch_chunk_size`),
+but those chunks ran serially on one core.  This module dispatches
+them to a :class:`concurrent.futures.ProcessPoolExecutor` instead:
+
+- :func:`chunk_plan` splits a shot count into the **same work units**
+  the batched engine's 256 MiB envelope defines, additionally splitting
+  until every worker has work (an under-envelope run on 4 workers still
+  parallelizes);
+- each chunk gets a **derived seed** from
+  ``numpy.random.SeedSequence(seed).spawn(...)`` — statistically
+  independent streams, so the sharded histogram is statistically
+  equivalent to a single-process run and *fully deterministic* for a
+  fixed ``(seed, workers)`` pair;
+- per-chunk results concatenate in plan order and per-chunk
+  :class:`~repro.sim.backend.RunInfo` telemetry merges via
+  :meth:`RunInfo.merge`, with ``workers``/``chunks`` recorded.
+
+Determinism contract: the output depends only on the chunk plan and
+the derived seeds — **not** on which process (or whether a process at
+all) executed a chunk.  A pool that cannot start (sandboxed
+environments, missing semaphores) silently falls back to in-process
+execution of the identical plan and produces bit-identical results.
+
+Statelessness: the worker entry point re-resolves everything it needs
+from explicit task fields — backend *name* (resolved in the parent, so
+a monkeypatched ``DEFAULT_BACKEND`` cannot diverge between parent and
+worker), apply-kernel name (the parent's context-local selection,
+shipped explicitly because a ``spawn``-started worker does not inherit
+:mod:`contextvars` state), the pickled circuit and noise model.
+In-tree backends and kernels register at import time, so workers
+started with **any** start method behave identically; custom backends
+registered only in the parent are visible under ``fork`` but must be
+registered at import time (module level) to work under ``spawn``.
+
+Pools are cached per ``(workers, start method)`` and reused across
+calls — the process-warmup cost is paid once, which is what a
+long-lived service (ROADMAP: async execution service) needs.  See
+docs/performance.md ("Parallel execution & the persistent cache").
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qcircuit.circuit import Circuit
+from repro.sim.backend import (
+    DEFAULT_BACKEND,
+    RunInfo,
+    SimBackend,
+    get_backend,
+)
+from repro.sim.batched import MAX_BATCH_BYTES, batch_chunk_size
+from repro.sim.kernels import active_kernel_name, use_kernel
+
+#: Environment override for the multiprocessing start method used by
+#: the shared pools ("fork", "spawn", "forkserver").  Unset keeps the
+#: platform default.  Results are identical either way (see the
+#: determinism contract above); this only trades startup cost against
+#: fork-safety.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``parallel_workers`` request to a concrete count.
+
+    ``None`` and ``0`` mean "one per available core"; negative counts
+    are rejected.
+    """
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise SimulationError(
+            f"parallel_workers must be >= 0, got {workers}"
+        )
+    return workers
+
+
+def chunk_plan(
+    shots: int,
+    num_qubits: int,
+    workers: int,
+    max_batch_bytes: int = MAX_BATCH_BYTES,
+) -> list[int]:
+    """Split ``shots`` into per-chunk shot counts.
+
+    The base unit is the batched engine's memory envelope
+    (:func:`~repro.sim.batched.batch_chunk_size`); when that yields
+    fewer chunks than ``workers``, the run is split further so every
+    worker has work.  The plan is a pure function of
+    ``(shots, num_qubits, workers, max_batch_bytes)`` — the anchor of
+    the determinism contract.
+    """
+    if shots < 1:
+        raise SimulationError("a parallel run needs at least one shot")
+    envelope = batch_chunk_size(num_qubits, max_batch_bytes)
+    target_chunks = max(-(-shots // envelope), max(workers, 1))
+    size = -(-shots // target_chunks)  # ceil division
+    full, remainder = divmod(shots, size)
+    return [size] * full + ([remainder] if remainder else [])
+
+
+def derive_chunk_seeds(seed: int, chunks: int) -> list[int]:
+    """One independent integer seed per chunk.
+
+    ``SeedSequence(seed).spawn(chunks)`` gives statistically
+    independent child streams; each child collapses to one uint63 the
+    backends' integer ``seed`` parameter accepts.  Derivation is pure,
+    so chunk *i* of a fixed plan always receives the same seed — in a
+    worker process, in the serial fallback, or in a re-run.
+    """
+    children = np.random.SeedSequence(seed).spawn(chunks)
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
+        for child in children
+    ]
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Everything a worker needs, explicit and picklable."""
+
+    circuit: Circuit
+    shots: int
+    seed: int
+    backend: "str | SimBackend"
+    kernel: Optional[str]
+    noise_model: Optional[object]
+
+
+def _run_chunk(task: _ChunkTask) -> tuple[list[tuple[int, ...]], RunInfo]:
+    """Worker entry point: one chunk, no ambient state consulted."""
+    backend = get_backend(task.backend)
+    with use_kernel(task.kernel):
+        if task.noise_model is None:
+            return backend.run_with_info(
+                task.circuit, task.shots, task.seed
+            )
+        return backend.run_with_info(
+            task.circuit,
+            task.shots,
+            task.seed,
+            noise_model=task.noise_model,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared worker pools (one per (workers, start method), reused).
+# ----------------------------------------------------------------------
+_POOLS: dict[tuple[int, str], ProcessPoolExecutor] = {}
+
+
+def _mp_context():
+    method = os.environ.get(START_METHOD_ENV)
+    return (
+        multiprocessing.get_context(method)
+        if method
+        else multiprocessing.get_context()
+    )
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    context = _mp_context()
+    key = (workers, context.get_start_method())
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached worker pool (tests, service teardown)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _execute_tasks(
+    tasks: Sequence[_ChunkTask], workers: int, use_processes: bool
+) -> list[tuple[list[tuple[int, ...]], RunInfo]]:
+    """Run the chunk tasks, preserving plan order.
+
+    One worker, one chunk, or ``use_processes=False`` stays in-process.
+    A pool that cannot start or dies mid-run falls back to in-process
+    execution of the *unfinished* work — per-chunk seeding makes the
+    result identical to the pooled run, so the fallback is invisible
+    except in wall-clock.
+    """
+    if not use_processes or workers <= 1 or len(tasks) <= 1:
+        return [_run_chunk(task) for task in tasks]
+    try:
+        pool = _get_pool(workers)
+        return list(pool.map(_run_chunk, tasks))
+    except (OSError, RuntimeError):
+        # BrokenProcessPool is a RuntimeError: drop the dead pool so
+        # the next call builds a fresh one, then finish serially.
+        for key in [k for k, p in _POOLS.items() if k[0] == workers]:
+            _POOLS.pop(key).shutdown(wait=False, cancel_futures=True)
+        return [_run_chunk(task) for task in tasks]
+
+
+def parallel_run_with_info(
+    circuit: Circuit,
+    shots: int,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    backend: "str | SimBackend | None" = None,
+    noise_model=None,
+    max_batch_bytes: int = MAX_BATCH_BYTES,
+    use_processes: bool = True,
+) -> tuple[list[tuple[int, ...]], RunInfo]:
+    """Run ``shots`` sharded across ``workers`` processes.
+
+    Returns ``(results, info)`` where ``results`` concatenates the
+    chunks in plan order and ``info`` is the :meth:`RunInfo.merge` of
+    the per-chunk records with ``workers`` and ``chunks`` filled in.
+    Deterministic for fixed ``(seed, workers)`` (and the workload);
+    different worker counts give statistically equivalent histograms
+    drawn from independent derived streams.
+
+    ``backend`` may be a registry name or a (picklable) instance;
+    ``None`` resolves to the registry default *here in the parent*, so
+    workers can never disagree with the dispatcher about the default.
+    The parent's context-local apply-kernel selection is shipped along
+    for the same reason.  ``use_processes=False`` executes the same
+    plan in-process (bit-identical results; used by tests and the
+    broken-pool fallback).
+    """
+    workers = resolve_workers(workers)
+    if isinstance(backend, SimBackend):
+        resolved_backend: "str | SimBackend" = backend
+    else:
+        resolved_backend = backend or DEFAULT_BACKEND
+        get_backend(resolved_backend)  # fail fast on unknown names
+    plan = chunk_plan(shots, circuit.num_qubits, workers, max_batch_bytes)
+    seeds = derive_chunk_seeds(seed, len(plan))
+    kernel = active_kernel_name()
+    tasks = [
+        _ChunkTask(
+            circuit, chunk_shots, chunk_seed,
+            resolved_backend, kernel, noise_model,
+        )
+        for chunk_shots, chunk_seed in zip(plan, seeds)
+    ]
+    outcomes = _execute_tasks(tasks, workers, use_processes)
+    results: list[tuple[int, ...]] = []
+    infos: list[RunInfo] = []
+    for chunk_results, chunk_info in outcomes:
+        results.extend(chunk_results)
+        infos.append(chunk_info)
+    merged = RunInfo.merge(infos, workers=workers)
+    return results, merged
+
+
+def parallel_run(
+    circuit: Circuit,
+    shots: int,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    backend: "str | SimBackend | None" = None,
+    noise_model=None,
+    max_batch_bytes: int = MAX_BATCH_BYTES,
+) -> list[tuple[int, ...]]:
+    """:func:`parallel_run_with_info` without the telemetry record."""
+    results, _ = parallel_run_with_info(
+        circuit,
+        shots,
+        seed,
+        workers=workers,
+        backend=backend,
+        noise_model=noise_model,
+        max_batch_bytes=max_batch_bytes,
+    )
+    return results

@@ -334,6 +334,7 @@ class QpuKernel:
         backend: str | None = None,
         noise_model=None,
         params=None,
+        parallel_workers: int | None = None,
     ):
         """Compile, simulate, and return the measured bits.
 
@@ -345,6 +346,9 @@ class QpuKernel:
         ``params`` maps :class:`repro.parameters.Parameter` names (or
         Parameter objects) to concrete angles; the kernel is compiled
         once symbolically and bound per call (docs/variational.md).
+        ``parallel_workers`` shards the shot chunks across a process
+        pool (:mod:`repro.exec`; ``0`` = one worker per core,
+        docs/performance.md).
         """
         from repro.pipeline import simulate_kernel
 
@@ -355,6 +359,7 @@ class QpuKernel:
             backend=backend,
             noise_model=noise_model,
             params=params,
+            parallel_workers=parallel_workers,
         )
         if shots == 1:
             return results[0]
@@ -367,6 +372,7 @@ class QpuKernel:
         backend: str | None = None,
         noise_model=None,
         params=None,
+        parallel_workers: int | None = None,
     ) -> dict[str, int]:
         from repro.pipeline import simulate_kernel
 
@@ -378,6 +384,7 @@ class QpuKernel:
             backend=backend,
             noise_model=noise_model,
             params=params,
+            parallel_workers=parallel_workers,
         ):
             counts[str(result)] = counts.get(str(result), 0) + 1
         return counts

@@ -71,9 +71,13 @@ class CompileOptions:
     (:mod:`repro.sim.backend`) that ``simulate_kernel`` and the
     evaluation harness use to execute the compiled circuit,
     ``sim_kernel`` selects the apply-matrix kernel
-    (:mod:`repro.sim.kernels`; ``None`` keeps the process default), and
+    (:mod:`repro.sim.kernels`; ``None`` keeps the process default),
     ``noise_model`` (a :class:`repro.noise.NoiseModel`) makes those
-    executions noisy; none of the three affects compilation itself.
+    executions noisy, and ``parallel_workers`` shards the run's shot
+    chunks across a process pool (:mod:`repro.exec`; ``None`` keeps
+    the single-process path, ``0`` means one worker per core); none of
+    the four affects compilation itself, and all four are excluded
+    from the compile-cache key.
     """
 
     qwerty_spec: str = QWERTY_OPT_SPEC
@@ -87,6 +91,7 @@ class CompileOptions:
     sim_backend: Optional[str] = None
     sim_kernel: Optional[str] = None
     noise_model: Optional[object] = None
+    parallel_workers: Optional[int] = None
 
     @classmethod
     def preset(cls, name: str, **overrides) -> "CompileOptions":
@@ -168,6 +173,12 @@ class CompileResult:
     options: CompileOptions = field(default_factory=CompileOptions)
     #: Per-pass instrumentation, when compiled with collect_statistics.
     statistics: Optional[PassStatistics] = None
+    #: Where the *most recent* cache lookup found this artifact:
+    #: "compiled" (built fresh this call), "memory" (in-process LRU
+    #: hit), or "disk" (persistent-cache hit, unpickled).  Recorded in
+    #: ``RunInfo.compile_cache`` by ``simulate_kernel_with_info``.
+    #: Mutated in place on cache hits — cached results are shared.
+    provenance: str = "compiled"
 
     def qasm3(self, source_comments: bool = False) -> str:
         """OpenQASM 3 text; ``source_comments=True`` adds ``// line N``
@@ -344,40 +355,92 @@ def _build_qwerty_module(kernel) -> tuple[ModuleOp, dict]:
 
 
 # ----------------------------------------------------------------------
-# The per-process compile cache (LRU-bounded).
+# The two-layer compile cache: per-process LRU over a persistent
+# on-disk store (repro.exec.diskcache).
 # ----------------------------------------------------------------------
+import os
 from collections import OrderedDict
+
+from repro.exec import diskcache as _diskcache
 
 #: Upper bound on cached CompileResults; each entry holds the full IR
 #: module and three circuits, so the cache must not grow with the
 #: number of distinct kernels a long-lived process constructs.
+#: The ``REPRO_COMPILE_CACHE_MAX_ENTRIES`` environment variable
+#: overrides it without code changes (long-lived services tune it up,
+#: memory-tight workers tune it down).
 COMPILE_CACHE_MAX_ENTRIES = 128
+
+COMPILE_CACHE_MAX_ENTRIES_ENV = "REPRO_COMPILE_CACHE_MAX_ENTRIES"
 
 _COMPILE_CACHE: "OrderedDict[tuple, CompileResult]" = OrderedDict()
 
+#: Lookup counters for the in-memory layer, zeroed by
+#: :func:`clear_compile_cache`.  A ``misses`` increment may still end
+#: in a disk hit — the disk layer keeps its own counters.
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
-def clear_compile_cache() -> None:
-    """Drop every cached :class:`CompileResult`."""
+
+def compile_cache_max_entries() -> int:
+    """The effective LRU bound: the env override when set and valid,
+    else :data:`COMPILE_CACHE_MAX_ENTRIES`."""
+    raw = os.environ.get(COMPILE_CACHE_MAX_ENTRIES_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = -1
+        if value >= 1:
+            return value
+    return COMPILE_CACHE_MAX_ENTRIES
+
+
+def clear_compile_cache(disk: bool = False) -> None:
+    """Drop every cached :class:`CompileResult` and zero the counters.
+
+    ``disk=True`` also deletes the persistent on-disk layer's entries
+    (:mod:`repro.exec.diskcache`) — what a benchmark's *cold-cache*
+    mode needs, since a fresh process with a warm disk cache never
+    actually compiles.
+    """
     _COMPILE_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+    _diskcache.reset_stats()
+    if disk:
+        _diskcache.clear()
 
 
 def compile_cache_info() -> dict:
-    """Observability hook: current cache size and keys."""
-    return {"entries": len(_COMPILE_CACHE), "keys": list(_COMPILE_CACHE)}
+    """Observability hook: sizes, keys, and hit/miss/eviction counters
+    for both cache layers (the in-memory LRU and, under ``"disk"``,
+    the persistent store)."""
+    return {
+        "entries": len(_COMPILE_CACHE),
+        "keys": list(_COMPILE_CACHE),
+        "max_entries": compile_cache_max_entries(),
+        **_CACHE_STATS,
+        "disk": _diskcache.info(),
+    }
 
 
 def _cache_get(key: tuple) -> Optional[CompileResult]:
     result = _COMPILE_CACHE.get(key)
     if result is not None:
         _COMPILE_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+    else:
+        _CACHE_STATS["misses"] += 1
     return result
 
 
 def _cache_put(key: tuple, result: CompileResult) -> None:
     _COMPILE_CACHE[key] = result
     _COMPILE_CACHE.move_to_end(key)
-    while len(_COMPILE_CACHE) > COMPILE_CACHE_MAX_ENTRIES:
+    bound = compile_cache_max_entries()
+    while len(_COMPILE_CACHE) > bound:
         _COMPILE_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
 
 
 def _capture_fingerprint(capture) -> tuple:
@@ -463,14 +526,15 @@ def compile_kernel(
         )
 
     cache_key = None
+    disk_digest = None
     if cache:
         # The full (frozen) options participate in the key, so cached
         # results never cross configuration boundaries — a compile
         # requesting statistics or stricter verification is a miss,
-        # not a stale hit with statistics=None.  The simulation backend
-        # and noise model are excluded: they only affect execution, so
-        # the same compiled artifact serves every backend and every
-        # noise configuration.
+        # not a stale hit with statistics=None.  The simulation
+        # backend, kernel, noise model, and worker count are excluded:
+        # they only affect execution, so the same compiled artifact
+        # serves every backend, noise, and sharding configuration.
         cache_key = (
             _kernel_fingerprint(kernel),
             tuple(sorted(kernel.infer_dims().items())),
@@ -479,11 +543,22 @@ def compile_kernel(
                 sim_backend=None,
                 sim_kernel=None,
                 noise_model=None,
+                parallel_workers=None,
             ),
         )
         cached = _cache_get(cache_key)
         if cached is not None:
+            cached.provenance = "memory"
             return cached
+        # Second layer: the persistent on-disk store.  A hit skips
+        # compilation entirely and warms the in-memory LRU; a corrupt
+        # or stale-salt entry reads as a miss and is recompiled.
+        disk_digest = _diskcache.key_digest(cache_key)
+        from_disk = _diskcache.load(disk_digest)
+        if isinstance(from_disk, CompileResult):
+            from_disk.provenance = "disk"
+            _cache_put(cache_key, from_disk)
+            return from_disk
 
     statistics = PassStatistics() if options.collect_statistics else None
 
@@ -519,6 +594,7 @@ def compile_kernel(
     if not options.to_circuit:
         if cache_key is not None:
             _cache_put(cache_key, result)
+            _diskcache.store(disk_digest, result)
         return result
 
     with staged("(flatten)"):
@@ -549,7 +625,81 @@ def compile_kernel(
 
     if cache_key is not None:
         _cache_put(cache_key, result)
+        _diskcache.store(disk_digest, result)
     return result
+
+
+def simulate_kernel_with_info(
+    kernel,
+    shots: int = 1,
+    seed: int = 0,
+    cache: bool = True,
+    backend: Optional[str] = None,
+    options: Optional[CompileOptions] = None,
+    noise_model=None,
+    params=None,
+    parallel_workers: Optional[int] = None,
+):
+    """:func:`simulate_kernel`, also returning the run's telemetry.
+
+    Returns ``(results, info)`` where ``info`` is the
+    :class:`~repro.sim.backend.RunInfo` — including ``workers`` /
+    ``chunks`` for sharded runs and ``compile_cache`` provenance
+    (``"compiled"`` / ``"memory"`` / ``"disk"``) for the compile this
+    run executed.
+    """
+    from repro.frontend.decorators import Bits
+    from repro.sim import get_backend, use_kernel
+    from repro.sim.backend import run_circuit_with_info
+
+    sim_kernel = None
+    if options is None:
+        result = compile_kernel(kernel, cache=cache)
+        chosen = backend
+    else:
+        result = compile_kernel(kernel, options, cache=cache)
+        chosen = backend if backend is not None else options.sim_backend
+        sim_kernel = options.sim_kernel
+        if noise_model is None:
+            noise_model = options.noise_model
+        if parallel_workers is None:
+            parallel_workers = options.parallel_workers
+    provenance = result.provenance
+    if params:
+        # bind() never writes to the compile cache, so a sweep reuses
+        # one cached symbolic compile for every point.
+        result = result.bind(params)
+    if noise_model is None:
+        circuit = result.execution_circuit or result.optimized_circuit
+    else:
+        # Noise channels attach by gate name, so noisy runs execute the
+        # unfused circuit (fused blocks would silently drop channels).
+        circuit = result.optimized_circuit
+    with use_kernel(sim_kernel):
+        if parallel_workers is not None:
+            outcomes, info = run_circuit_with_info(
+                circuit,
+                shots=shots,
+                seed=seed,
+                backend=chosen,
+                noise_model=noise_model,
+                parallel_workers=parallel_workers,
+            )
+        else:
+            resolved = get_backend(chosen)
+            if noise_model is None:
+                outcomes, info = resolved.run_with_info(
+                    circuit, shots=shots, seed=seed
+                )
+            else:
+                outcomes, info = resolved.run_with_info(
+                    circuit,
+                    shots=shots,
+                    seed=seed,
+                    noise_model=noise_model,
+                )
+    info = dataclasses.replace(info, compile_cache=provenance)
+    return [Bits(outcome) for outcome in outcomes], info
 
 
 def simulate_kernel(
@@ -561,13 +711,15 @@ def simulate_kernel(
     options: Optional[CompileOptions] = None,
     noise_model=None,
     params=None,
+    parallel_workers: Optional[int] = None,
 ):
     """Compile and simulate a kernel, returning measured Bits per shot.
 
-    Compilation goes through the per-process LRU cache (bounded by
-    :data:`COMPILE_CACHE_MAX_ENTRIES`), so repeated shots and repeated
-    calls on equivalent kernels skip the compiler; pass ``cache=False``
-    to force a fresh compile.
+    Compilation goes through the two-layer compile cache — the
+    per-process LRU (bounded by :func:`compile_cache_max_entries`)
+    over the persistent on-disk store (:mod:`repro.exec.diskcache`) —
+    so repeated calls, and even *fresh processes*, skip the compiler;
+    pass ``cache=False`` to force a fresh compile.
 
     ``backend`` selects the simulation backend (docs/simulators.md);
     it falls back to ``options.sim_backend`` and then to the registry
@@ -590,36 +742,23 @@ def simulate_kernel(
     artifact per call (docs/variational.md)::
 
         simulate_kernel(kernel, shots=1024, params={"theta": 45.0})
-    """
-    from repro.frontend.decorators import Bits
-    from repro.sim import get_backend, use_kernel
 
-    sim_kernel = None
-    if options is None:
-        result = compile_kernel(kernel, cache=cache)
-        chosen = backend
-    else:
-        result = compile_kernel(kernel, options, cache=cache)
-        chosen = backend if backend is not None else options.sim_backend
-        sim_kernel = options.sim_kernel
-        if noise_model is None:
-            noise_model = options.noise_model
-    if params:
-        # bind() never writes to the compile cache, so a sweep reuses
-        # one cached symbolic compile for every point.
-        result = result.bind(params)
-    if noise_model is None:
-        circuit = result.execution_circuit or result.optimized_circuit
-    else:
-        # Noise channels attach by gate name, so noisy runs execute the
-        # unfused circuit (fused blocks would silently drop channels).
-        circuit = result.optimized_circuit
-    resolved = get_backend(chosen)
-    with use_kernel(sim_kernel):
-        if noise_model is None:
-            outcomes = resolved.run(circuit, shots=shots, seed=seed)
-        else:
-            outcomes = resolved.run(
-                circuit, shots=shots, seed=seed, noise_model=noise_model
-            )
-    return [Bits(outcome) for outcome in outcomes]
+    ``parallel_workers`` shards the run's shot chunks across a process
+    pool with per-chunk derived seeds (:mod:`repro.exec`; ``0`` means
+    one worker per core — deterministic per ``(seed, workers)``, best
+    for trajectory workloads)::
+
+        simulate_kernel(kernel, shots=100_000, parallel_workers=4)
+    """
+    results, _ = simulate_kernel_with_info(
+        kernel,
+        shots=shots,
+        seed=seed,
+        cache=cache,
+        backend=backend,
+        options=options,
+        noise_model=noise_model,
+        params=params,
+        parallel_workers=parallel_workers,
+    )
+    return results

@@ -10,6 +10,7 @@ from repro.qcircuit.fusion import FusedGate, fuse_single_qubit_gates
 from repro.sim.kernels import (
     active_kernel_name,
     available_kernels,
+    current_kernel_selection,
     get_kernel,
     numba_available,
     use_kernel,
@@ -71,6 +72,7 @@ __all__ = [
     "batch_chunk_size",
     "batched_run",
     "controlled_matrix",
+    "current_kernel_selection",
     "fuse_single_qubit_gates",
     "gate_matrix",
     "get_backend",

@@ -96,6 +96,15 @@ class RunInfo:
     pass in the circuit this run executed (0 for unfused circuits);
     ``kernel`` records which apply-kernel performed the matrix sweeps
     (see :mod:`repro.sim.kernels` and docs/performance.md).
+
+    ``workers`` / ``chunks`` record how the run was sharded: both 1
+    for an ordinary single-process run; the parallel shot executor
+    (:mod:`repro.exec`) merges its per-chunk records via
+    :meth:`merge` and fills them in.  ``compile_cache`` is the compile
+    provenance when the run went through ``simulate_kernel_with_info``
+    — ``"compiled"``, ``"memory"``, or ``"disk"``
+    (:attr:`repro.pipeline.CompileResult.provenance`); ``None`` for
+    circuit-level runs that never touched the compiler.
     """
 
     backend: str
@@ -108,6 +117,65 @@ class RunInfo:
     readout_applications: int = 0
     gates_fused: int = 0
     kernel: Optional[str] = None
+    workers: int = 1
+    chunks: int = 1
+    compile_cache: Optional[str] = None
+
+    @staticmethod
+    def merge(
+        infos: "Sequence[RunInfo]", workers: Optional[int] = None
+    ) -> "RunInfo":
+        """Combine per-chunk records of one sharded run into one.
+
+        Additive counters (``shots``, ``evolutions``,
+        ``channel_applications``, ``readout_applications``,
+        ``gates_fused``, ``fused_ops``, ``chunks``) sum exactly;
+        ``fast_path`` holds only if every chunk took it, ``batched`` if
+        any did; ``fused_ops`` stays ``None`` unless every chunk
+        reported it.  All chunks must come from one backend; a mix of
+        apply-kernels is recorded as ``"mixed"``.  ``workers`` defaults
+        to the max the inputs carry.
+        """
+        infos = list(infos)
+        if not infos:
+            raise SimulationError("RunInfo.merge needs at least one record")
+        backends = {info.backend for info in infos}
+        if len(backends) > 1:
+            raise SimulationError(
+                f"cannot merge RunInfo across backends: {sorted(backends)}"
+            )
+        kernels = {info.kernel for info in infos}
+        fused_ops = (
+            sum(info.fused_ops for info in infos)
+            if all(info.fused_ops is not None for info in infos)
+            else None
+        )
+        provenances = {info.compile_cache for info in infos}
+        return RunInfo(
+            backend=infos[0].backend,
+            shots=sum(info.shots for info in infos),
+            evolutions=sum(info.evolutions for info in infos),
+            fast_path=all(info.fast_path for info in infos),
+            batched=any(info.batched for info in infos),
+            fused_ops=fused_ops,
+            channel_applications=sum(
+                info.channel_applications for info in infos
+            ),
+            readout_applications=sum(
+                info.readout_applications for info in infos
+            ),
+            gates_fused=sum(info.gates_fused for info in infos),
+            kernel=kernels.pop() if len(kernels) == 1 else "mixed",
+            workers=(
+                workers
+                if workers is not None
+                else max(info.workers for info in infos)
+            ),
+            chunks=sum(info.chunks for info in infos),
+            compile_cache=(
+                provenances.pop() if len(provenances) == 1 else None
+            ),
+        )
 
 
 class SimBackend:
@@ -459,6 +527,7 @@ def run_circuit_with_info(
     seed: int = 0,
     backend: "str | SimBackend | None" = None,
     noise_model=None,
+    parallel_workers: Optional[int] = None,
 ) -> tuple[list[tuple[int, ...]], RunInfo]:
     """Run a circuit and return ``(results, RunInfo)`` for telemetry.
 
@@ -467,7 +536,29 @@ def run_circuit_with_info(
     ``noise_model`` (a :class:`repro.noise.NoiseModel`) makes the run
     noisy; it is only forwarded when set, so backends predating the
     noise subsystem keep working for ideal runs.
+
+    ``parallel_workers`` routes the run through the parallel shot
+    executor (:mod:`repro.exec`): shot chunks shard across a process
+    pool with per-chunk derived seeds (``0`` means one worker per
+    core).  Leave it ``None`` for the legacy single-process seed
+    convention; any explicit value — including ``1`` — selects the
+    sharded convention, so ``workers=1`` and ``workers=4`` runs are
+    comparable.  Best for trajectory workloads (mid-circuit
+    measurement or noise); the terminal-measurement fast path already
+    makes shots near-free in one process, and sharding it repeats the
+    one evolution per chunk.
     """
+    if parallel_workers is not None:
+        from repro.exec.parallel import parallel_run_with_info
+
+        return parallel_run_with_info(
+            circuit,
+            shots,
+            seed,
+            workers=parallel_workers,
+            backend=backend,
+            noise_model=noise_model,
+        )
     resolved = get_backend(backend)
     if noise_model is None:
         return resolved.run_with_info(circuit, shots, seed)

@@ -26,24 +26,31 @@ Two implementations ship in-tree, behind a registry
     Registered unconditionally; *resolving* it raises a clear
     :class:`~repro.errors.SimulationError` when numba is not installed.
 
-The active kernel is selected at import time from the
-``REPRO_SIM_KERNEL`` environment variable, defaulting to ``"numba"``
-when importable and ``"numpy"`` otherwise — the automatic pure-NumPy
-fallback CI exercises on both legs.  Per-run selection goes through
-:func:`use_kernel` (which is what ``CompileOptions.sim_kernel``
-drives), and every backend records the kernel that actually executed
-in ``RunInfo.kernel``.  See docs/performance.md.
+The active kernel is *context-local* (:mod:`contextvars`): the process
+default comes from the ``REPRO_SIM_KERNEL`` environment variable
+(``"numba"`` when importable, ``"numpy"`` otherwise — the automatic
+pure-NumPy fallback CI exercises on both legs), and per-run selection
+goes through :func:`use_kernel` (which is what
+``CompileOptions.sim_kernel`` drives).  Because the override lives in a
+:class:`~contextvars.ContextVar` rather than a module global,
+concurrent executors — threads of the evaluation harness, the parallel
+shot executor's dispatch path (:mod:`repro.exec`) — can never observe
+each other's selection, and a worker process spawned with any start
+method resolves the same env-driven default as its parent.  Every
+backend records the kernel that actually executed in
+``RunInfo.kernel``.  See docs/performance.md.
 """
 
 from __future__ import annotations
 
 import cmath
 import contextlib
+import contextvars
 import functools
 import importlib.util
 import math
 import os
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -186,8 +193,14 @@ class NumpyKernel:
 # ----------------------------------------------------------------------
 # The optional numba JIT kernel.
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
 def numba_available() -> bool:
-    """Whether the optional ``numba`` dependency is importable."""
+    """Whether the optional ``numba`` dependency is importable.
+
+    Memoized: this sits under :func:`default_kernel_name`, which the
+    per-gate-application hot path consults, and ``find_spec`` hits the
+    filesystem.  Installing numba mid-process is not supported.
+    """
     return importlib.util.find_spec("numba") is not None
 
 
@@ -352,17 +365,37 @@ def default_kernel_name() -> str:
 register_kernel(NumpyKernel.name, NumpyKernel)
 register_kernel(NumbaKernel.name, NumbaKernel)
 
-_ACTIVE_KERNEL = get_kernel()
+#: The context-local kernel override.  ``None`` means "no override":
+#: the active kernel is then the env-driven process default.  Only
+#: :func:`use_kernel` writes this; keeping the override in a
+#: ContextVar (not a module global) is what makes kernel selection
+#: safe for concurrent executors and stateless across worker
+#: processes — a worker that never calls ``use_kernel`` resolves
+#: exactly what its parent's environment dictates.
+_KERNEL_OVERRIDE: "contextvars.ContextVar[Optional[str]]" = (
+    contextvars.ContextVar("repro_sim_kernel_override", default=None)
+)
+
+
+def current_kernel_selection() -> Optional[str]:
+    """The context-local override name, or ``None`` when the process
+    default applies.  The parallel shot executor ships this (resolved)
+    to its workers so they execute under the dispatcher's selection."""
+    return _KERNEL_OVERRIDE.get()
 
 
 def active_kernel():
-    """The kernel object currently serving :func:`apply_matrix_inplace`."""
-    return _ACTIVE_KERNEL
+    """The kernel object currently serving :func:`apply_matrix_inplace`.
+
+    Resolution order: the context-local :func:`use_kernel` override,
+    then the env-driven process default (:func:`default_kernel_name`).
+    """
+    return get_kernel(_KERNEL_OVERRIDE.get() or default_kernel_name())
 
 
 def active_kernel_name() -> str:
     """The active kernel's registry name (recorded in ``RunInfo``)."""
-    return _ACTIVE_KERNEL.name
+    return active_kernel().name
 
 
 @contextlib.contextmanager
@@ -374,17 +407,22 @@ def use_kernel(name: "str | None") -> Iterator[None]:
 
         with use_kernel(options.sim_kernel):
             backend.run_with_info(circuit, shots, seed)
+
+    The selection is **context-local** (:mod:`contextvars`): it is
+    visible only to the current thread/task and any contexts forked
+    from it, so two concurrent executors selecting different kernels
+    never interfere.  Unknown names (and kernels whose optional
+    dependency is missing) raise on *entry*, before the body runs.
     """
-    global _ACTIVE_KERNEL
     if name is None:
         yield
         return
-    previous = _ACTIVE_KERNEL
-    _ACTIVE_KERNEL = get_kernel(name)
+    # Validate eagerly so a bad selection fails here, not mid-sweep.
+    token = _KERNEL_OVERRIDE.set(get_kernel(name).name)
     try:
         yield
     finally:
-        _ACTIVE_KERNEL = previous
+        _KERNEL_OVERRIDE.reset(token)
 
 
 def apply_matrix_inplace(
@@ -399,4 +437,4 @@ def apply_matrix_inplace(
     :func:`use_kernel`); the pure-NumPy kernel is the reference
     implementation and the universal fallback.
     """
-    _ACTIVE_KERNEL.apply(state, matrix, targets)
+    active_kernel().apply(state, matrix, targets)

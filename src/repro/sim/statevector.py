@@ -298,6 +298,7 @@ def run_circuit(
     seed: int = 0,
     backend: str | None = None,
     noise_model=None,
+    parallel_workers: Optional[int] = None,
 ) -> list[tuple[int, ...]]:
     """Run ``shots`` executions of ``circuit``; returns output-bit tuples.
 
@@ -307,12 +308,25 @@ def run_circuit(
     vectorized ``"statevector"`` sampler — like every other execution
     entry point (``simulate_kernel``, ``kernel()``,
     ``interpret_module``).  Pass ``backend="interpreter"`` for one
-    independent trajectory per shot seeded ``seed + shot``, and
+    independent trajectory per shot seeded ``seed + shot``,
     ``noise_model`` (a :class:`repro.noise.NoiseModel`) to execute
-    under noise (docs/noise.md).
+    under noise (docs/noise.md), and ``parallel_workers`` to shard the
+    shot chunks across a process pool with per-chunk derived seeds
+    (:mod:`repro.exec`; deterministic per ``(seed, workers)``,
+    docs/performance.md).
     """
-    from repro.sim.backend import get_backend
+    from repro.sim.backend import get_backend, run_circuit_with_info
 
+    if parallel_workers is not None:
+        results, _ = run_circuit_with_info(
+            circuit,
+            shots,
+            seed,
+            backend=backend,
+            noise_model=noise_model,
+            parallel_workers=parallel_workers,
+        )
+        return results
     resolved = get_backend(backend)
     if noise_model is None:
         # Not forwarded when unset, so backends predating the noise

@@ -1,0 +1,28 @@
+"""Suite-wide fixtures for the tier-1 tests.
+
+The persistent compile cache (repro.exec.diskcache) is ON by default,
+so without intervention a test run would read artifacts a *previous*
+run — or the developer's interactive sessions — left under
+``~/.cache/repro``, and would leave its own behind.  Point the cache
+root at a per-session tmpdir instead: every suite run starts from a
+clean disk cache (cold -> warm transitions happen *within* the run,
+which is exactly what tests/exec/test_diskcache.py exercises) and the
+developer's real cache is never read or written by tests.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_disk_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-test-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

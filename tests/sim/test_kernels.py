@@ -24,6 +24,7 @@ from repro.sim.kernels import (
     active_kernel_name,
     apply_matrix_inplace,
     available_kernels,
+    current_kernel_selection,
     default_kernel_name,
     gate_matrix,
     get_kernel,
@@ -115,6 +116,49 @@ def test_use_kernel_restores_on_error():
         with use_kernel("numpy"):
             raise RuntimeError("boom")
     assert active_kernel_name() == before
+
+
+def test_use_kernel_validates_eagerly():
+    with pytest.raises(SimulationError):
+        with use_kernel("no-such-kernel"):
+            pass  # pragma: no cover - must raise before entering
+    assert current_kernel_selection() is None
+
+
+def test_use_kernel_selection_is_context_local():
+    # The override lives in a contextvars.ContextVar: a selection made
+    # in one thread must never leak into another (the property the
+    # parallel executor's worker dispatch relies on).
+    import threading
+
+    seen_in_thread = []
+    started = threading.Event()
+    release = threading.Event()
+
+    def observer():
+        started.set()
+        release.wait(timeout=10)
+        seen_in_thread.append(current_kernel_selection())
+
+    thread = threading.Thread(target=observer)
+    thread.start()
+    started.wait(timeout=10)
+    with use_kernel("numpy"):
+        assert current_kernel_selection() == "numpy"
+        release.set()
+        thread.join(timeout=10)
+    assert seen_in_thread == [None]
+    assert current_kernel_selection() is None
+
+
+def test_use_kernel_nests_and_unwinds_in_order():
+    assert current_kernel_selection() is None
+    with use_kernel("numpy"):
+        outer = active_kernel_name()
+        with use_kernel(outer):
+            assert current_kernel_selection() == outer
+        assert current_kernel_selection() == outer
+    assert current_kernel_selection() is None
 
 
 # ----------------------------------------------------------------------
