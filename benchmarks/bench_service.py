@@ -1,0 +1,197 @@
+"""The async execution service under load and under chaos.
+
+Two claims, both recorded in BENCH_service.json:
+
+- **Throughput and tail latency**: a fixed batch of compile/run
+  requests (bv n=6, 128 shots each) is pushed through a real
+  :class:`~repro.service.service.ExecutionService` at several
+  concurrency levels; requests/sec and p50/p99 response latency are
+  recorded at each level.  Zero requests may fail — backpressure is
+  configured away (queue bound >= batch), so every response must be
+  ``ok``.
+- **Graceful degradation has a floor**: the same batch with a 5%
+  deterministic ``worker_crash`` plan must (a) complete **100%** of
+  requests successfully, (b) return **bit-identical histograms** to
+  the clean run for every request id, and (c) sustain at least **70%**
+  of the clean run's throughput — recovery is retries absorbing
+  faults, not a collapse to serial or a pile of errors.
+
+Chunks run in-process (``use_processes=False``): the benchmark
+measures the service machinery (admission, deadlines, retry waves),
+not process-pool spawn time, and injected crashes raise
+:class:`~repro.errors.FaultInjectedError` deterministically.  Real
+``BrokenProcessPool`` recovery is covered by tests/exec/test_faults.py.
+"""
+
+import asyncio
+import time
+
+from conftest import bench_record, write_bench_json, write_result
+
+from repro.exec.faults import FaultPlan
+from repro.exec.retry import RetryPolicy
+from repro.service import ExecutionService, ServiceClient, ServiceConfig
+
+REQUESTS = 48
+SHOTS = 128
+N = 6
+CONCURRENCY_LEVELS = (1, 4, 16)
+CHAOS_CONCURRENCY = 4
+CHAOS_RATE = 0.05
+MIN_CHAOS_THROUGHPUT_FRACTION = 0.70
+
+#: Short backoffs: the bench measures recovery overhead, not sleeps.
+RETRY = RetryPolicy(backoff_base=0.002, backoff_cap=0.02)
+
+
+def _config(fault_plan=None) -> ServiceConfig:
+    return ServiceConfig(
+        use_processes=False,
+        parallel_workers=2,
+        executors=4,
+        queue_limit=2 * REQUESTS,
+        retry=RETRY,
+        fault_plan=fault_plan,
+    )
+
+
+async def _drive(config, concurrency):
+    """One batch: returns (wall_s, latencies_s, responses_by_id)."""
+    async with ExecutionService(config) as service:
+        client = ServiceClient(service)
+        # Warm the compile cache outside the timed region, like any
+        # long-lived service: steady-state throughput is the claim.
+        warm = await client.run(id="warm", kernel="bv", n=N, shots=8)
+        assert warm["ok"], warm
+        gate = asyncio.Semaphore(concurrency)
+        latencies = [0.0] * REQUESTS
+        responses = {}
+
+        async def one(index):
+            async with gate:
+                start = time.perf_counter()
+                response = await client.run(
+                    id=index, kernel="bv", n=N, shots=SHOTS, seed=index
+                )
+                latencies[index] = time.perf_counter() - start
+                responses[index] = response
+
+        start = time.perf_counter()
+        await asyncio.gather(*(one(i) for i in range(REQUESTS)))
+        wall = time.perf_counter() - start
+    return wall, latencies, responses
+
+
+def _percentile(sorted_values, fraction):
+    index = min(
+        len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _run_batch(config, concurrency):
+    wall, latencies, responses = asyncio.run(
+        _drive(config, concurrency)
+    )
+    failed = [r for r in responses.values() if not r["ok"]]
+    assert not failed, failed[:3]
+    ordered = sorted(latencies)
+    return {
+        "wall_s": wall,
+        "rps": REQUESTS / wall,
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+        "counts": {i: responses[i]["result"]["counts"]
+                   for i in range(REQUESTS)},
+        "retries": sum(
+            responses[i]["result"]["info"]["retries"]
+            for i in range(REQUESTS)
+        ),
+        "faults": sum(
+            responses[i]["result"]["info"]["faults_injected"]
+            for i in range(REQUESTS)
+        ),
+    }
+
+
+def test_service_throughput_and_tail_latency():
+    records, lines = [], []
+    for concurrency in CONCURRENCY_LEVELS:
+        batch = _run_batch(_config(), concurrency)
+        records.append(
+            bench_record(
+                f"service-throughput-{REQUESTS}req-bv{N}",
+                f"concurrency-{concurrency}",
+                batch["wall_s"] * 1e3,
+                shots=REQUESTS * SHOTS,
+            )
+        )
+        records.append(
+            bench_record(
+                "service-latency-p99",
+                f"concurrency-{concurrency}",
+                batch["p99_ms"],
+                shots=SHOTS,
+            )
+        )
+        lines.append(
+            f"concurrency={concurrency:2d}: "
+            f"{batch['rps']:7.1f} req/s  "
+            f"p50={batch['p50_ms']:6.1f} ms  "
+            f"p99={batch['p99_ms']:6.1f} ms"
+        )
+    write_bench_json("service", records)
+    write_result(
+        "service_throughput.txt",
+        f"{REQUESTS} requests (bv n={N}, {SHOTS} shots each), "
+        f"in-process chunks\n" + "\n".join(lines) + "\n",
+    )
+
+
+def test_service_chaos_floor():
+    clean = _run_batch(_config(), CHAOS_CONCURRENCY)
+    plan = FaultPlan({"worker_crash": CHAOS_RATE}, seed=0)
+    chaos = _run_batch(_config(fault_plan=plan), CHAOS_CONCURRENCY)
+
+    # (a) 100% completion is enforced inside _run_batch; (b) chaos
+    # results are bit-identical per request id (the retry layer never
+    # reseeds data); (c) throughput keeps a floor.
+    assert chaos["counts"] == clean["counts"]
+    assert chaos["faults"] >= 1, "5% plan injected nothing; raise REQUESTS"
+    ratio = chaos["rps"] / clean["rps"]
+    assert ratio >= MIN_CHAOS_THROUGHPUT_FRACTION, (
+        f"chaos throughput {chaos['rps']:.1f} req/s is "
+        f"{ratio:.2f}x of clean {clean['rps']:.1f} req/s "
+        f"(floor {MIN_CHAOS_THROUGHPUT_FRACTION})"
+    )
+
+    write_bench_json(
+        "service",
+        [
+            bench_record(
+                f"service-chaos-{int(CHAOS_RATE * 100)}pct-crash",
+                "clean",
+                clean["wall_s"] * 1e3,
+                shots=REQUESTS * SHOTS,
+            ),
+            bench_record(
+                f"service-chaos-{int(CHAOS_RATE * 100)}pct-crash",
+                "chaos",
+                chaos["wall_s"] * 1e3,
+                shots=REQUESTS * SHOTS,
+            ),
+        ],
+    )
+    write_result(
+        "service_chaos.txt",
+        f"{REQUESTS} requests at concurrency {CHAOS_CONCURRENCY}, "
+        f"{int(CHAOS_RATE * 100)}% injected worker crashes\n"
+        f"clean: {clean['rps']:7.1f} req/s\n"
+        f"chaos: {chaos['rps']:7.1f} req/s "
+        f"({ratio:.2f}x of clean; floor "
+        f"{MIN_CHAOS_THROUGHPUT_FRACTION})\n"
+        f"faults injected: {chaos['faults']}, "
+        f"retries: {chaos['retries']}, failed requests: 0\n"
+        f"histograms: bit-identical to clean for all "
+        f"{REQUESTS} request ids\n",
+    )

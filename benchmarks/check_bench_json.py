@@ -60,10 +60,18 @@ DEFAULT_MIN_WALL_MS = 5.0
 MAX_RATIO_ENV_VAR = "BENCH_MAX_RATIO"
 
 
-def check_schema() -> list[str]:
-    """The original presence/schema check; returns problem strings."""
+def check_schema(
+    expected: "tuple[str, ...]" = EXPECTED_BENCH_JSON,
+    include_stray: bool = True,
+) -> list[str]:
+    """The original presence/schema check; returns problem strings.
+
+    ``expected`` narrows the manifest (the ``--only`` flag: a CI job
+    that runs a single bench module checks just that module's file);
+    the stray-file check only makes sense against the full manifest.
+    """
     problems = []
-    for name in EXPECTED_BENCH_JSON:
+    for name in expected:
         path = REPO_ROOT / name
         if not path.exists():
             problems.append(f"{name}: missing")
@@ -84,16 +92,17 @@ def check_schema() -> list[str]:
                 break
         else:
             print(f"ok: {name} ({len(records)} record(s))")
-    stray = sorted(
-        path.name
-        for path in REPO_ROOT.glob("BENCH_*.json")
-        if path.name not in EXPECTED_BENCH_JSON
-    )
-    for name in stray:
-        problems.append(
-            f"{name}: not in EXPECTED_BENCH_JSON (add the new bench "
-            f"module to benchmarks/conftest.py)"
+    if include_stray:
+        stray = sorted(
+            path.name
+            for path in REPO_ROOT.glob("BENCH_*.json")
+            if path.name not in EXPECTED_BENCH_JSON
         )
+        for name in stray:
+            problems.append(
+                f"{name}: not in EXPECTED_BENCH_JSON (add the new bench "
+                f"module to benchmarks/conftest.py)"
+            )
     return problems
 
 
@@ -347,12 +356,27 @@ def main(argv: "list[str] | None" = None) -> int:
         help=f"skip baseline entries faster than this "
         f"(default {DEFAULT_MIN_WALL_MS}ms)",
     )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="BENCH_FILE",
+        help="check only these BENCH_*.json files (for CI jobs that run "
+        "a single bench module); skips the stray-file check",
+    )
     args = parser.parse_args(argv)
 
     if args.update_baselines:
         return update_baselines(args.baseline_dir)
 
-    problems = check_schema()
+    expected = tuple(args.only) if args.only else EXPECTED_BENCH_JSON
+    unknown = sorted(set(expected) - set(EXPECTED_BENCH_JSON))
+    if unknown:
+        print(
+            f"--only names files outside the manifest: {unknown}",
+            file=sys.stderr,
+        )
+        return 1
+    problems = check_schema(expected, include_stray=args.only is None)
     if args.compare and not problems:
         problems.extend(
             compare_all(args.baseline_dir, args.max_ratio, args.min_wall_ms)
@@ -362,7 +386,7 @@ def main(argv: "list[str] | None" = None) -> int:
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
-    print(f"all {len(EXPECTED_BENCH_JSON)} BENCH_*.json files present")
+    print(f"all {len(expected)} checked BENCH_*.json files present")
 
     if args.self_test:
         return self_test(args.max_ratio, args.min_wall_ms)

@@ -74,6 +74,7 @@ EXPECTED_BENCH_JSON = (
     "BENCH_kernels.json",
     "BENCH_noise.json",
     "BENCH_parallel.json",
+    "BENCH_service.json",
     "BENCH_table1_callables.json",
     "BENCH_variational.json",
 )

@@ -273,6 +273,66 @@ class NoiseError(SimulationError):
     code = "QW502"
 
 
+class FaultInjectedError(QwertyError):
+    """A deterministic fault-injection site fired (:mod:`repro.exec.faults`).
+
+    Never raised in production configurations — only when a
+    :class:`~repro.exec.faults.FaultPlan` is active.  The retry layer
+    treats it as retryable; anything else escaping a worker is a real
+    bug and propagates.
+    """
+
+    code = "QW510"
+
+
+class ServiceError(QwertyError):
+    """Base class for execution-service failures (:mod:`repro.service`).
+
+    Every subclass maps to one structured error response on the wire;
+    ``retryable`` tells clients whether backing off and resubmitting
+    can succeed.
+    """
+
+    code = "QW600"
+
+    #: Whether a client resubmission can plausibly succeed.
+    retryable = False
+
+
+class QueueFullError(ServiceError):
+    """The admission queue is full; the request was shed (429-style)."""
+
+    code = "QW601"
+    retryable = True
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed; its work was cancelled."""
+
+    code = "QW602"
+    retryable = True
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """Per-chunk retries exhausted the request's retry budget."""
+
+    code = "QW603"
+    retryable = True
+
+
+class BadRequestError(ServiceError):
+    """The request payload was malformed or named unknown entities."""
+
+    code = "QW604"
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining for shutdown and accepts no new work."""
+
+    code = "QW605"
+    retryable = True
+
+
 def _collect_error_codes(
     cls: type[QwertyError],
 ) -> dict[str, type[QwertyError]]:

@@ -55,12 +55,37 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Set to "0" to disable the persistent layer ("1"/unset enables it).
 DISK_CACHE_ENV = "REPRO_DISK_CACHE"
 
-#: Bump when the on-disk format changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the on-disk format changes incompatibly.  v2:
+#: :class:`repro.sim.backend.RunInfo` grew robustness counters
+#: (``retries`` / ``faults_injected`` / ``degraded``); bumping the
+#: version salts every key so artifacts pickled before the counters
+#: existed invalidate cleanly instead of resurfacing as
+#: attribute-less records.
+CACHE_FORMAT_VERSION = 2
+
+#: Orphaned ``*.tmp`` files (a worker killed mid-write never reaches
+#: its ``os.replace``) older than this many seconds are swept on first
+#: cache use per process.  The TTL keeps the sweep from racing a live
+#: concurrent writer whose tmpfile is seconds old.
+TMP_TTL_ENV = "REPRO_CACHE_TMP_TTL"
+DEFAULT_TMP_TTL_SECONDS = 3600.0
 
 #: Process-wide counters for the persistent layer, reported through
 #: ``compile_cache_info()`` alongside the in-memory LRU's counters.
-_STATS = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0, "errors": 0}
+#: ``corrupt`` counts entries that failed to unpickle (bit rot, torn
+#: writes on non-atomic filesystems, injected ``diskcache_corrupt``
+#: faults); ``tmp_swept`` counts orphaned tmpfiles removed.
+_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "writes": 0,
+    "corrupt": 0,
+    "errors": 0,
+    "tmp_swept": 0,
+}
+
+#: One sweep per process (reset by :func:`reset_stats` for tests).
+_SWEPT = False
 
 
 def enabled() -> bool:
@@ -135,22 +160,68 @@ def _entry_path(digest: str) -> Path:
     return _compile_dir() / f"{digest}.pkl"
 
 
+def sweep_stale_tmpfiles(ttl_seconds: Optional[float] = None) -> int:
+    """Remove orphaned ``*.tmp`` files older than the TTL.
+
+    A worker killed between ``NamedTemporaryFile`` and ``os.replace``
+    (an injected ``worker_crash``, an OOM kill, a hard service stop)
+    leaks its tmpfile; they accumulate forever since no reader ever
+    opens them.  Runs automatically on the first cache access per
+    process; the TTL (``REPRO_CACHE_TMP_TTL``, default one hour) keeps
+    the sweep from deleting a live concurrent writer's seconds-old
+    tmpfile out from under it.  Returns the number removed.
+    """
+    if ttl_seconds is None:
+        ttl_seconds = float(
+            os.environ.get(TMP_TTL_ENV, DEFAULT_TMP_TTL_SECONDS)
+        )
+    directory = _compile_dir()
+    if not directory.is_dir():
+        return 0
+    import time
+
+    cutoff = time.time() - ttl_seconds
+    removed = 0
+    for path in directory.glob("*.tmp"):
+        try:
+            if path.stat().st_mtime <= cutoff:
+                path.unlink()
+                removed += 1
+        except OSError:
+            pass  # already gone, or the writer's — either way, skip
+    _STATS["tmp_swept"] += removed
+    return removed
+
+
+def _sweep_once() -> None:
+    global _SWEPT
+    if not _SWEPT:
+        _SWEPT = True
+        sweep_stale_tmpfiles()
+
+
 def load(digest: str) -> Optional[object]:
     """The artifact stored under ``digest``, or ``None``.
 
     Any failure — missing entry, truncated pickle, unpicklable payload
     from an incompatible environment — is a miss; corrupt entries are
     additionally counted and deleted so they are rebuilt, not retried
-    forever.
+    forever.  An active ``diskcache_corrupt`` fault plan
+    (:mod:`repro.exec.faults`) truncates the blob before unpickling,
+    driving this exact path on purpose.
     """
     if not enabled():
         return None
+    _sweep_once()
     path = _entry_path(digest)
     try:
         blob = path.read_bytes()
     except OSError:
         _STATS["misses"] += 1
         return None
+    from repro.exec.faults import maybe_corrupt_blob
+
+    blob = maybe_corrupt_blob(digest, blob)
     try:
         artifact = pickle.loads(blob)
     except Exception:
@@ -176,6 +247,7 @@ def store(digest: str, artifact: object) -> bool:
     """
     if not enabled():
         return False
+    _sweep_once()
     directory = _compile_dir()
     tmp_name = None
     try:
@@ -232,8 +304,10 @@ def clear() -> int:
 
 def reset_stats() -> None:
     """Zero the process-wide counters (test isolation)."""
+    global _SWEPT
     for key in _STATS:
         _STATS[key] = 0
+    _SWEPT = False
 
 
 def info() -> dict:

@@ -48,12 +48,18 @@ import atexit
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.exec.faults import (
+    FaultPlan,
+    active_fault_plan,
+    maybe_inject_chunk_fault,
+)
 from repro.qcircuit.circuit import Circuit
 from repro.sim.backend import (
     DEFAULT_BACKEND,
@@ -129,7 +135,14 @@ def derive_chunk_seeds(seed: int, chunks: int) -> list[int]:
 
 @dataclass(frozen=True)
 class _ChunkTask:
-    """Everything a worker needs, explicit and picklable."""
+    """Everything a worker needs, explicit and picklable.
+
+    ``faults`` ships the parent's active :class:`FaultPlan` (ambient
+    contextvar/env state never crosses into ``spawn`` workers);
+    ``attempt`` is the retry ordinal, folded into fault decisions only
+    — the *data* seed never changes across attempts, which is what
+    makes retried runs bit-identical to fault-free ones.
+    """
 
     circuit: Circuit
     shots: int
@@ -137,10 +150,13 @@ class _ChunkTask:
     backend: "str | SimBackend"
     kernel: Optional[str]
     noise_model: Optional[object]
+    faults: Optional[FaultPlan] = None
+    attempt: int = 0
 
 
 def _run_chunk(task: _ChunkTask) -> tuple[list[tuple[int, ...]], RunInfo]:
     """Worker entry point: one chunk, no ambient state consulted."""
+    maybe_inject_chunk_fault(task.faults, task.seed, task.attempt)
     backend = get_backend(task.backend)
     with use_kernel(task.kernel):
         if task.noise_model is None:
@@ -187,6 +203,27 @@ def shutdown_pools() -> None:
         pool.shutdown(wait=True, cancel_futures=True)
 
 
+def recycle_pool(workers: int) -> None:
+    """Discard the cached pool(s) for ``workers``, killing stragglers.
+
+    Used after a ``BrokenProcessPool`` or a hung-chunk timeout: a
+    broken pool never recovers, and a hung worker would otherwise hold
+    its slot (and block interpreter exit) indefinitely.  Surviving
+    worker processes are terminated outright — their chunks are
+    re-dispatched by the caller, and per-chunk seeding makes the
+    re-run bit-identical, so killing them loses nothing.
+    """
+    for key in [k for k in _POOLS if k[0] == workers]:
+        pool = _POOLS.pop(key)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 atexit.register(shutdown_pools)
 
 
@@ -196,21 +233,28 @@ def _execute_tasks(
     """Run the chunk tasks, preserving plan order.
 
     One worker, one chunk, or ``use_processes=False`` stays in-process.
-    A pool that cannot start or dies mid-run falls back to in-process
-    execution of the *unfinished* work — per-chunk seeding makes the
-    result identical to the pooled run, so the fallback is invisible
-    except in wall-clock.
+    A pool that cannot *start* (sandboxed environments, missing
+    semaphores -> ``OSError``/``PermissionError``) or that *breaks*
+    mid-run (``BrokenProcessPool``: a worker died) falls back to
+    in-process execution of the same plan — per-chunk seeding makes
+    the result identical to the pooled run.  Nothing else is caught:
+    a genuine error raised by a chunk (a backend bug, an injected
+    ``worker_crash``) propagates to the caller instead of being
+    silently masked by a whole-plan re-run.  Chunk-granular recovery
+    with budgets lives in :mod:`repro.exec.retry`.
     """
     if not use_processes or workers <= 1 or len(tasks) <= 1:
         return [_run_chunk(task) for task in tasks]
     try:
         pool = _get_pool(workers)
+    except OSError:
+        return [_run_chunk(task) for task in tasks]
+    try:
         return list(pool.map(_run_chunk, tasks))
-    except (OSError, RuntimeError):
-        # BrokenProcessPool is a RuntimeError: drop the dead pool so
-        # the next call builds a fresh one, then finish serially.
-        for key in [k for k, p in _POOLS.items() if k[0] == workers]:
-            _POOLS.pop(key).shutdown(wait=False, cancel_futures=True)
+    except BrokenProcessPool:
+        # The pool died (worker crash / kill): drop it so the next call
+        # builds a fresh one, then finish this plan serially.
+        recycle_pool(workers)
         return [_run_chunk(task) for task in tasks]
 
 
@@ -223,6 +267,8 @@ def parallel_run_with_info(
     noise_model=None,
     max_batch_bytes: int = MAX_BATCH_BYTES,
     use_processes: bool = True,
+    retry=None,
+    cancel_event=None,
 ) -> tuple[list[tuple[int, ...]], RunInfo]:
     """Run ``shots`` sharded across ``workers`` processes.
 
@@ -240,6 +286,18 @@ def parallel_run_with_info(
     for the same reason.  ``use_processes=False`` executes the same
     plan in-process (bit-identical results; used by tests and the
     broken-pool fallback).
+
+    ``retry`` (a :class:`repro.exec.retry.RetryPolicy`) switches chunk
+    dispatch to the fault-tolerant path: per-chunk timeouts, bounded
+    retry with backoff, pool recycling on ``BrokenProcessPool``, and
+    graceful serial degradation — with the recovery telemetry merged
+    into ``info`` (``retries`` / ``faults_injected`` / ``degraded``).
+    ``cancel_event`` (a :class:`threading.Event`) cooperatively cancels
+    the remaining work between chunk waves (the service's deadline
+    path).  The parent's active fault plan
+    (:func:`repro.exec.faults.active_fault_plan`) is shipped on every
+    chunk task, so injected faults reach pool workers under any start
+    method.
     """
     workers = resolve_workers(workers)
     if isinstance(backend, SimBackend):
@@ -250,20 +308,40 @@ def parallel_run_with_info(
     plan = chunk_plan(shots, circuit.num_qubits, workers, max_batch_bytes)
     seeds = derive_chunk_seeds(seed, len(plan))
     kernel = active_kernel_name()
+    fault_plan = active_fault_plan()
     tasks = [
         _ChunkTask(
             circuit, chunk_shots, chunk_seed,
-            resolved_backend, kernel, noise_model,
+            resolved_backend, kernel, noise_model, fault_plan,
         )
         for chunk_shots, chunk_seed in zip(plan, seeds)
     ]
-    outcomes = _execute_tasks(tasks, workers, use_processes)
+    telemetry = None
+    if retry is not None:
+        from repro.exec.retry import execute_with_retry
+
+        outcomes, telemetry = execute_with_retry(
+            tasks, workers, retry,
+            use_processes=use_processes,
+            cancel_event=cancel_event,
+        )
+    else:
+        outcomes = _execute_tasks(tasks, workers, use_processes)
     results: list[tuple[int, ...]] = []
     infos: list[RunInfo] = []
     for chunk_results, chunk_info in outcomes:
         results.extend(chunk_results)
         infos.append(chunk_info)
     merged = RunInfo.merge(infos, workers=workers)
+    if telemetry is not None:
+        import dataclasses
+
+        merged = dataclasses.replace(
+            merged,
+            retries=telemetry.retries,
+            faults_injected=telemetry.faults_injected,
+            degraded=telemetry.degraded,
+        )
     return results, merged
 
 

@@ -362,6 +362,7 @@ import os
 from collections import OrderedDict
 
 from repro.exec import diskcache as _diskcache
+from repro.exec import faults as _faults
 
 #: Upper bound on cached CompileResults; each entry holds the full IR
 #: module and three circuits, so the cache must not grow with the
@@ -518,6 +519,10 @@ def compile_kernel(
         raise TypeError(
             "pass exactly one of options=, pipeline=, or boolean flags"
         )
+    # Chaos hook: an active `compile_error` fault plan fails the
+    # compile up front with a coded diagnostic (before any cache
+    # consultation, so a warm cache cannot hide the injection).
+    _faults.maybe_inject_compile_error(kernel.name)
     if options is None:
         options = (
             CompileOptions.preset(pipeline)

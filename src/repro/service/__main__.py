@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — run the TCP execution service."""
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

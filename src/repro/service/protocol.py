@@ -1,0 +1,213 @@
+"""The execution service's wire protocol: JSON lines, validated.
+
+One request per line, one response per line, both UTF-8 JSON objects —
+trivially scriptable (``nc``, ``asyncio.open_connection``, a browser
+behind any JSON bridge) and streaming-friendly (responses may
+interleave across in-flight requests; match them by ``id``).
+
+Request fields (``op: "run"``, the default)::
+
+    {"id": 1, "op": "run",
+     "kernel": "bv",            # evaluation-suite algorithm name, or
+     "source": "...",           # Python source defining one @qpu kernel
+     "n": 8,                    # dims for algorithm kernels
+     "preset": "default",       # compile pipeline preset
+     "backend": "statevector",  # simulation backend name (optional)
+     "noise": {"depolarizing": 0.01},   # channel name -> parameter
+     "shots": 256, "seed": 0,
+     "priority": 5,             # lower runs sooner
+     "deadline": 10.0,          # seconds, capped by the server
+     "workers": 2}              # shot-sharding worker count
+
+``op: "health"`` and ``op: "stats"`` take no other fields.  Responses
+are ``{"id", "ok": true, "result": {...}}`` or ``{"id", "ok": false,
+"error": {"code", "message", "retryable", "rendered"}}`` where
+``code`` is the stable ``QWnnn`` diagnostic code (``QW601`` shed,
+``QW602`` deadline, ``QW603`` retry budget, ``QW604`` bad request,
+``QW605`` draining — see docs/diagnostics.md) and ``rendered`` is the
+full rustc-style caret rendering when one exists.
+
+Validation happens here, once, for both transports (TCP and the
+in-process :class:`~repro.service.service.ServiceClient`): a malformed
+payload becomes a :class:`~repro.errors.BadRequestError` before any
+queueing or compute is spent on it.  ``source`` kernels are exec'd
+with the full ``repro`` DSL namespace — the service trusts its
+clients (it is an internal execution tier, not a public sandbox), and
+docs/service.md says so explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import BadRequestError, QwertyError
+
+#: Operations the service understands.
+OPS = ("run", "health", "stats")
+
+#: Hard ceiling on per-request shots (one request must never occupy
+#: the executor for unbounded time; split larger sweeps client-side).
+MAX_SHOTS = 1 << 20
+
+#: Noise-channel vocabulary: request ``noise`` keys map to the
+#: single-parameter constructors in :mod:`repro.noise`.
+NOISE_CHANNELS = (
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+)
+
+
+@dataclass
+class RunRequest:
+    """One validated ``op: "run"`` request."""
+
+    id: Any = None
+    kernel: Optional[str] = None
+    source: Optional[str] = None
+    n: int = 4
+    preset: str = "default"
+    backend: Optional[str] = None
+    noise: Optional[Mapping[str, float]] = None
+    shots: int = 256
+    seed: int = 0
+    priority: int = 5
+    deadline: Optional[float] = None
+    workers: Optional[int] = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        request = cls(
+            id=payload.get("id"),
+            kernel=payload.get("kernel"),
+            source=payload.get("source"),
+            n=_int_field(payload, "n", 4, minimum=1),
+            preset=str(payload.get("preset", "default")),
+            backend=payload.get("backend"),
+            noise=payload.get("noise"),
+            shots=_int_field(payload, "shots", 256, minimum=1),
+            seed=_int_field(payload, "seed", 0),
+            priority=_int_field(payload, "priority", 5),
+            deadline=_float_field(payload, "deadline"),
+            workers=_opt_int_field(payload, "workers", minimum=1),
+        )
+        if (request.kernel is None) == (request.source is None):
+            raise BadRequestError(
+                "a run request names exactly one of 'kernel' (an "
+                "evaluation-suite algorithm) or 'source' (Python source "
+                "defining one @qpu kernel)"
+            )
+        if request.shots > MAX_SHOTS:
+            raise BadRequestError(
+                f"shots={request.shots} exceeds the per-request ceiling "
+                f"of {MAX_SHOTS}; split the sweep across requests"
+            )
+        if request.noise is not None:
+            if not isinstance(request.noise, Mapping):
+                raise BadRequestError(
+                    "'noise' must be an object of channel-name -> "
+                    "parameter, e.g. {\"depolarizing\": 0.01}"
+                )
+            for name in request.noise:
+                if name not in NOISE_CHANNELS:
+                    raise BadRequestError(
+                        f"unknown noise channel {name!r} (known: "
+                        f"{', '.join(NOISE_CHANNELS)})"
+                    )
+        return request
+
+
+def _int_field(payload, key, default, minimum=None) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"{key!r} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise BadRequestError(f"{key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _opt_int_field(payload, key, minimum=None) -> Optional[int]:
+    if payload.get(key) is None:
+        return None
+    return _int_field(payload, key, None, minimum=minimum)
+
+
+def _float_field(payload, key) -> Optional[float]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"{key!r} must be a number, got {value!r}")
+    if value <= 0:
+        raise BadRequestError(f"{key!r} must be > 0, got {value}")
+    return float(value)
+
+
+def parse_request(line: "str | bytes") -> dict:
+    """One wire line -> payload dict (``BadRequestError`` on garbage)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise BadRequestError(
+            f"request is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise BadRequestError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op", "run")
+    if op not in OPS:
+        raise BadRequestError(
+            f"unknown op {op!r} (known: {', '.join(OPS)})"
+        )
+    return payload
+
+
+def ok_response(request_id: Any, result: Mapping[str, Any]) -> dict:
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(request_id: Any, error: Exception) -> dict:
+    """The structured error envelope for any exception.
+
+    :class:`QwertyError` subclasses keep their stable code and caret
+    rendering; anything else (a genuine bug) is reported as QW000 so
+    the client still gets a well-formed response — and the server log,
+    not the wire, carries the traceback.
+    """
+    if isinstance(error, QwertyError):
+        payload = {
+            "code": error.code,
+            "message": error.message,
+            "retryable": bool(getattr(error, "retryable", False)),
+            "rendered": error.render(),
+        }
+    else:
+        payload = {
+            "code": "QW000",
+            "message": f"internal error: {type(error).__name__}: {error}",
+            "retryable": False,
+            "rendered": "",
+        }
+    return {"id": request_id, "ok": False, "error": payload}
+
+
+def encode_response(response: Mapping[str, Any]) -> bytes:
+    """One response dict -> one wire line (newline-terminated JSON)."""
+    return (json.dumps(response, sort_keys=True) + "\n").encode()
+
+
+def counts_of(results) -> dict[str, int]:
+    """Sampled bit tuples -> {"0101": count} histogram for the wire."""
+    counts: dict[str, int] = {}
+    for outcome in results:
+        key = "".join(str(int(b)) for b in outcome)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

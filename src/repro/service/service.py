@@ -1,0 +1,535 @@
+"""The fault-tolerant async execution engine (transport-agnostic).
+
+:class:`ExecutionService` is the whole service except the socket: the
+TCP front end (:mod:`repro.service.server`) and the in-process
+:class:`ServiceClient` both drive the same ``submit()``, so every
+robustness property below is testable without binding a port.
+
+Robustness model
+----------------
+- **Backpressure, not collapse.**  Admission is a bounded
+  :class:`asyncio.PriorityQueue`; when it is full the request is shed
+  *immediately* with ``QW601`` (the 429 of this protocol) instead of
+  growing an unbounded backlog whose every entry will miss its
+  deadline anyway.  Clients retry with backoff; the queue bound is the
+  knob that converts overload into explicit, observable shedding.
+- **Deadlines end-to-end.**  Every request carries one (default and
+  ceiling from :class:`ServiceConfig`), measured from *admission*, so
+  queue wait counts against it.  Expiry anywhere — still queued, or
+  mid-execution via :func:`asyncio.timeout` — produces ``QW602`` and
+  sets the request's cancel event, which the retry layer honors
+  between chunk waves by cancelling pool futures: the deadline
+  actually stops the work instead of abandoning a zombie computation.
+- **Retries with a budget.**  Chunk execution goes through
+  :mod:`repro.exec.retry`; transient faults (crashes, hangs, pool
+  breakage) are absorbed and reported in ``RunInfo.retries`` /
+  ``faults_injected``, exhaustion surfaces as ``QW603``.
+- **Graceful degradation.**  A run that had to recycle broken pools
+  flags itself ``degraded``; after ``degrade_runs`` consecutive
+  degraded runs the service pins itself to serial in-process execution
+  (slow but alive) until :meth:`ExecutionService.reset_degradation`.
+- **Graceful drain.**  :meth:`drain` stops admission (``QW605``),
+  lets queued work finish within ``drain_timeout``, then cancels
+  workers and shuts the thread pool down.
+
+Every outcome increments a counter surfaced by ``op: "stats"`` —
+queue depth, shed/deadline/retry totals, per-code error counts, and
+the compile cache's hit rates — because a service whose failure modes
+are invisible is a service whose failure modes are unhandled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    QwertyError,
+    ServiceUnavailableError,
+)
+from repro.exec.faults import FaultPlan, active_fault_plan, inject_faults
+from repro.exec.retry import RetryPolicy
+from repro.service import protocol
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one :class:`ExecutionService`.
+
+    ``queue_limit`` bounds admission (beyond it: ``QW601`` shedding);
+    ``executors`` is how many requests execute concurrently (each gets
+    one thread driving the chunk dispatcher); ``parallel_workers`` /
+    ``use_processes`` configure per-run shot sharding;
+    ``default_deadline`` / ``max_deadline`` are seconds;
+    ``retry`` bounds per-chunk recovery; ``degrade_runs`` is how many
+    consecutive degraded runs pin the service to serial execution;
+    ``fault_plan`` forces a fault plan for every request (benchmarks —
+    normally the ambient plan from :mod:`repro.exec.faults` applies).
+    """
+
+    queue_limit: int = 64
+    executors: int = 2
+    parallel_workers: int = 2
+    use_processes: bool = True
+    default_deadline: float = 30.0
+    max_deadline: float = 300.0
+    drain_timeout: float = 10.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degrade_runs: int = 2
+    fault_plan: Optional[FaultPlan] = None
+
+
+@dataclass
+class _Work:
+    """One admitted run request, in flight between queue and executor."""
+
+    request: protocol.RunRequest
+    future: "asyncio.Future[dict]"
+    admitted_at: float
+    deadline: float
+    cancel_event: threading.Event
+    fault_plan: Optional[FaultPlan]
+
+
+class ExecutionService:
+    """The asyncio execution service core.  Use as an async context
+    manager, or call :meth:`start` / :meth:`drain` explicitly."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self._queue: "asyncio.PriorityQueue" = asyncio.PriorityQueue(
+            maxsize=self.config.queue_limit
+        )
+        self._seq = 0
+        self._workers: list[asyncio.Task] = []
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._started = False
+        self._started_at = 0.0
+        self._in_flight = 0
+        self._consecutive_degraded = 0
+        self._serial_mode = False
+        self.counters: dict[str, int] = {
+            "received": 0,
+            "accepted": 0,
+            "completed": 0,
+            "shed": 0,
+            "deadline_exceeded": 0,
+            "failed": 0,
+            "retries": 0,
+            "faults_injected": 0,
+            "degraded_runs": 0,
+        }
+        self.error_codes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> "ExecutionService":
+        if self._started:
+            return self
+        self._started = True
+        self._started_at = time.monotonic()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.config.executors,
+            thread_name_prefix="repro-service",
+        )
+        for index in range(self.config.executors):
+            self._workers.append(
+                asyncio.create_task(
+                    self._worker_loop(), name=f"repro-service-{index}"
+                )
+            )
+        return self
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish queued work (up to
+        ``drain_timeout``), then tear down workers and threads."""
+        self._draining = True
+        try:
+            await asyncio.wait_for(
+                self._queue.join(), timeout=self.config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            pass  # whatever is still queued gets cancelled below
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        if self._threads is not None:
+            self._threads.shutdown(wait=True, cancel_futures=True)
+            self._threads = None
+        while not self._queue.empty():
+            # Anything admitted but never executed: fail it explicitly
+            # rather than leaving its future forever pending.
+            _, _, work = self._queue.get_nowait()
+            self._queue.task_done()
+            if not work.future.done():
+                work.future.set_result(
+                    self._error(
+                        work.request.id,
+                        ServiceUnavailableError(
+                            "service drained before this request ran"
+                        ),
+                    )
+                )
+
+    async def __aenter__(self) -> "ExecutionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+    async def submit(self, payload: dict) -> dict:
+        """One request in, one response out; never raises.
+
+        ``payload`` is a parsed wire object (see
+        :mod:`repro.service.protocol`).  Validation failures, shedding,
+        deadline misses, and execution errors all come back as
+        structured error responses.
+        """
+        self.counters["received"] += 1
+        request_id = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            op = payload.get("op", "run")
+            if op == "health":
+                return protocol.ok_response(request_id, self.health())
+            if op == "stats":
+                return protocol.ok_response(request_id, self.stats())
+            request = protocol.RunRequest.from_payload(payload)
+            if self._draining or not self._started:
+                raise ServiceUnavailableError(
+                    "service is draining and accepts no new requests"
+                    if self._draining
+                    else "service is not started"
+                )
+            deadline = min(
+                request.deadline or self.config.default_deadline,
+                self.config.max_deadline,
+            )
+            work = _Work(
+                request=request,
+                future=asyncio.get_running_loop().create_future(),
+                admitted_at=time.monotonic(),
+                deadline=deadline,
+                cancel_event=threading.Event(),
+                fault_plan=self.config.fault_plan or active_fault_plan(),
+            )
+            self._seq += 1
+            try:
+                self._queue.put_nowait(
+                    (request.priority, self._seq, work)
+                )
+            except asyncio.QueueFull:
+                self.counters["shed"] += 1
+                raise QueueFullError(
+                    f"admission queue full "
+                    f"({self.config.queue_limit} requests); retry with "
+                    f"backoff"
+                ) from None
+            self.counters["accepted"] += 1
+            return await work.future
+        except Exception as error:  # noqa: BLE001 — the wire gets it all
+            return self._error(request_id, error)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        while True:
+            _, _, work = await self._queue.get()
+            try:
+                response = await self._process(work)
+            except asyncio.CancelledError:
+                if not work.future.done():
+                    work.future.set_result(
+                        self._error(
+                            work.request.id,
+                            ServiceUnavailableError(
+                                "service shut down mid-request"
+                            ),
+                        )
+                    )
+                raise
+            except Exception as error:  # noqa: BLE001
+                response = self._error(work.request.id, error)
+            finally:
+                self._queue.task_done()
+            if not work.future.done():
+                work.future.set_result(response)
+
+    async def _process(self, work: _Work) -> dict:
+        request = work.request
+        remaining = work.deadline - (time.monotonic() - work.admitted_at)
+        if remaining <= 0:
+            # Expired while queued: never spend compute on it.
+            self.counters["deadline_exceeded"] += 1
+            return self._error(
+                request.id,
+                DeadlineExceededError(
+                    f"deadline of {work.deadline:.3f}s elapsed while "
+                    f"queued"
+                ),
+            )
+        loop = asyncio.get_running_loop()
+        self._in_flight += 1
+        try:
+            # asyncio.wait_for rather than asyncio.timeout: identical
+            # semantics here, and it exists on Python 3.10 (the oldest
+            # version CI supports).
+            result = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._threads, self._execute_sync, work
+                ),
+                timeout=remaining,
+            )
+        except asyncio.TimeoutError:
+            # Cooperative cancellation: the retry layer checks the
+            # event between chunk waves and cancels pool futures.
+            work.cancel_event.set()
+            self.counters["deadline_exceeded"] += 1
+            return self._error(
+                request.id,
+                DeadlineExceededError(
+                    f"deadline of {work.deadline:.3f}s exceeded "
+                    f"mid-execution; work cancelled"
+                ),
+            )
+        except asyncio.CancelledError:
+            if work.cancel_event.is_set():
+                # The executor thread observed the cancel event and
+                # aborted; report the deadline, don't die with it.
+                self.counters["deadline_exceeded"] += 1
+                return self._error(
+                    request.id,
+                    DeadlineExceededError(
+                        f"deadline of {work.deadline:.3f}s exceeded; "
+                        f"work cancelled"
+                    ),
+                )
+            raise  # genuine shutdown cancellation
+        finally:
+            self._in_flight -= 1
+        self.counters["completed"] += 1
+        self.counters["retries"] += result["info"]["retries"]
+        self.counters["faults_injected"] += result["info"]["faults_injected"]
+        if result["info"]["degraded"]:
+            self.counters["degraded_runs"] += 1
+            self._consecutive_degraded += 1
+            if self._consecutive_degraded >= self.config.degrade_runs:
+                self._serial_mode = True
+        else:
+            self._consecutive_degraded = 0
+        return protocol.ok_response(request.id, result)
+
+    def _execute_sync(self, work: _Work) -> dict:
+        """The blocking compile + sharded run (service executor thread)."""
+        from repro.exec.parallel import parallel_run_with_info
+        from repro.pipeline import compile_kernel
+
+        request = work.request
+        plan_scope = (
+            inject_faults(work.fault_plan)
+            if work.fault_plan is not None
+            else None
+        )
+        try:
+            if plan_scope is not None:
+                plan_scope.__enter__()
+            kernel = _resolve_kernel(request)
+            # An unknown preset raises PassPipelineError (QW301), which
+            # already renders as a structured coded response downstream.
+            compiled = compile_kernel(
+                kernel, pipeline=request.preset, cache=True
+            )
+            noise_model = _build_noise_model(request.noise)
+            if noise_model is None:
+                circuit = (
+                    compiled.execution_circuit or compiled.optimized_circuit
+                )
+            else:
+                # Channels attach by gate name; fused blocks would
+                # silently drop them (same rule as simulate_kernel).
+                circuit = compiled.optimized_circuit
+            if work.cancel_event.is_set():
+                raise CancelledError("cancelled before execution")
+            results, info = parallel_run_with_info(
+                circuit,
+                request.shots,
+                request.seed,
+                workers=request.workers or self.config.parallel_workers,
+                backend=request.backend,
+                noise_model=noise_model,
+                use_processes=(
+                    self.config.use_processes and not self._serial_mode
+                ),
+                retry=self.config.retry,
+                cancel_event=work.cancel_event,
+            )
+        finally:
+            if plan_scope is not None:
+                plan_scope.__exit__(None, None, None)
+        return {
+            "counts": protocol.counts_of(results),
+            "shots": info.shots,
+            "info": {
+                "backend": info.backend,
+                "workers": info.workers,
+                "chunks": info.chunks,
+                "retries": info.retries,
+                "faults_injected": info.faults_injected,
+                "degraded": info.degraded,
+                "compile_cache": compiled.provenance,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else (
+                "degraded" if self._serial_mode else "ok"
+            ),
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "in_flight": self._in_flight,
+        }
+
+    def stats(self) -> dict:
+        from repro.pipeline import compile_cache_info
+
+        cache = compile_cache_info()
+        disk = cache.get("disk", {})
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        return {
+            **self.health(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "counters": dict(self.counters),
+            "error_codes": dict(self.error_codes),
+            "serial_mode": self._serial_mode,
+            "compile_cache": {
+                "memory_hits": cache.get("hits", 0),
+                "memory_hit_rate": (
+                    round(cache.get("hits", 0) / lookups, 4)
+                    if lookups
+                    else None
+                ),
+                "disk_hits": disk.get("hits", 0),
+                "disk_corrupt": disk.get("corrupt", 0),
+                "disk_tmp_swept": disk.get("tmp_swept", 0),
+            },
+        }
+
+    def reset_degradation(self) -> None:
+        """Re-enable process pools after operator intervention."""
+        self._serial_mode = False
+        self._consecutive_degraded = 0
+
+    def _error(self, request_id: Any, error: Exception) -> dict:
+        response = protocol.error_response(request_id, error)
+        code = response["error"]["code"]
+        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+        if code not in ("QW601", "QW602"):  # already counted at source
+            self.counters["failed"] += 1
+        return response
+
+
+# ----------------------------------------------------------------------
+# Request -> kernel / noise resolution.
+# ----------------------------------------------------------------------
+def _resolve_kernel(request: protocol.RunRequest):
+    import hashlib
+    import linecache
+
+    from repro.evaluation import ALGORITHMS, asdf_kernel
+    from repro.frontend.decorators import QpuKernel
+
+    if request.kernel is not None:
+        if request.kernel not in ALGORITHMS:
+            raise BadRequestError(
+                f"unknown kernel {request.kernel!r} (known algorithms: "
+                f"{', '.join(ALGORITHMS)}; or send 'source')"
+            )
+        return asdf_kernel(request.kernel, request.n)
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 — trusted tier
+    # The frontend reparses kernels with inspect.getsource, which for
+    # exec'd code only works if the pseudo-filename is in the linecache.
+    source = request.source or ""
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    filename = f"<repro-service-kernel-{digest}>"
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(keepends=True), filename
+    )
+    try:
+        code = compile(source, filename, "exec")
+        exec(code, namespace)  # noqa: S102 — trusted tier
+    except QwertyError:
+        raise
+    except Exception as error:
+        raise BadRequestError(
+            f"'source' failed to execute: {type(error).__name__}: {error}"
+        ) from error
+    kernels = [
+        value
+        for value in namespace.values()
+        if isinstance(value, QpuKernel)
+    ]
+    if len(kernels) != 1:
+        raise BadRequestError(
+            f"'source' must define exactly one @qpu kernel, found "
+            f"{len(kernels)}"
+        )
+    return kernels[0]
+
+
+def _build_noise_model(noise):
+    if not noise:
+        return None
+    from repro import noise as noise_mod
+    from repro.errors import NoiseError
+    from repro.noise import NoiseModel
+
+    model = NoiseModel()
+    for name, parameter in noise.items():
+        constructor = getattr(noise_mod, name)
+        try:
+            model = model.add_channel(constructor(float(parameter)))
+        except (NoiseError, TypeError, ValueError) as error:
+            raise BadRequestError(
+                f"invalid parameter {parameter!r} for noise channel "
+                f"{name!r}: {error}"
+            ) from error
+    return model
+
+
+class ServiceClient:
+    """In-process client: the service API without a socket.
+
+    Wraps a started :class:`ExecutionService`; used by tests and
+    benchmarks so protocol semantics (shedding, deadlines, error
+    envelopes) are exercised without TCP timing noise.
+    """
+
+    def __init__(self, service: ExecutionService) -> None:
+        self.service = service
+
+    async def run(self, **fields) -> dict:
+        return await self.service.submit({"op": "run", **fields})
+
+    async def health(self) -> dict:
+        return await self.service.submit({"op": "health"})
+
+    async def stats(self) -> dict:
+        return await self.service.submit({"op": "stats"})

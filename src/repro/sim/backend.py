@@ -105,6 +105,13 @@ class RunInfo:
     — ``"compiled"``, ``"memory"``, or ``"disk"``
     (:attr:`repro.pipeline.CompileResult.provenance`); ``None`` for
     circuit-level runs that never touched the compiler.
+
+    ``retries`` / ``faults_injected`` / ``degraded`` are the
+    robustness counters filled in by the fault-tolerant dispatch path
+    (:mod:`repro.exec.retry`): chunk attempts beyond the first, fault
+    injections the run absorbed, and whether the dispatcher fell back
+    to serial in-process execution after repeated pool breakage.  All
+    zero/False on the ordinary path.
     """
 
     backend: str
@@ -120,6 +127,9 @@ class RunInfo:
     workers: int = 1
     chunks: int = 1
     compile_cache: Optional[str] = None
+    retries: int = 0
+    faults_injected: int = 0
+    degraded: bool = False
 
     @staticmethod
     def merge(
@@ -135,6 +145,13 @@ class RunInfo:
         reported it.  All chunks must come from one backend; a mix of
         apply-kernels is recorded as ``"mixed"``.  ``workers`` defaults
         to the max the inputs carry.
+
+        The robustness counters (``retries``, ``faults_injected``,
+        ``degraded``) are read with ``getattr`` defaults: a
+        :class:`RunInfo` unpickled from an artifact written before the
+        counters existed (an old persistent-cache entry surviving a
+        partial invalidation) merges as zero rather than crashing the
+        telemetry path.
         """
         infos = list(infos)
         if not infos:
@@ -174,6 +191,13 @@ class RunInfo:
             chunks=sum(info.chunks for info in infos),
             compile_cache=(
                 provenances.pop() if len(provenances) == 1 else None
+            ),
+            retries=sum(getattr(info, "retries", 0) for info in infos),
+            faults_injected=sum(
+                getattr(info, "faults_injected", 0) for info in infos
+            ),
+            degraded=any(
+                getattr(info, "degraded", False) for info in infos
             ),
         )
 

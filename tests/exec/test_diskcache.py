@@ -190,6 +190,68 @@ def test_max_entries_env_override(cache_dir, monkeypatch):
     assert compile_cache_max_entries() == default
 
 
+# ----------------------------------------------------------------------
+# Robustness: tmpfile sweeping, injected corruption, format version.
+# ----------------------------------------------------------------------
+def test_stale_tmpfiles_are_swept_on_cache_open(cache_dir):
+    import os
+
+    compile_kernel(_kernel(), cache=True)  # creates compile/
+    orphan = cache_dir / "compile" / "deadbeef.tmp"
+    orphan.write_bytes(b"half a pickle")
+    old = 7200.0
+    os.utime(orphan, (orphan.stat().st_atime, orphan.stat().st_mtime - old))
+    fresh = cache_dir / "compile" / "cafebabe.tmp"
+    fresh.write_bytes(b"a live writer's file")
+    diskcache.reset_stats()  # re-arm the once-per-process sweep
+    clear_compile_cache()  # memory only; disk entry stays
+    compile_kernel(_kernel(), cache=True)  # first cache use -> sweep
+    assert not orphan.exists()  # older than the TTL: swept
+    assert fresh.exists()  # seconds old: a concurrent writer's, kept
+    assert compile_cache_info()["disk"]["tmp_swept"] == 1
+
+
+def test_sweep_ttl_env_override(cache_dir, monkeypatch):
+    fresh = cache_dir / "compile"
+    fresh.mkdir(parents=True, exist_ok=True)
+    (fresh / "young.tmp").write_bytes(b"x")
+    monkeypatch.setenv(diskcache.TMP_TTL_ENV, "-1")
+    assert diskcache.sweep_stale_tmpfiles() == 1
+    assert list(fresh.glob("*.tmp")) == []
+
+
+def test_injected_corruption_drives_the_real_corrupt_path(cache_dir):
+    from repro.exec.faults import inject_faults, reset_counters
+
+    compile_kernel(_kernel(), cache=True)
+    clear_compile_cache()  # force the next lookup to the disk layer
+    reset_counters()
+    with inject_faults(diskcache_corrupt=1.0):
+        result = compile_kernel(_kernel(), cache=True)
+    # The truncated blob failed to unpickle: counted, deleted, and the
+    # caller recompiled — exactly the organic corrupt-entry behavior.
+    assert result.provenance == "compiled"
+    disk = compile_cache_info()["disk"]
+    assert disk["corrupt"] == 1
+    reset_counters()
+    # The rewritten entry reads back fine once injection stops.
+    clear_compile_cache()
+    assert compile_kernel(_kernel(), cache=True).provenance == "disk"
+
+
+def test_format_version_bump_salts_every_key(cache_dir, monkeypatch):
+    key = ("kernel", 4)
+    before = diskcache.key_digest(key)
+    monkeypatch.setattr(diskcache, "CACHE_FORMAT_VERSION", 99)
+    assert diskcache.key_digest(key) != before
+
+
+def test_format_version_is_v2_for_runinfo_counters(cache_dir):
+    # v1 pickles predate RunInfo's retries/faults_injected/degraded
+    # fields; the bump keeps them from resurfacing via the disk cache.
+    assert diskcache.CACHE_FORMAT_VERSION >= 2
+
+
 def test_parallel_workers_not_in_cache_key(cache_dir):
     from repro.pipeline import CompileOptions
 
