@@ -73,6 +73,7 @@ EXPECTED_BENCH_JSON = (
     "BENCH_fig12_qubits.json",
     "BENCH_kernels.json",
     "BENCH_noise.json",
+    "BENCH_obs.json",
     "BENCH_parallel.json",
     "BENCH_service.json",
     "BENCH_table1_callables.json",

@@ -52,9 +52,15 @@ def start_server() -> "tuple[subprocess.Popen, int]":
         stderr=subprocess.STDOUT,
         text=True,
     )
-    # The first line announces the bound (ephemeral) port.
+    # The first line announces the bound (ephemeral) port — a JSON log
+    # line by default (``REPRO_LOG_FORMAT=text`` emits a plain one, so
+    # fall back to matching the raw line).
     line = process.stdout.readline()
-    match = re.search(r"listening on .*:(\d+)", line)
+    try:
+        message = json.loads(line).get("message", "")
+    except (json.JSONDecodeError, AttributeError):
+        message = line
+    match = re.search(r"listening on .*:(\d+)", message)
     if not match:
         process.kill()
         raise SystemExit(f"server failed to start: {line!r}")
@@ -93,9 +99,12 @@ async def drive(port: int) -> None:
     # the counters describe the complete run.
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     writer.write(b'{"id": "stats", "op": "stats"}\n')
+    writer.write(b'{"id": "metrics", "op": "metrics"}\n')
     await writer.drain()
-    line = await asyncio.wait_for(reader.readline(), timeout=30)
-    responses["stats"] = json.loads(line)
+    for _ in range(2):
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        response = json.loads(line)
+        responses[response["id"]] = response
     writer.close()
     await writer.wait_closed()
 
@@ -123,6 +132,12 @@ async def drive(port: int) -> None:
         f"faults_injected={stats['counters']['faults_injected']})"
     )
     assert stats["counters"]["failed"] == 0, stats
+
+    # The metrics endpoint exposes the same substrate the stats()
+    # counters derive from, as Prometheus text.
+    exposition = responses["metrics"]["result"]["exposition"]
+    assert "repro_service_events_total" in exposition, exposition[:400]
+    assert 'event="completed"' in exposition, exposition[:400]
 
 
 def main() -> int:

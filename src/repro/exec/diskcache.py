@@ -49,6 +49,25 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_DISK_LOOKUPS = _metrics.counter(
+    "repro_cache_lookups_total",
+    "Compile-cache lookups by layer and outcome",
+    labels=("layer", "outcome"),
+)
+_DISK_WRITES = _metrics.counter(
+    "repro_cache_writes_total",
+    "Persistent compile-cache write attempts by outcome",
+    labels=("layer", "outcome"),
+)
+_TMP_SWEPT = _metrics.counter(
+    "repro_cache_tmp_swept_total",
+    "Orphaned compile-cache tmpfiles removed by the startup sweep",
+    labels=("layer",),
+)
+
 #: Environment variable naming the cache directory root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -190,6 +209,8 @@ def sweep_stale_tmpfiles(ttl_seconds: Optional[float] = None) -> int:
         except OSError:
             pass  # already gone, or the writer's — either way, skip
     _STATS["tmp_swept"] += removed
+    if removed:
+        _TMP_SWEPT.inc(removed, layer="disk")
     return removed
 
 
@@ -214,26 +235,33 @@ def load(digest: str) -> Optional[object]:
         return None
     _sweep_once()
     path = _entry_path(digest)
-    try:
-        blob = path.read_bytes()
-    except OSError:
-        _STATS["misses"] += 1
-        return None
-    from repro.exec.faults import maybe_corrupt_blob
-
-    blob = maybe_corrupt_blob(digest, blob)
-    try:
-        artifact = pickle.loads(blob)
-    except Exception:
-        _STATS["corrupt"] += 1
-        _STATS["misses"] += 1
+    with _trace.span("cache.lookup", layer="disk") as span:
         try:
-            path.unlink()
+            blob = path.read_bytes()
         except OSError:
-            pass
-        return None
-    _STATS["hits"] += 1
-    return artifact
+            _STATS["misses"] += 1
+            span.set(outcome="miss")
+            _DISK_LOOKUPS.inc(layer="disk", outcome="miss")
+            return None
+        from repro.exec.faults import maybe_corrupt_blob
+
+        blob = maybe_corrupt_blob(digest, blob)
+        try:
+            artifact = pickle.loads(blob)
+        except Exception:
+            _STATS["corrupt"] += 1
+            _STATS["misses"] += 1
+            span.set(outcome="corrupt")
+            _DISK_LOOKUPS.inc(layer="disk", outcome="corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        _STATS["hits"] += 1
+        span.set(outcome="hit")
+        _DISK_LOOKUPS.inc(layer="disk", outcome="hit")
+        return artifact
 
 
 def store(digest: str, artifact: object) -> bool:
@@ -263,6 +291,7 @@ def store(digest: str, artifact: object) -> bool:
         # recursion limit, and that must degrade to "not cached", not
         # break the compile that produced the artifact.
         _STATS["errors"] += 1
+        _DISK_WRITES.inc(layer="disk", outcome="error")
         if tmp_name is not None:
             try:
                 os.unlink(tmp_name)
@@ -273,12 +302,14 @@ def store(digest: str, artifact: object) -> bool:
         os.replace(tmp_name, _entry_path(digest))
     except OSError:
         _STATS["errors"] += 1
+        _DISK_WRITES.inc(layer="disk", outcome="error")
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         return False
     _STATS["writes"] += 1
+    _DISK_WRITES.inc(layer="disk", outcome="written")
     return True
 
 

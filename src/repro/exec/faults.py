@@ -44,6 +44,22 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.errors import FaultInjectedError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_INJECTED = _metrics.counter(
+    "repro_faults_injected_total",
+    "Faults actually fired by kind",
+    labels=("kind",),
+)
+
+
+def _note_injection(kind: str, **attrs: object) -> None:
+    """One bookkeeping point for every fired fault: a counter bump and
+    a zero-duration trace event at the injection site."""
+    _INJECTED.inc(kind=kind)
+    _trace.event("fault.inject", kind=kind, **attrs)
+
 
 #: The recognized fault kinds; unknown kinds are rejected at plan
 #: construction so a typo cannot silently disable a chaos test.
@@ -249,8 +265,16 @@ def maybe_inject_chunk_fault(
     if plan.should("worker_hang", key):
         import time
 
+        _note_injection(
+            "worker_hang", seed=seed, attempt=attempt,
+            hang_seconds=plan.hang_seconds,
+        )
         time.sleep(plan.hang_seconds)
     if plan.should("worker_crash", key):
+        _note_injection(
+            "worker_crash", seed=seed, attempt=attempt,
+            crash_mode=plan.crash_mode,
+        )
         if plan.crash_mode == "exit":
             import multiprocessing
 
@@ -266,6 +290,7 @@ def maybe_corrupt_blob(digest: str, blob: bytes) -> bytes:
     corrupt-entry path (failed unpickle -> counted, deleted, miss)
     runs, rather than simulating its outcome."""
     if draw("diskcache_corrupt", salt=digest):
+        _note_injection("diskcache_corrupt", digest=digest)
         return blob[: len(blob) // 2]
     return blob
 
@@ -273,6 +298,7 @@ def maybe_corrupt_blob(digest: str, blob: bytes) -> bytes:
 def maybe_inject_compile_error(kernel_name: str) -> None:
     """The compiler's injection site (:func:`repro.pipeline.compile_kernel`)."""
     if draw("compile_error", salt=kernel_name):
+        _note_injection("compile_error", kernel=kernel_name)
         raise FaultInjectedError(
             f"injected compile_error while compiling {kernel_name!r}"
         )

@@ -60,6 +60,8 @@ from repro.exec.faults import (
     active_fault_plan,
     maybe_inject_chunk_fault,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.qcircuit.circuit import Circuit
 from repro.sim.backend import (
     DEFAULT_BACKEND,
@@ -76,6 +78,15 @@ from repro.sim.kernels import active_kernel_name, use_kernel
 #: determinism contract above); this only trades startup cost against
 #: fork-safety.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+_DISPATCHES = _metrics.counter(
+    "repro_exec_dispatches_total",
+    "Parallel run dispatches (one per parallel_run_with_info call)",
+)
+_CHUNKS = _metrics.counter(
+    "repro_exec_chunks_total",
+    "Chunks planned for dispatch across all parallel runs",
+)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -141,7 +152,9 @@ class _ChunkTask:
     contextvar/env state never crosses into ``spawn`` workers);
     ``attempt`` is the retry ordinal, folded into fault decisions only
     — the *data* seed never changes across attempts, which is what
-    makes retried runs bit-identical to fault-free ones.
+    makes retried runs bit-identical to fault-free ones.  ``trace``
+    ships the dispatcher's span context the same way, so worker-side
+    ``exec.chunk`` spans stitch into the parent trace.
     """
 
     circuit: Circuit
@@ -152,23 +165,54 @@ class _ChunkTask:
     noise_model: Optional[object]
     faults: Optional[FaultPlan] = None
     attempt: int = 0
+    trace: Optional[_trace.TraceContext] = None
 
 
-def _run_chunk(task: _ChunkTask) -> tuple[list[tuple[int, ...]], RunInfo]:
-    """Worker entry point: one chunk, no ambient state consulted."""
-    maybe_inject_chunk_fault(task.faults, task.seed, task.attempt)
-    backend = get_backend(task.backend)
-    with use_kernel(task.kernel):
-        if task.noise_model is None:
+def _run_chunk_body(
+    task: _ChunkTask,
+) -> tuple[list[tuple[int, ...]], RunInfo]:
+    with _trace.span(
+        "exec.chunk",
+        shots=task.shots, seed=task.seed, attempt=task.attempt,
+    ):
+        maybe_inject_chunk_fault(task.faults, task.seed, task.attempt)
+        backend = get_backend(task.backend)
+        with use_kernel(task.kernel):
+            if task.noise_model is None:
+                return backend.run_with_info(
+                    task.circuit, task.shots, task.seed
+                )
             return backend.run_with_info(
-                task.circuit, task.shots, task.seed
+                task.circuit,
+                task.shots,
+                task.seed,
+                noise_model=task.noise_model,
             )
-        return backend.run_with_info(
-            task.circuit,
-            task.shots,
-            task.seed,
-            noise_model=task.noise_model,
-        )
+
+
+def _run_chunk(
+    task: _ChunkTask,
+) -> tuple[list[tuple[int, ...]], RunInfo, Optional[list[dict]]]:
+    """Worker entry point: one chunk, no ambient state consulted.
+
+    Returns ``(results, info, spans)``.  ``spans`` is non-``None`` only
+    when this runs *in a pool worker* under a shipped trace context: a
+    worker cannot append to the parent's tracer, so it records into a
+    throwaway local one (:func:`repro.obs.trace.recording`) and ships
+    the span dicts back with the result for the dispatcher to
+    :func:`~repro.obs.trace.absorb_spans`.  In the serial/in-process
+    path the ambient tracer receives spans directly and ``spans`` is
+    ``None``.
+    """
+    if (
+        task.trace is not None
+        and multiprocessing.parent_process() is not None
+    ):
+        with _trace.recording(task.trace) as tracer:
+            results, info = _run_chunk_body(task)
+        return results, info, tracer.spans
+    results, info = _run_chunk_body(task)
+    return results, info, None
 
 
 # ----------------------------------------------------------------------
@@ -229,7 +273,7 @@ atexit.register(shutdown_pools)
 
 def _execute_tasks(
     tasks: Sequence[_ChunkTask], workers: int, use_processes: bool
-) -> list[tuple[list[tuple[int, ...]], RunInfo]]:
+) -> list[tuple[list[tuple[int, ...]], RunInfo, Optional[list[dict]]]]:
     """Run the chunk tasks, preserving plan order.
 
     One worker, one chunk, or ``use_processes=False`` stays in-process.
@@ -309,29 +353,42 @@ def parallel_run_with_info(
     seeds = derive_chunk_seeds(seed, len(plan))
     kernel = active_kernel_name()
     fault_plan = active_fault_plan()
-    tasks = [
-        _ChunkTask(
-            circuit, chunk_shots, chunk_seed,
-            resolved_backend, kernel, noise_model, fault_plan,
-        )
-        for chunk_shots, chunk_seed in zip(plan, seeds)
-    ]
-    telemetry = None
-    if retry is not None:
-        from repro.exec.retry import execute_with_retry
+    with _trace.span(
+        "exec.dispatch",
+        shots=shots, chunks=len(plan), workers=workers,
+    ) as dispatch_span:
+        trace_ctx = _trace.current_context()
+        tasks = [
+            _ChunkTask(
+                circuit, chunk_shots, chunk_seed,
+                resolved_backend, kernel, noise_model, fault_plan,
+                trace=trace_ctx,
+            )
+            for chunk_shots, chunk_seed in zip(plan, seeds)
+        ]
+        _DISPATCHES.inc()
+        _CHUNKS.inc(len(tasks))
+        telemetry = None
+        if retry is not None:
+            from repro.exec.retry import execute_with_retry
 
-        outcomes, telemetry = execute_with_retry(
-            tasks, workers, retry,
-            use_processes=use_processes,
-            cancel_event=cancel_event,
-        )
-    else:
-        outcomes = _execute_tasks(tasks, workers, use_processes)
-    results: list[tuple[int, ...]] = []
-    infos: list[RunInfo] = []
-    for chunk_results, chunk_info in outcomes:
-        results.extend(chunk_results)
-        infos.append(chunk_info)
+            outcomes, telemetry = execute_with_retry(
+                tasks, workers, retry,
+                use_processes=use_processes,
+                cancel_event=cancel_event,
+            )
+        else:
+            outcomes = _execute_tasks(tasks, workers, use_processes)
+        results: list[tuple[int, ...]] = []
+        infos: list[RunInfo] = []
+        for chunk_results, chunk_info, chunk_spans in outcomes:
+            results.extend(chunk_results)
+            infos.append(chunk_info)
+            _trace.absorb_spans(chunk_spans)
+        if telemetry is not None:
+            dispatch_span.set(
+                retries=telemetry.retries, degraded=telemetry.degraded
+            )
     merged = RunInfo.merge(infos, workers=workers)
     if telemetry is not None:
         import dataclasses

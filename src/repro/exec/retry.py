@@ -47,6 +47,31 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.errors import FaultInjectedError, RetryBudgetExhaustedError
+from repro.obs import logging as _obs_logging
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_RETRIES = _metrics.counter(
+    "repro_exec_retries_total",
+    "Chunk retry attempts granted by the recovery path",
+)
+_RECYCLES = _metrics.counter(
+    "repro_exec_pool_recycles_total",
+    "Worker-pool recycles after breakage or a hung wave",
+)
+_DEGRADATIONS = _metrics.counter(
+    "repro_exec_degradations_total",
+    "Fallbacks to serial in-process execution",
+)
+
+
+def _note_degradation(reason: str, recycles: int) -> None:
+    _DEGRADATIONS.inc()
+    _trace.event("retry.degrade", reason=reason, recycles=recycles)
+    _obs_logging.get_logger("exec.retry").warning(
+        "degrading to serial in-process execution",
+        extra={"fields": {"reason": reason, "recycles": recycles}},
+    )
 
 
 @dataclass(frozen=True)
@@ -171,6 +196,13 @@ def execute_with_retry(
         budget_left -= 1
         telemetry.retries += 1
         pending[index] = attempt + 1
+        _RETRIES.inc()
+        _trace.event(
+            "retry.attempt",
+            chunk_seed=tasks[index].seed,
+            attempt=attempt + 1,
+            injected=injected,
+        )
 
     serial = not use_processes or workers <= 1 or telemetry.degraded
 
@@ -187,6 +219,7 @@ def execute_with_retry(
         except OSError:
             # The pool cannot start here at all (sandbox): degrade.
             telemetry.degraded = True
+            _note_degradation("pool failed to start", telemetry.pool_recycles)
             continue
 
         wave = {}
@@ -226,8 +259,15 @@ def execute_with_retry(
         if broken:
             recycle_pool(workers)
             telemetry.pool_recycles += 1
+            _RECYCLES.inc()
+            _trace.event(
+                "retry.pool_recycle", recycles=telemetry.pool_recycles
+            )
             if telemetry.pool_recycles >= policy.degrade_after:
                 telemetry.degraded = True
+                _note_degradation(
+                    "recycle limit reached", telemetry.pool_recycles
+                )
         if pending:
             _check_cancel(cancel_event)
             index = min(pending)

@@ -25,11 +25,25 @@ The artifact is deliberately untyped: Qwerty-level passes run on
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import PassPipelineError, QwertyError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: Per-pass fire counts and cumulative wall time, process-wide (the
+#: per-compilation view lives in :class:`PassStatistics`).
+_PASS_RUNS = _metrics.counter(
+    "repro_compile_pass_runs_total",
+    "Compiler pass executions by pass name",
+    labels=("pass_name",),
+)
+_PASS_SECONDS = _metrics.counter(
+    "repro_compile_pass_seconds_total",
+    "Cumulative wall-clock seconds spent in each compiler pass",
+    labels=("pass_name",),
+)
 
 
 class Pass:
@@ -283,17 +297,24 @@ class PassStatistics:
 
 
 class _MeasureStage:
+    """Times a pseudo-stage through the tracer (one timing source):
+    the stage appears as a ``compile.stage`` span in exported traces
+    and its statistics entry records that same measurement."""
+
     def __init__(self, statistics: PassStatistics, name: str) -> None:
         self.statistics = statistics
         self.name = name
 
     def __enter__(self) -> "_MeasureStage":
-        self._start = time.perf_counter()
+        self._span = _trace.timed_span("compile.stage", stage=self.name)
+        self._span.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        elapsed = time.perf_counter() - self._start
-        self.statistics.entry(self.name).record(elapsed, changed=exc is None)
+        self._span.__exit__(exc_type, exc, tb)
+        self.statistics.entry(self.name).record(
+            self._span.seconds, changed=exc is None
+        )
 
 
 # ----------------------------------------------------------------------
@@ -343,16 +364,27 @@ class PassManager:
         changed_any = False
         for pass_ in self.passes:
             before = self.count_ops(artifact) if self.count_ops else 0
-            start = time.perf_counter()
+            # One timing source: the span measures, everything else —
+            # the statistics table, the process-wide metrics, an
+            # exported trace — consumes its measurement, so the pass
+            # breakdown and a trace can never disagree.
+            span = _trace.timed_span(
+                "compile.pass", **{"pass": pass_.name}
+            )
             try:
-                changed = bool(pass_.run(artifact))
+                with span:
+                    changed = bool(pass_.run(artifact))
             except QwertyError as error:
                 raise error.with_note(f"while running pass '{pass_.name}'")
-            elapsed = time.perf_counter() - start
             after = self.count_ops(artifact) if self.count_ops else 0
+            # The recorded span holds the attrs dict by reference, so
+            # outcome attributes may still be attached post-exit.
+            span.set(changed=changed, ops_delta=after - before)
             self.statistics.entry(pass_.name).record(
-                elapsed, changed, after - before
+                span.seconds, changed, after - before
             )
+            _PASS_RUNS.inc(pass_name=pass_.name)
+            _PASS_SECONDS.inc(span.seconds, pass_name=pass_.name)
             if changed:
                 self._verify(artifact, after=pass_.name)
             changed_any |= changed

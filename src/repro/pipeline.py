@@ -363,6 +363,28 @@ from collections import OrderedDict
 
 from repro.exec import diskcache as _diskcache
 from repro.exec import faults as _faults
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: In-memory LRU lookups, mirrored into the metrics registry so the
+#: service's ``op: "metrics"`` exposition reconciles exactly with
+#: :func:`compile_cache_info` (the disk layer mirrors its own in
+#: :mod:`repro.exec.diskcache`).
+_CACHE_LOOKUPS = _metrics.counter(
+    "repro_cache_lookups_total",
+    "Compile-cache lookups by layer and outcome",
+    labels=("layer", "outcome"),
+)
+_CACHE_EVICTIONS = _metrics.counter(
+    "repro_cache_evictions_total",
+    "In-memory compile-cache LRU evictions",
+    labels=("layer",),
+)
+_COMPILES = _metrics.counter(
+    "repro_compile_kernels_total",
+    "compile_kernel calls by artifact provenance",
+    labels=("provenance",),
+)
 
 #: Upper bound on cached CompileResults; each entry holds the full IR
 #: module and three circuits, so the cache must not grow with the
@@ -426,12 +448,17 @@ def compile_cache_info() -> dict:
 
 
 def _cache_get(key: tuple) -> Optional[CompileResult]:
-    result = _COMPILE_CACHE.get(key)
-    if result is not None:
-        _COMPILE_CACHE.move_to_end(key)
-        _CACHE_STATS["hits"] += 1
-    else:
-        _CACHE_STATS["misses"] += 1
+    with _trace.span("cache.lookup", layer="memory") as span:
+        result = _COMPILE_CACHE.get(key)
+        if result is not None:
+            _COMPILE_CACHE.move_to_end(key)
+            _CACHE_STATS["hits"] += 1
+            outcome = "hit"
+        else:
+            _CACHE_STATS["misses"] += 1
+            outcome = "miss"
+        span.set(outcome=outcome)
+    _CACHE_LOOKUPS.inc(layer="memory", outcome=outcome)
     return result
 
 
@@ -442,6 +469,7 @@ def _cache_put(key: tuple, result: CompileResult) -> None:
     while len(_COMPILE_CACHE) > bound:
         _COMPILE_CACHE.popitem(last=False)
         _CACHE_STATS["evictions"] += 1
+        _CACHE_EVICTIONS.inc(layer="memory")
 
 
 def _capture_fingerprint(capture) -> tuple:
@@ -515,6 +543,26 @@ def compile_kernel(
     ``cache=True`` consults the per-process compile cache; the returned
     result is shared, so treat it as read-only.
     """
+    with _trace.span(
+        "compile.kernel",
+        kernel=getattr(kernel, "name", "<kernel>"),
+        cache=cache,
+    ) as span:
+        result = _compile_kernel_impl(
+            kernel, options, pipeline=pipeline, cache=cache, **flags
+        )
+        span.set(provenance=result.provenance)
+    _COMPILES.inc(provenance=result.provenance)
+    return result
+
+
+def _compile_kernel_impl(
+    kernel,
+    options: Optional[CompileOptions] = None,
+    pipeline: Optional[str] = None,
+    cache: bool = False,
+    **flags,
+) -> CompileResult:
     if sum(x is not None for x in (options, pipeline)) + bool(flags) > 1:
         raise TypeError(
             "pass exactly one of options=, pipeline=, or boolean flags"

@@ -44,8 +44,10 @@ from typing import Any, Mapping, Optional
 
 from repro.errors import BadRequestError, QwertyError
 
-#: Operations the service understands.
-OPS = ("run", "health", "stats")
+#: Operations the service understands.  ``metrics`` returns the
+#: process-wide registry as Prometheus text exposition
+#: (docs/observability.md).
+OPS = ("run", "health", "stats", "metrics")
 
 #: Hard ceiling on per-request shots (one request must never occupy
 #: the executor for unbounded time; split larger sweeps client-side).

@@ -25,12 +25,15 @@ from __future__ import annotations
 import asyncio
 from typing import Optional
 
+from repro.obs.logging import get_logger
 from repro.service.protocol import (
     encode_response,
     error_response,
     parse_request,
 )
 from repro.service.service import ExecutionService, ServiceConfig
+
+_LOG = get_logger("service.server")
 
 
 async def handle_connection(
@@ -117,13 +120,16 @@ async def serve(
     )
     async with server:
         bound = server.sockets[0].getsockname()
-        print(f"repro.service listening on {bound[0]}:{bound[1]}")
+        _LOG.info(
+            f"repro.service listening on {bound[0]}:{bound[1]}",
+            extra={"fields": {"host": bound[0], "port": bound[1]}},
+        )
         if ready is not None:
             ready.set()
         await stop.wait()
-        print("repro.service draining ...")
+        _LOG.info("repro.service draining ...")
         await service.drain()
-    print("repro.service stopped")
+    _LOG.info("repro.service stopped")
 
 
 def main(argv: "Optional[list[str]]" = None) -> int:

@@ -41,9 +41,11 @@ are invisible is a service whose failure modes are unhandled.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -56,7 +58,51 @@ from repro.errors import (
 )
 from repro.exec.faults import FaultPlan, active_fault_plan, inject_faults
 from repro.exec.retry import RetryPolicy
+from repro.obs import logging as obslog
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as tracing
 from repro.service import protocol
+
+#: Sequential per-process instance labels: two services in one test
+#: process (or a restarted one) get distinct series, so per-instance
+#: counts reconcile exactly with each instance's ``stats()``.
+_INSTANCE_SEQ = itertools.count(1)
+
+#: The lifecycle counter vocabulary ``stats()`` reports; each key is
+#: one ``event`` label value on :data:`_EVENTS` — the registry is the
+#: single counting substrate, ``stats()`` a derived view of it.
+_COUNTER_EVENTS = (
+    "received",
+    "accepted",
+    "completed",
+    "shed",
+    "deadline_exceeded",
+    "failed",
+    "retries",
+    "faults_injected",
+    "degraded_runs",
+)
+
+_EVENTS = obs_metrics.counter(
+    "repro_service_events_total",
+    "Request lifecycle events by service instance and event",
+    labels=("service", "event"),
+)
+_ERRORS = obs_metrics.counter(
+    "repro_service_errors_total",
+    "Error responses by service instance and error code",
+    labels=("service", "code"),
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "repro_service_queue_depth",
+    "Requests currently waiting in the admission queue",
+    labels=("service",),
+)
+_LATENCY = obs_metrics.histogram(
+    "repro_service_request_seconds",
+    "End-to-end run-request latency, admission to completion",
+    labels=("service",),
+)
 
 
 @dataclass(frozen=True)
@@ -88,7 +134,14 @@ class ServiceConfig:
 
 @dataclass
 class _Work:
-    """One admitted run request, in flight between queue and executor."""
+    """One admitted run request, in flight between queue and executor.
+
+    ``trace`` carries the submitting request span's context: the
+    worker loop and the executor thread both run outside the
+    submitter's contextvar context, so they re-attach it explicitly
+    (:func:`repro.obs.trace.attached`) and their spans land under the
+    same ``service.request`` span.
+    """
 
     request: protocol.RunRequest
     future: "asyncio.Future[dict]"
@@ -96,6 +149,7 @@ class _Work:
     deadline: float
     cancel_event: threading.Event
     fault_plan: Optional[FaultPlan]
+    trace: Optional[tracing.TraceContext] = None
 
 
 class ExecutionService:
@@ -116,18 +170,35 @@ class ExecutionService:
         self._in_flight = 0
         self._consecutive_degraded = 0
         self._serial_mode = False
-        self.counters: dict[str, int] = {
-            "received": 0,
-            "accepted": 0,
-            "completed": 0,
-            "shed": 0,
-            "deadline_exceeded": 0,
-            "failed": 0,
-            "retries": 0,
-            "faults_injected": 0,
-            "degraded_runs": 0,
+        self._label = str(next(_INSTANCE_SEQ))
+
+    # ------------------------------------------------------------------
+    # Counting (one substrate: the repro.obs.metrics registry).
+    # ------------------------------------------------------------------
+    def _count(self, event: str, amount: int = 1) -> None:
+        _EVENTS.inc(amount, service=self._label, event=event)
+
+    def _note_queue_depth(self) -> None:
+        _QUEUE_DEPTH.set(self._queue.qsize(), service=self._label)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Lifecycle counters, derived from the metrics registry — the
+        same series ``op: "metrics"`` exposes, so the two can never
+        disagree."""
+        return {
+            event: int(_EVENTS.value(service=self._label, event=event))
+            for event in _COUNTER_EVENTS
         }
-        self.error_codes: dict[str, int] = {}
+
+    @property
+    def error_codes(self) -> dict[str, int]:
+        """Per-code error counts for this instance, registry-derived."""
+        return {
+            key[1]: int(value)
+            for key, value in sorted(_ERRORS.series().items())
+            if key[0] == self._label
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -198,7 +269,7 @@ class ExecutionService:
         deadline misses, and execution errors all come back as
         structured error responses.
         """
-        self.counters["received"] += 1
+        self._count("received")
         request_id = payload.get("id") if isinstance(payload, dict) else None
         try:
             op = payload.get("op", "run")
@@ -206,41 +277,64 @@ class ExecutionService:
                 return protocol.ok_response(request_id, self.health())
             if op == "stats":
                 return protocol.ok_response(request_id, self.stats())
-            request = protocol.RunRequest.from_payload(payload)
-            if self._draining or not self._started:
-                raise ServiceUnavailableError(
-                    "service is draining and accepts no new requests"
-                    if self._draining
-                    else "service is not started"
-                )
-            deadline = min(
-                request.deadline or self.config.default_deadline,
-                self.config.max_deadline,
-            )
-            work = _Work(
-                request=request,
-                future=asyncio.get_running_loop().create_future(),
-                admitted_at=time.monotonic(),
-                deadline=deadline,
-                cancel_event=threading.Event(),
-                fault_plan=self.config.fault_plan or active_fault_plan(),
-            )
-            self._seq += 1
-            try:
-                self._queue.put_nowait(
-                    (request.priority, self._seq, work)
-                )
-            except asyncio.QueueFull:
-                self.counters["shed"] += 1
-                raise QueueFullError(
-                    f"admission queue full "
-                    f"({self.config.queue_limit} requests); retry with "
-                    f"backoff"
-                ) from None
-            self.counters["accepted"] += 1
-            return await work.future
+            if op == "metrics":
+                return protocol.ok_response(request_id, self.metrics())
         except Exception as error:  # noqa: BLE001 — the wire gets it all
             return self._error(request_id, error)
+        bind = (
+            obslog.bound_request(request_id)
+            if request_id is not None
+            else nullcontext()
+        )
+        with tracing.span(
+            "service.request", request_id=request_id, service=self._label
+        ) as span, bind:
+            try:
+                request = protocol.RunRequest.from_payload(payload)
+                if self._draining or not self._started:
+                    raise ServiceUnavailableError(
+                        "service is draining and accepts no new requests"
+                        if self._draining
+                        else "service is not started"
+                    )
+                deadline = min(
+                    request.deadline or self.config.default_deadline,
+                    self.config.max_deadline,
+                )
+                work = _Work(
+                    request=request,
+                    future=asyncio.get_running_loop().create_future(),
+                    admitted_at=time.monotonic(),
+                    deadline=deadline,
+                    cancel_event=threading.Event(),
+                    fault_plan=(
+                        self.config.fault_plan or active_fault_plan()
+                    ),
+                    trace=tracing.current_context(),
+                )
+                self._seq += 1
+                try:
+                    self._queue.put_nowait(
+                        (request.priority, self._seq, work)
+                    )
+                except asyncio.QueueFull:
+                    self._count("shed")
+                    raise QueueFullError(
+                        f"admission queue full "
+                        f"({self.config.queue_limit} requests); retry "
+                        f"with backoff"
+                    ) from None
+                self._note_queue_depth()
+                self._count("accepted")
+                response = await work.future
+            except Exception as error:  # noqa: BLE001
+                response = self._error(request_id, error)
+            span.set(
+                outcome=response["error"]["code"]
+                if "error" in response
+                else "done"
+            )
+            return response
 
     # ------------------------------------------------------------------
     # Execution.
@@ -248,6 +342,7 @@ class ExecutionService:
     async def _worker_loop(self) -> None:
         while True:
             _, _, work = await self._queue.get()
+            self._note_queue_depth()
             try:
                 response = await self._process(work)
             except asyncio.CancelledError:
@@ -269,11 +364,20 @@ class ExecutionService:
                 work.future.set_result(response)
 
     async def _process(self, work: _Work) -> dict:
+        # The worker task's contextvar context is not the submitter's:
+        # re-attach the request span so dequeue events and downstream
+        # spans stitch under it.
+        with tracing.attached(work.trace):
+            return await self._process_attached(work)
+
+    async def _process_attached(self, work: _Work) -> dict:
         request = work.request
-        remaining = work.deadline - (time.monotonic() - work.admitted_at)
+        queued_s = time.monotonic() - work.admitted_at
+        tracing.event("service.dequeue", queued_s=round(queued_s, 6))
+        remaining = work.deadline - queued_s
         if remaining <= 0:
             # Expired while queued: never spend compute on it.
-            self.counters["deadline_exceeded"] += 1
+            self._count("deadline_exceeded")
             return self._error(
                 request.id,
                 DeadlineExceededError(
@@ -297,7 +401,7 @@ class ExecutionService:
             # Cooperative cancellation: the retry layer checks the
             # event between chunk waves and cancels pool futures.
             work.cancel_event.set()
-            self.counters["deadline_exceeded"] += 1
+            self._count("deadline_exceeded")
             return self._error(
                 request.id,
                 DeadlineExceededError(
@@ -309,7 +413,7 @@ class ExecutionService:
             if work.cancel_event.is_set():
                 # The executor thread observed the cancel event and
                 # aborted; report the deadline, don't die with it.
-                self.counters["deadline_exceeded"] += 1
+                self._count("deadline_exceeded")
                 return self._error(
                     request.id,
                     DeadlineExceededError(
@@ -320,11 +424,14 @@ class ExecutionService:
             raise  # genuine shutdown cancellation
         finally:
             self._in_flight -= 1
-        self.counters["completed"] += 1
-        self.counters["retries"] += result["info"]["retries"]
-        self.counters["faults_injected"] += result["info"]["faults_injected"]
+        self._count("completed")
+        self._count("retries", result["info"]["retries"])
+        self._count("faults_injected", result["info"]["faults_injected"])
+        _LATENCY.observe(
+            time.monotonic() - work.admitted_at, service=self._label
+        )
         if result["info"]["degraded"]:
-            self.counters["degraded_runs"] += 1
+            self._count("degraded_runs")
             self._consecutive_degraded += 1
             if self._consecutive_degraded >= self.config.degrade_runs:
                 self._serial_mode = True
@@ -333,7 +440,18 @@ class ExecutionService:
         return protocol.ok_response(request.id, result)
 
     def _execute_sync(self, work: _Work) -> dict:
-        """The blocking compile + sharded run (service executor thread)."""
+        """The blocking compile + sharded run (service executor thread).
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        request span context rides on ``work.trace`` and is re-attached
+        here before the ``service.execute`` span opens.
+        """
+        with tracing.attached(work.trace), tracing.span(
+            "service.execute", request_id=work.request.id
+        ):
+            return self._run_request(work)
+
+    def _run_request(self, work: _Work) -> dict:
         from repro.exec.parallel import parallel_run_with_info
         from repro.pipeline import compile_kernel
 
@@ -431,6 +549,14 @@ class ExecutionService:
             },
         }
 
+    def metrics(self) -> dict:
+        """The ``op: "metrics"`` payload: the whole process-wide
+        registry as Prometheus text exposition."""
+        return {
+            "exposition": obs_metrics.render(),
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+        }
+
     def reset_degradation(self) -> None:
         """Re-enable process pools after operator intervention."""
         self._serial_mode = False
@@ -439,9 +565,9 @@ class ExecutionService:
     def _error(self, request_id: Any, error: Exception) -> dict:
         response = protocol.error_response(request_id, error)
         code = response["error"]["code"]
-        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+        _ERRORS.inc(service=self._label, code=code)
         if code not in ("QW601", "QW602"):  # already counted at source
-            self.counters["failed"] += 1
+            self._count("failed")
         return response
 
 
@@ -533,3 +659,6 @@ class ServiceClient:
 
     async def stats(self) -> dict:
         return await self.service.submit({"op": "stats"})
+
+    async def metrics(self) -> dict:
+        return await self.service.submit({"op": "metrics"})

@@ -51,6 +51,8 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
 from repro.qcircuit.fusion import (
     FusedUnitary,
@@ -60,6 +62,15 @@ from repro.qcircuit.fusion import (
 from repro.sim.batched import batched_run
 from repro.sim.kernels import active_kernel_name
 from repro.sim.statevector import StatevectorSimulator
+
+# Get-or-create: same series repro.sim.batched increments for its
+# batched sweeps; this module adds the fast-path and interpreter ones.
+_SWEEPS = _metrics.counter(
+    "repro_sim_sweeps_total",
+    "Simulator sweeps by engine (batched evolutions, fast-path samples, "
+    "interpreter trajectory loops)",
+    labels=("engine",),
+)
 
 #: The one default-backend decision for the whole execution layer: every
 #: entry point — ``run_circuit``, ``run_circuit_with_info``,
@@ -283,17 +294,22 @@ def _trajectory_run(
             else None
             for inst in circuit.instructions
         ]
-    for shot in range(shots):
-        sim = StatevectorSimulator(
-            circuit.num_qubits, circuit.num_bits, seed=seed + shot
-        )
-        bits = sim.run(
-            circuit,
-            noise_model=noise_model,
-            stats=stats,
-            channel_plan=channel_plan,
-        )
-        results.append(tuple(bits[i] for i in output))
+    with _trace.span(
+        "sim.sweep",
+        engine="interpreter", shots=shots, qubits=circuit.num_qubits,
+    ):
+        for shot in range(shots):
+            sim = StatevectorSimulator(
+                circuit.num_qubits, circuit.num_bits, seed=seed + shot
+            )
+            bits = sim.run(
+                circuit,
+                noise_model=noise_model,
+                stats=stats,
+                channel_plan=channel_plan,
+            )
+            results.append(tuple(bits[i] for i in output))
+    _SWEEPS.inc(engine="interpreter")
     return results
 
 
@@ -425,11 +441,16 @@ class VectorizedStatevectorBackend(SimBackend):
             if isinstance(inst, (CircuitGate, FusedUnitary))
         ]
         fused = fuse_single_qubit_gates(prefix)
-        sim = StatevectorSimulator(circuit.num_qubits, circuit.num_bits)
-        sim.apply_fused(fused)
-        results = _sample_terminal(
-            sim.state, circuit, plan, shots, np.random.default_rng(seed)
-        )
+        with _trace.span(
+            "sim.sweep",
+            engine="fast-path", shots=shots, qubits=circuit.num_qubits,
+        ):
+            sim = StatevectorSimulator(circuit.num_qubits, circuit.num_bits)
+            sim.apply_fused(fused)
+            results = _sample_terminal(
+                sim.state, circuit, plan, shots, np.random.default_rng(seed)
+            )
+        _SWEEPS.inc(engine="fast-path")
         return results, RunInfo(
             self.name,
             shots,

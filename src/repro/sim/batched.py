@@ -50,6 +50,8 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.qcircuit.circuit import Circuit, CircuitGate, Measurement, Reset
 from repro.qcircuit.fusion import FusedUnitary
 from repro.sim.statevector import (
@@ -65,6 +67,13 @@ from repro.sim.statevector import (
 MAX_BATCH_BYTES = 1 << 28  # 256 MiB
 
 _BYTES_PER_AMPLITUDE = 16  # complex128
+
+_SWEEPS = _metrics.counter(
+    "repro_sim_sweeps_total",
+    "Simulator sweeps by engine (batched evolutions, fast-path samples, "
+    "interpreter trajectory loops)",
+    labels=("engine",),
+)
 
 
 def batch_chunk_size(
@@ -367,10 +376,15 @@ def batched_run(
     done = 0
     while done < shots:
         size = min(chunk, shots - done)
-        engine = BatchedStatevector(
-            size, circuit.num_qubits, circuit.num_bits, rng
-        )
-        bits = engine.run(circuit, noise_model=noise_model, stats=stats)
+        with _trace.span(
+            "sim.sweep",
+            engine="batched", shots=size, qubits=circuit.num_qubits,
+        ):
+            engine = BatchedStatevector(
+                size, circuit.num_qubits, circuit.num_bits, rng
+            )
+            bits = engine.run(circuit, noise_model=noise_model, stats=stats)
+        _SWEEPS.inc(engine="batched")
         selected = bits[:, output]
         results.extend(
             tuple(int(bit) for bit in row) for row in selected

@@ -1,0 +1,116 @@
+"""Structured logging (repro.obs.logging): correlation and knobs.
+
+JSON log lines must carry the active trace/span ids and the bound
+request id (so logs join traces and metrics on shared identifiers),
+and the ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT`` environment knobs
+must take effect on (re)configuration.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import logging as obslog
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _reconfigure_each_test():
+    obslog.reset_logging()
+    yield
+    obslog.reset_logging()
+    obslog.get_logger()  # leave the suite with a configured default
+
+
+def _record(message: str, **extra) -> logging.LogRecord:
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, message, (), None
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+def test_json_lines_are_sorted_json_objects():
+    line = obslog.JsonLineFormatter().format(_record("hello"))
+    payload = json.loads(line)
+    assert payload["message"] == "hello"
+    assert payload["level"] == "INFO"
+    assert payload["logger"] == "repro.test"
+    assert isinstance(payload["ts"], float)
+    assert "trace_id" not in payload  # tracing off, nothing to correlate
+    assert "request_id" not in payload
+    assert list(payload) == sorted(payload)
+
+
+def test_log_lines_carry_trace_and_request_ids():
+    trace.enable_tracing()
+    try:
+        with trace.span("service.request"):
+            with obslog.bound_request("req-42"):
+                assert obslog.current_request_id() == "req-42"
+                payload = json.loads(
+                    obslog.JsonLineFormatter().format(_record("working"))
+                )
+            trace_id, span_id = trace.current_ids()
+        assert payload["trace_id"] == trace_id
+        assert payload["span_id"] == span_id
+        assert payload["request_id"] == "req-42"
+    finally:
+        trace.disable_tracing()
+    assert obslog.current_request_id() is None
+
+
+def test_structured_fields_and_exceptions_ride_along():
+    formatter = obslog.JsonLineFormatter()
+    payload = json.loads(
+        formatter.format(_record("degrading", fields={"recycles": 2}))
+    )
+    assert payload["recycles"] == 2
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        import sys
+
+        record = _record("failed")
+        record.exc_info = sys.exc_info()
+    payload = json.loads(formatter.format(record))
+    assert "RuntimeError: boom" in payload["exc"]
+
+
+def test_env_knobs_select_format_and_level(monkeypatch):
+    monkeypatch.setenv(obslog.LOG_FORMAT_ENV, "text")
+    monkeypatch.setenv(obslog.LOG_LEVEL_ENV, "debug")
+    obslog.reset_logging()
+    logger = obslog.get_logger("knobs")
+    assert logger.name == "repro.knobs"
+    root = logging.getLogger("repro")
+    assert root.level == logging.DEBUG
+    assert not root.propagate
+    [handler] = root.handlers
+    assert not isinstance(handler.formatter, obslog.JsonLineFormatter)
+
+
+def test_default_format_is_json_at_info(monkeypatch):
+    monkeypatch.delenv(obslog.LOG_FORMAT_ENV, raising=False)
+    monkeypatch.delenv(obslog.LOG_LEVEL_ENV, raising=False)
+    obslog.reset_logging()
+    obslog.get_logger()
+    root = logging.getLogger("repro")
+    assert root.level == logging.INFO
+    [handler] = root.handlers
+    assert isinstance(handler.formatter, obslog.JsonLineFormatter)
+
+
+def test_embedder_handlers_are_respected(monkeypatch):
+    obslog.reset_logging()
+    root = logging.getLogger("repro")
+    sentinel = logging.NullHandler()
+    root.addHandler(sentinel)
+    try:
+        obslog.get_logger()
+        assert root.handlers == [sentinel]
+    finally:
+        root.removeHandler(sentinel)
+        obslog.reset_logging()
